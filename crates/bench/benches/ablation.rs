@@ -1,0 +1,150 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * §5.1 layer ordering — item hits must not touch the block LRU;
+//! * §5.1 promotion — block-layer hits promote into the item layer;
+//! * §5.3 split choice — balanced vs MRC-chosen vs adaptive split;
+//! * GCM's unmarked co-loading vs marking everything.
+//!
+//! Each bench measures end-to-end misses (asserted, so a regression in a
+//! design property fails the bench run) and reports simulation time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_cache::gc_sim::simulate;
+use gc_cache::prelude::*;
+
+/// §5.1 pollution workload: a hot item from a sparse block hammered
+/// between whole-block streams.
+fn pollution_trace(b: u64, blocks: u64, rounds: u64) -> Trace {
+    let mut t = Trace::new();
+    for round in 0..rounds {
+        for _ in 0..b {
+            t.push(ItemId(0));
+        }
+        let blk = 1 + (round % blocks);
+        for off in 0..b {
+            t.push(ItemId(blk * b + off));
+        }
+    }
+    t
+}
+
+fn ablation_layer_ordering(c: &mut Criterion) {
+    let map = BlockMap::strided(8);
+    let trace = pollution_trace(8, 3, 2000);
+    let mut group = c.benchmark_group("ablation/ordering");
+    group.sample_size(10);
+    group.bench_function("paper", |bch| {
+        bch.iter(|| {
+            let mut p = IblpVariant::new(8, 16, map.clone(), IblpConfig::paper());
+            simulate(&mut p, &trace).misses
+        })
+    });
+    group.bench_function("block-touching", |bch| {
+        bch.iter(|| {
+            let mut p = IblpVariant::new(8, 16, map.clone(), IblpConfig::block_touching());
+            simulate(&mut p, &trace).misses
+        })
+    });
+    group.finish();
+    // Assert the design property once outside the timing loop.
+    let mut paper = IblpVariant::new(8, 16, map.clone(), IblpConfig::paper());
+    let mut spoiled = IblpVariant::new(8, 16, map, IblpConfig::block_touching());
+    let m_paper = simulate(&mut paper, &trace).misses;
+    let m_spoiled = simulate(&mut spoiled, &trace).misses;
+    assert!(
+        m_paper <= m_spoiled,
+        "§5.1 ordering regressed: paper {m_paper} vs touching {m_spoiled}"
+    );
+}
+
+fn ablation_split_choice(c: &mut Criterion) {
+    use gc_cache::gc_sim::mrc::iblp_split_grid;
+    use gc_cache::gc_trace::synthetic::{block_runs, block_runs_map, BlockRunConfig};
+    let cfg = BlockRunConfig {
+        num_blocks: 1024,
+        block_size: 16,
+        block_theta: 0.95,
+        spatial_locality: 0.7,
+        len: 150_000,
+        seed: 77,
+    };
+    let trace = block_runs(&cfg);
+    let map = block_runs_map(&cfg);
+    let capacity = 2048;
+    let mrc_split = iblp_split_grid(&trace, &map, capacity)
+        .into_iter()
+        .min_by_key(|cell| cell.miss_estimate)
+        .expect("nonempty grid")
+        .item_lines;
+
+    let mut group = c.benchmark_group("ablation/split");
+    group.sample_size(10);
+    group.bench_function("balanced", |bch| {
+        bch.iter(|| {
+            let mut p = Iblp::balanced(capacity, map.clone());
+            simulate(&mut p, &trace).misses
+        })
+    });
+    group.bench_function("mrc-chosen", |bch| {
+        bch.iter(|| {
+            let mut p = Iblp::new(mrc_split, capacity - mrc_split, map.clone());
+            simulate(&mut p, &trace).misses
+        })
+    });
+    group.bench_function("adaptive", |bch| {
+        bch.iter(|| {
+            let mut p = AdaptiveIblp::new(capacity, map.clone());
+            simulate(&mut p, &trace).misses
+        })
+    });
+    group.finish();
+
+    let mut balanced = Iblp::balanced(capacity, map.clone());
+    let mut chosen = Iblp::new(mrc_split, capacity - mrc_split, map.clone());
+    let m_balanced = simulate(&mut balanced, &trace).misses;
+    let m_chosen = simulate(&mut chosen, &trace).misses;
+    assert!(
+        m_chosen <= m_balanced,
+        "MRC-chosen split regressed: {m_chosen} vs balanced {m_balanced}"
+    );
+}
+
+fn ablation_gcm_unmarked_coload(c: &mut Criterion) {
+    // GCM's design: co-loads arrive unmarked. Compare against the classic
+    // marking algorithm (no co-loads at all) on a streaming workload —
+    // the §6.1 comparison.
+    let map = BlockMap::strided(16);
+    let trace = Trace::from_ids(0..60_000u64);
+    let mut group = c.benchmark_group("ablation/gcm");
+    group.sample_size(10);
+    group.bench_function("gcm-full", |bch| {
+        bch.iter(|| {
+            let mut p = Gcm::new(256, map.clone(), 1);
+            simulate(&mut p, &trace).misses
+        })
+    });
+    group.bench_function("classic-marking", |bch| {
+        bch.iter(|| {
+            let mut p = Gcm::with_coload_limit(256, map.clone(), 1, 0);
+            simulate(&mut p, &trace).misses
+        })
+    });
+    group.finish();
+
+    let mut gcm = Gcm::new(256, map.clone(), 1);
+    let mut classic = Gcm::with_coload_limit(256, map, 1, 0);
+    let m_gcm = simulate(&mut gcm, &trace).misses;
+    let m_classic = simulate(&mut classic, &trace).misses;
+    assert!(
+        m_gcm * 8 < m_classic,
+        "GCM co-loading regressed: {m_gcm} vs classic {m_classic}"
+    );
+}
+
+criterion_group!(
+    benches,
+    ablation_layer_ordering,
+    ablation_split_choice,
+    ablation_gcm_unmarked_coload
+);
+criterion_main!(benches);

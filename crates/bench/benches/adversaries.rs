@@ -1,0 +1,63 @@
+//! Adversary benches: generation cost of each §4 construction against a
+//! live policy, with the certified ratio re-verified on every iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_cache::gc_bounds::{sleator_tarjan, thm3_block_cache_lower};
+use gc_cache::gc_trace::adversary;
+use gc_cache::prelude::*;
+
+fn bench_sleator_tarjan(c: &mut Criterion) {
+    let (k, h, rounds) = (512usize, 256usize, 50usize);
+    c.bench_function("adversary/sleator_tarjan", |b| {
+        b.iter(|| {
+            let mut probe = ProbeAdapter::new(ItemLru::new(k));
+            let rep = adversary::sleator_tarjan(&mut probe, k, h, rounds);
+            let bound = sleator_tarjan(k, h).unwrap();
+            assert!((rep.competitive_ratio() - bound).abs() < 1e-9);
+            rep.online_misses
+        })
+    });
+}
+
+fn bench_thm2(c: &mut Criterion) {
+    let (k, h, bsz, rounds) = (512usize, 64usize, 16usize, 50usize);
+    c.bench_function("adversary/thm2_vs_item_lru", |b| {
+        b.iter(|| {
+            let mut probe = ProbeAdapter::new(ItemLru::new(k));
+            let rep = adversary::item_cache(&mut probe, k, h, bsz, rounds);
+            assert!(rep.competitive_ratio() > sleator_tarjan(k, h).unwrap() * 4.0);
+            rep.online_misses
+        })
+    });
+}
+
+fn bench_thm3(c: &mut Criterion) {
+    let (k, h, bsz, rounds) = (512usize, 8usize, 32usize, 50usize);
+    c.bench_function("adversary/thm3_vs_block_lru", |b| {
+        b.iter(|| {
+            let mut probe = ProbeAdapter::new(BlockLru::new(k, BlockMap::strided(bsz)));
+            let rep = adversary::block_cache(&mut probe, k, h, bsz, rounds);
+            let bound = thm3_block_cache_lower(k, h, bsz).unwrap();
+            assert!((rep.competitive_ratio() - bound).abs() / bound < 0.05);
+            rep.online_misses
+        })
+    });
+}
+
+fn bench_thm4_family(c: &mut Criterion) {
+    let (k, h, bsz, rounds) = (256usize, 64usize, 8usize, 50usize);
+    let mut group = c.benchmark_group("adversary/thm4");
+    for a in [1usize, 4, 8] {
+        group.bench_function(format!("a={a}"), |b| {
+            b.iter(|| {
+                let mut probe =
+                    ProbeAdapter::new(ThresholdLoad::new(k, a, BlockMap::strided(bsz)));
+                adversary::general(&mut probe, k, h, bsz, rounds).online_misses
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sleator_tarjan, bench_thm2, bench_thm3, bench_thm4_family);
+criterion_main!(benches);

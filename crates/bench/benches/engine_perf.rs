@@ -1,0 +1,95 @@
+//! Simulator throughput benchmarks: requests/second per policy, and
+//! parallel-sweep scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gc_bench::standard_workload;
+use gc_cache::gc_sim::sweep::{run_sweep, SweepJob};
+use gc_cache::prelude::*;
+
+fn bench_policies(c: &mut Criterion) {
+    let (trace, map) = standard_workload(200_000, 5);
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for kind in [
+        PolicyKind::ItemLru,
+        PolicyKind::ItemFifo,
+        PolicyKind::ItemClock,
+        PolicyKind::ItemLfu,
+        PolicyKind::BlockLru,
+        PolicyKind::IblpBalanced,
+        PolicyKind::Gcm { seed: 1 },
+        PolicyKind::ThresholdLoad { a: 1 },
+        PolicyKind::TwoQ,
+        PolicyKind::Slru,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::WTinyLfu,
+        PolicyKind::AdaptiveIblp,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
+            b.iter(|| {
+                let mut policy = kind.build(4096, &map);
+                gc_cache::gc_sim::simulate(&mut policy, &trace)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let (trace, map) = standard_workload(100_000, 6);
+    let jobs: Vec<SweepJob> = PolicyKind::standard_roster(1)
+        .into_iter()
+        .flat_map(|kind| {
+            [1024usize, 4096].map(|capacity| SweepJob {
+                kind: kind.clone(),
+                capacity,
+                warmup: 0,
+            })
+        })
+        .collect();
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}threads")),
+            &threads,
+            |b, &threads| b.iter(|| run_sweep(&jobs, &trace, &map, threads)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_working_set(c: &mut Criterion) {
+    let (trace, map) = standard_workload(200_000, 7);
+    c.bench_function("working_set/f_and_g_at_4096", |b| {
+        b.iter(|| {
+            let f = gc_cache::gc_trace::working_set::max_distinct_items_in_window(&trace, 4096);
+            let g = gc_cache::gc_trace::working_set::max_distinct_blocks_in_window(
+                &trace, &map, 4096,
+            );
+            (f, g)
+        })
+    });
+}
+
+fn bench_offline(c: &mut Criterion) {
+    let (trace, map) = standard_workload(50_000, 8);
+    let mut group = c.benchmark_group("offline");
+    group.sample_size(10);
+    group.bench_function("belady_min", |b| {
+        b.iter(|| gc_cache::gc_offline::belady_misses(&trace, 4096))
+    });
+    group.bench_function("gc_block_belady", |b| {
+        b.iter(|| gc_cache::gc_offline::gc_belady_heuristic(&trace, &map, 4096))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_sweep_scaling,
+    bench_working_set,
+    bench_offline
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benches that regenerate each paper artifact, so `cargo bench`
+//! both times the generators and re-verifies the numbers on every run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gc_bench::{PAPER_B, PAPER_K};
+use gc_cache::gc_bounds::figures::{figure3, figure6, geometric_h_values};
+use gc_cache::gc_bounds::table1::table1;
+use gc_cache::gc_bounds::iblp_optimal_split;
+use gc_cache::gc_locality::table2::table2_paper;
+use gc_cache::gc_offline::{optimal_gc_cost, reduce_varsize_to_gc, VarSizeInstance};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/h=16Ki,B=64", |b| {
+        b.iter(|| {
+            let t = table1(black_box(1 << 14), black_box(PAPER_B));
+            // Re-verify the headline cells every iteration.
+            assert!((t.constant_augmentation[0].ratio - 2.0).abs() < 0.01);
+            assert!(t.constant_augmentation[1].ratio > 0.8 * PAPER_B as f64);
+            t
+        })
+    });
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    let hs = geometric_h_values(2 * PAPER_B, PAPER_K - 1, 8);
+    c.bench_function("figure3/k=1.28M,B=64", |b| {
+        b.iter(|| {
+            let series = figure3(black_box(PAPER_K), black_box(PAPER_B), &hs);
+            assert_eq!(series.len(), hs.len());
+            series
+        })
+    });
+}
+
+fn bench_figure6(c: &mut Criterion) {
+    let hs = geometric_h_values(2 * PAPER_B, PAPER_K / 2, 8);
+    let fixed: Vec<usize> = [PAPER_K / 1024, PAPER_K / 64]
+        .iter()
+        .map(|&h| iblp_optimal_split(PAPER_K, h, PAPER_B).unwrap().0)
+        .collect();
+    c.bench_function("figure6/k=1.28M,B=64", |b| {
+        b.iter(|| figure6(black_box(PAPER_K), PAPER_B, &hs, &fixed))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2/p=3,B=64", |b| {
+        b.iter(|| {
+            let rows = table2_paper(black_box(3.0), PAPER_B, 1 << 20);
+            assert_eq!(rows.len(), 6);
+            rows
+        })
+    });
+}
+
+fn bench_reduction_verification(c: &mut Criterion) {
+    // Exact-solver verification of Theorem 1 on one representative
+    // instance per iteration — the expensive part of the reproduction.
+    let inst = VarSizeInstance::random_small(7, 3, 5, 3);
+    c.bench_function("thm1_reduction/verify_one_instance", |b| {
+        b.iter(|| {
+            let var_opt = inst.optimal_cost();
+            let gc = reduce_varsize_to_gc(&inst);
+            let gc_opt = optimal_gc_cost(&gc.trace, &gc.map, gc.capacity);
+            assert_eq!(var_opt, gc_opt);
+            gc_opt
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_figure3,
+    bench_figure6,
+    bench_table2,
+    bench_reduction_verification
+);
+criterion_main!(benches);

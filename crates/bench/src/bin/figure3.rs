@@ -1,0 +1,31 @@
+//! Regenerate **Figure 3**: competitive-ratio bounds vs optimal cache size
+//! `h`, at the paper's parameters `k = 1.28M`, `B = 64`. Emits CSV on
+//! stdout (plot with any tool; the y-axis is log-scale in the paper).
+//!
+//! ```sh
+//! cargo run --release -p gc-bench --bin figure3 > figure3.csv
+//! ```
+
+use gc_bench::{cell, PAPER_B, PAPER_K};
+use gc_cache::gc_bounds::figures::{figure3, geometric_h_values};
+
+fn main() {
+    let hs = geometric_h_values(2 * PAPER_B, PAPER_K - 1, 8);
+    println!("h,sleator_tarjan,gc_lower,iblp_upper,item_cache_lower,block_cache_lower");
+    for p in figure3(PAPER_K, PAPER_B, &hs) {
+        println!(
+            "{},{},{},{},{},{}",
+            p.h,
+            cell(p.sleator_tarjan),
+            cell(p.gc_lower),
+            cell(p.iblp_upper),
+            cell(p.item_cache_lower),
+            cell(p.block_cache_lower)
+        );
+    }
+    eprintln!(
+        "expected shape: gc_lower starts near B={PAPER_B} at small h and tapers to 2 at h≈k/B;\n\
+         iblp_upper tracks it within ~3x; item_cache_lower ≈ B×sleator_tarjan;\n\
+         block_cache_lower explodes to inf once h > k/B."
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerate **Figure 6**: IBLP's Theorem 7 bound with *fixed* layer
+//! splits versus the per-`h` optimal split, at `k = 1.28M`, `B = 64`.
+//! Fixed splits degrade sharply for `h` above their design point and only
+//! mildly below it — the §5.3 "unknown optimal size" phenomenon.
+//!
+//! ```sh
+//! cargo run --release -p gc-bench --bin figure6 > figure6.csv
+//! ```
+
+use gc_bench::{cell, PAPER_B, PAPER_K};
+use gc_cache::gc_bounds::figures::{figure6, geometric_h_values};
+use gc_cache::gc_bounds::iblp_optimal_split;
+
+fn main() {
+    // Splits tuned for three design points spanning the h range.
+    let design_points = [PAPER_K / 1024, PAPER_K / 64, PAPER_K / 8];
+    let fixed: Vec<usize> = design_points
+        .iter()
+        .map(|&h| iblp_optimal_split(PAPER_K, h, PAPER_B).expect("valid design point").0)
+        .collect();
+
+    let hs = geometric_h_values(2 * PAPER_B, PAPER_K / 2, 8);
+    let header: Vec<String> = design_points
+        .iter()
+        .zip(&fixed)
+        .map(|(h, i)| format!("fixed_for_h{h}_i{i}"))
+        .collect();
+    println!("h,optimal_split,{}", header.join(","));
+    for p in figure6(PAPER_K, PAPER_B, &hs, &fixed) {
+        let cells: Vec<String> = p.fixed_splits.iter().map(|&v| cell(v)).collect();
+        println!("{},{},{}", p.h, cell(p.optimal_split), cells.join(","));
+    }
+    eprintln!(
+        "expected shape: each fixed curve touches the optimal curve at its design\n\
+         point, degrades sharply for larger h (empty once h ≥ its item layer),\n\
+         and is only mildly suboptimal for smaller h."
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerate **Table 1**: salient (augmentation ⇒ competitive ratio)
+//! points for traditional caching vs the GC lower and upper bounds.
+//!
+//! ```sh
+//! cargo run --release -p gc-bench --bin table1
+//! ```
+
+use gc_cache::gc_bounds::table1::{render, table1};
+
+fn main() {
+    // Large h so the ±1 terms vanish and the paper's asymptotic cells
+    // emerge; B = 64 as in the paper's figures.
+    let t = table1(1 << 14, gc_bench::PAPER_B);
+    print!("{}", render(&t));
+    println!(
+        "\npaper's asymptotic cells:  ST: 2h⇒2   LB: 2h⇒B, √B·h⇒√B, Bh⇒2   \
+         UB: 2h⇒2B, √(2B)h⇒√(2B), Bh⇒3"
+    );
+}

@@ -1,0 +1,105 @@
+//! Empirical validation of the §7 locality model: measured `f/g` profiles
+//! are consistent, the Theorem 8 family forces its fault floor, and the
+//! Theorem 9/10 layer bounds hold with the traces' own empirical locality
+//! functions.
+//!
+//! ```sh
+//! cargo run --release -p gc-bench --bin validate_locality
+//! ```
+
+use gc_cache::gc_locality::PolyLocality;
+use gc_cache::gc_trace::adversary::{locality_family, LocalityFamilyConfig};
+use gc_cache::gc_trace::synthetic::{block_runs, block_runs_map, BlockRunConfig};
+use gc_cache::gc_trace::working_set::max_distinct_items_in_window;
+use gc_cache::gc_trace::WorkingSetProfile;
+use gc_cache::prelude::*;
+
+fn main() {
+    println!("== V-locality (a): empirical f/g across the spatial knob ==");
+    println!("{:>8} {:>10} {:>10} {:>8}", "spatial", "f(4096)", "g(4096)", "f/g");
+    for &s in &[0.0, 0.3, 0.6, 0.9, 0.99] {
+        let cfg = BlockRunConfig {
+            num_blocks: 512,
+            block_size: 16,
+            block_theta: 0.6,
+            spatial_locality: s,
+            len: 100_000,
+            seed: 77,
+        };
+        let trace = block_runs(&cfg);
+        let map = block_runs_map(&cfg);
+        let profile = WorkingSetProfile::compute(&trace, &map, &[4096]);
+        profile.check_consistency(16).expect("model axioms hold");
+        println!(
+            "{:>8.2} {:>10} {:>10} {:>8.2}",
+            s,
+            profile.f[0],
+            profile.g[0],
+            profile.fg_ratio()[0]
+        );
+    }
+
+    println!("\n== V-locality (b): Theorem 8 fault floor on the locality family ==");
+    println!(
+        "{:>6} {:>6} {:>10} {:>12} {:>12}",
+        "k", "g(p)", "phase", "measured", "floor"
+    );
+    for (k, blocks_per_phase) in [(32usize, 4usize), (64, 8), (128, 4)] {
+        let f = PolyLocality::unit(2.0);
+        let phase_len = (((k + 1) as f64).powi(2)) as usize - 2;
+        let cfg = LocalityFamilyConfig {
+            cache_size: k,
+            block_size: 4,
+            phase_len,
+            blocks_per_phase,
+            phases: 20,
+        };
+        let mut probe = ProbeAdapter::new(ItemLru::new(k));
+        let rep = locality_family(&mut probe, &cfg);
+        let measured = rep.online_misses as f64 / (rep.trace.len() - rep.warmup_len) as f64;
+        let floor = blocks_per_phase as f64 / phase_len as f64;
+        println!(
+            "{:>6} {:>6} {:>10} {:>12.5} {:>12.5}",
+            k, blocks_per_phase, phase_len, measured, floor
+        );
+        assert!(measured >= floor * 0.9, "floor violated");
+        let _ = f;
+    }
+
+    println!("\n== V-locality (c): Theorem 9 with the trace's empirical f ==");
+    let cfg = BlockRunConfig {
+        num_blocks: 512,
+        block_size: 16,
+        block_theta: 0.8,
+        spatial_locality: 0.5,
+        len: 200_000,
+        seed: 21,
+    };
+    let trace = block_runs(&cfg);
+    println!("{:>6} {:>14} {:>14}", "i", "measured rate", "Albers bound");
+    for i in [128usize, 512, 2048] {
+        if max_distinct_items_in_window(&trace, trace.len()) < i + 1 {
+            println!("{i:>6} {:>14} {:>14}", "-", "cache covers trace");
+            continue;
+        }
+        // Exact empirical f⁻¹(i+1) by binary search (the count is monotone
+        // in the window size).
+        let (mut lo, mut hi) = (1usize, trace.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if max_distinct_items_in_window(&trace, mid) > i {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let f_inv = lo;
+        let bound = ((i as f64 - 1.0) / (f_inv as f64 - 2.0)).min(1.0);
+        let mut lru = ItemLru::new(i);
+        let rate =
+            gc_cache::gc_sim::simulate_with_warmup(&mut lru, &trace, 4 * i).fault_rate();
+        assert!(rate <= bound + 1e-9, "Albers bound violated at i={i}");
+        println!("{i:>6} {rate:>14.4} {bound:>14.4}");
+    }
+    println!("\nOK: all locality-model checks passed.");
+}

@@ -1,0 +1,184 @@
+//! Competitive lower bounds (§4 of the paper).
+//!
+//! All functions take the online cache size `k`, the offline comparison
+//! size `h`, and (where relevant) the block size `B`, returning the
+//! competitive-ratio lower bound as `f64` (`f64::INFINITY` when the bound
+//! is unbounded, `None` when the parameters leave the theorem's domain).
+
+/// The classic Sleator–Tarjan lower bound for traditional caching:
+/// `k / (k − h + 1)`. Also the (tight) upper bound for LRU, so it doubles
+/// as the "traditional caching" reference curve in Figure 3.
+///
+/// Requires `k ≥ h ≥ 1`.
+pub fn sleator_tarjan(k: usize, h: usize) -> Option<f64> {
+    if h == 0 || k < h {
+        return None;
+    }
+    Some(k as f64 / (k - h + 1) as f64)
+}
+
+/// Theorem 2: any **Item Cache** (loads only the requested item) has
+/// competitive ratio at least `B(k − B + 1)/(k − h + 1)`.
+///
+/// Requires `k ≥ h > B ≥ 1` (the construction needs `h > B` so its fourth
+/// step is nonempty).
+pub fn thm2_item_cache_lower(k: usize, h: usize, block_size: usize) -> Option<f64> {
+    if block_size == 0 || h <= block_size || k < h {
+        return None;
+    }
+    let b = block_size as f64;
+    Some(b * (k as f64 - b + 1.0) / (k - h + 1) as f64)
+}
+
+/// Theorem 3: any **Block Cache** (loads and evicts whole blocks) has
+/// competitive ratio at least `k/(k − B(h − 1))` — infinite when
+/// `k ≤ B(h−1)`, i.e. unless the block cache has nearly `B×` the offline
+/// cache's space.
+///
+/// Requires `h ≥ 1`, `B ≥ 1`.
+pub fn thm3_block_cache_lower(k: usize, h: usize, block_size: usize) -> Option<f64> {
+    if h == 0 || block_size == 0 || k == 0 {
+        return None;
+    }
+    let denom = k as f64 - (block_size * (h - 1)) as f64;
+    if denom <= 0.0 {
+        return Some(f64::INFINITY);
+    }
+    Some(k as f64 / denom)
+}
+
+/// Theorem 4: any deterministic policy that needs `a` distinct consecutive
+/// accesses to a block before loading all of it has competitive ratio at
+/// least `(a(k − h + 1) + B(h − a)) / (k − h + 1)`.
+///
+/// Requires `k ≥ h ≥ a`, `1 ≤ a ≤ B`.
+pub fn thm4_general_lower(k: usize, h: usize, block_size: usize, a: usize) -> Option<f64> {
+    if a == 0 || a > block_size || h < a || k < h {
+        return None;
+    }
+    let fresh = (k - h + 1) as f64;
+    Some((a as f64 * fresh + block_size as f64 * (h - a) as f64) / fresh)
+}
+
+/// The universal GC lower bound: the best a deterministic policy can do is
+/// pick the `a` minimizing Theorem 4's bound, and §4.4 shows the minimum is
+/// at an extreme — `a = 1` (load whole blocks) or `a = B` (load items).
+///
+/// Requires `k ≥ h > B ≥ 1` (so both extremes are admissible).
+pub fn gc_lower_bound(k: usize, h: usize, block_size: usize) -> Option<f64> {
+    let at_one = thm4_general_lower(k, h, block_size, 1)?;
+    let at_b = thm4_general_lower(k, h, block_size, block_size)?;
+    Some(at_one.min(at_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleator_tarjan_reference_points() {
+        // k = 2h ⇒ ratio ≈ 2 (Table 1, row 1).
+        let r = sleator_tarjan(2048, 1024).unwrap();
+        assert!((r - 2.0).abs() < 0.01, "{r}");
+        // k = h ⇒ ratio = k.
+        assert_eq!(sleator_tarjan(64, 64).unwrap(), 64.0);
+        assert!(sleator_tarjan(32, 64).is_none());
+        assert!(sleator_tarjan(32, 0).is_none());
+    }
+
+    #[test]
+    fn thm2_is_nearly_b_times_st() {
+        // For k ≫ B the Theorem 2 bound is ≈ B × Sleator–Tarjan.
+        let (k, h, b) = (1 << 20, 1 << 16, 64);
+        let st = sleator_tarjan(k, h).unwrap();
+        let t2 = thm2_item_cache_lower(k, h, b).unwrap();
+        assert!((t2 / (st * b as f64) - 1.0).abs() < 0.001, "t2={t2} st={st}");
+    }
+
+    #[test]
+    fn thm2_domain() {
+        assert!(thm2_item_cache_lower(128, 16, 16).is_none(), "needs h > B");
+        assert!(thm2_item_cache_lower(128, 17, 16).is_some());
+        assert!(thm2_item_cache_lower(16, 32, 4).is_none(), "needs k ≥ h");
+    }
+
+    #[test]
+    fn thm3_infinite_below_bh() {
+        // k ≤ B(h−1): unbounded ratio.
+        assert_eq!(thm3_block_cache_lower(64, 3, 32), Some(f64::INFINITY));
+        // k = 2B(h−1): ratio 2.
+        let r = thm3_block_cache_lower(128, 3, 32).unwrap();
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thm4_interpolates_thm2() {
+        // a = B reproduces Theorem 2's trace accounting:
+        // (B(k−h+1) + B(h−B))/(k−h+1) = B(k−B+1)/(k−h+1).
+        let (k, h, b) = (4096, 256, 16);
+        let t4 = thm4_general_lower(k, h, b, b).unwrap();
+        let t2 = thm2_item_cache_lower(k, h, b).unwrap();
+        assert!((t4 - t2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thm4_at_a_one() {
+        // a = 1: ratio = 1 + B(h−1)/(k−h+1).
+        let (k, h, b) = (4096, 256, 16);
+        let t4 = thm4_general_lower(k, h, b, 1).unwrap();
+        let expected = 1.0 + (b * (h - 1)) as f64 / (k - h + 1) as f64;
+        assert!((t4 - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thm4_minimized_at_extremes() {
+        // §4.4: the bound is linear in a, so interior a never beats both
+        // extremes.
+        let (k, h, b) = (1 << 14, 1 << 10, 64);
+        let envelope = gc_lower_bound(k, h, b).unwrap();
+        for a in 2..b {
+            let mid = thm4_general_lower(k, h, b, a).unwrap();
+            assert!(mid >= envelope - 1e-9, "a={a}: {mid} < {envelope}");
+        }
+    }
+
+    #[test]
+    fn gc_lower_bound_crossover() {
+        // §4.4: when k − h + 1 > B the minimum is at a = 1 ("load whole
+        // blocks"); when k − h + 1 < B it is at a = B ("load items").
+        let b = 64;
+        let h = 1000;
+        // Large k: a = 1 wins.
+        let k_large = h + 2 * b;
+        let lb = gc_lower_bound(k_large, h, b).unwrap();
+        assert_eq!(lb, thm4_general_lower(k_large, h, b, 1).unwrap());
+        // k barely above h: a = B wins.
+        let k_small = h + b / 4;
+        let lb = gc_lower_bound(k_small, h, b).unwrap();
+        assert_eq!(lb, thm4_general_lower(k_small, h, b, b).unwrap());
+    }
+
+    #[test]
+    fn figure3_shape_lower_bound() {
+        // Figure 3: at k ≈ h the bound is ≈ B; at k ≈ Bh it tapers to ≈ 2.
+        let (k, b) = (1_280_000usize, 64usize);
+        let near_equal = gc_lower_bound(k, k - 1000, b).unwrap();
+        assert!(near_equal > 0.9 * b as f64, "{near_equal}");
+        let at_bh = gc_lower_bound(k, k / b, b).unwrap();
+        assert!((at_bh - 2.0).abs() < 0.05, "{at_bh}");
+    }
+
+    #[test]
+    fn table1_meeting_point_sqrt_b() {
+        // Table 1 row 2: ratio = augmentation at k ≈ √B·h. The exact
+        // crossing of the a = 1 branch solves (x−1)² = B, i.e.
+        // x = 1 + √B (the paper rounds this to √B).
+        let (b, h) = (64usize, 1 << 14);
+        let x = 1.0 + (b as f64).sqrt();
+        let k = (x * h as f64) as usize;
+        let lb = gc_lower_bound(k, h, b).unwrap();
+        let augmentation = k as f64 / h as f64;
+        assert!((lb / augmentation - 1.0).abs() < 0.02, "lb={lb} aug={augmentation}");
+        assert!((augmentation / (b as f64).sqrt() - 1.0).abs() < 0.15);
+    }
+}

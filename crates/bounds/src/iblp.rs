@@ -1,0 +1,291 @@
+//! IBLP upper bounds (§5 of the paper): Theorems 5–7, the §5.3 optimal
+//! split, and a numeric cross-check of the underlying linear programs.
+//!
+//! The paper derives the bounds by relaxing the offline cache's behavior
+//! into a linear program over
+//!
+//! * `r` — fraction of accesses the offline cache hits via temporal
+//!   locality (each such hit pins `i` lines of "rectangle area"),
+//! * `s` — fraction of accesses where it misses and loads for spatial
+//!   locality,
+//! * `t` — how many items it loads on each such miss (each loaded item
+//!   must outlive the previous by `b/B + 1` accesses, the triangle pattern
+//!   of Figure 5, giving per-miss area `U(t) = t + (t(t−1)/2)(b/B + 1)`),
+//!
+//! maximizing `1/(1 − r − s(t−1))` subject to the area constraint
+//! `h ≥ r·i + s·U(t)` and the access-budget constraint `1 ≥ r + s·t`.
+//! [`lp_numeric_max`] solves this program by ternary search (it is
+//! unimodal in each variable at the optimum) and the tests assert the
+//! closed forms match it to high precision.
+
+/// Theorem 5: against adversarial *temporal* locality, the item layer
+/// (size `i`) is at most `i/(i − h)`-competitive. Requires `i > h`.
+pub fn thm5_item_layer(i: usize, h: usize) -> Option<f64> {
+    if i <= h || h == 0 {
+        return None;
+    }
+    Some(i as f64 / (i - h) as f64)
+}
+
+/// Theorem 6: against adversarial *spatial* locality, the block layer
+/// (size `b` lines, block size `B`) is at most
+/// `min(B, (b + 2Bh − B)/(b + B))`-competitive.
+pub fn thm6_block_layer(b: usize, h: usize, block_size: usize) -> Option<f64> {
+    if b == 0 || h == 0 || block_size == 0 {
+        return None;
+    }
+    let (b, h, bb) = (b as f64, h as f64, block_size as f64);
+    Some((bb).min((b + 2.0 * bb * h - bb) / (b + bb)))
+}
+
+/// Theorem 7: the combined IBLP bound for layer sizes `(i, b)` against an
+/// offline cache of size `h`, block size `B`. Requires `i > h`.
+///
+/// Piecewise: below the breakpoint `i ≤ (2Bb − b + 2B² + B)/(2B)` the
+/// optimizing `t` is interior and the bound is
+/// `(b + B(2i−1))² / (8B(B+b)(i−h))`; above it `t` saturates at `B` and
+/// the bound is `(2Bi − Bb + b − B² − B) / (2i − 2h)`.
+///
+/// ```
+/// use gc_bounds::{thm7_iblp, gc_lower_bound};
+///
+/// // An IBLP with i = b = 4096 against an offline cache of 1024, B = 64:
+/// let upper = thm7_iblp(4096, 4096, 1024, 64).unwrap();
+/// let lower = gc_bounds::gc_lower_bound(8192, 1024, 64).unwrap();
+/// assert!(lower <= upper); // theorems are mutually consistent
+/// ```
+pub fn thm7_iblp(i: usize, b: usize, h: usize, block_size: usize) -> Option<f64> {
+    if i <= h || h == 0 || b == 0 || block_size == 0 {
+        return None;
+    }
+    let (fi, fb, fh, bb) = (i as f64, b as f64, h as f64, block_size as f64);
+    let breakpoint = (2.0 * bb * fb - fb + 2.0 * bb * bb + bb) / (2.0 * bb);
+    let ratio = if fi <= breakpoint {
+        let num = (fb + bb * (2.0 * fi - 1.0)).powi(2);
+        num / (8.0 * bb * (bb + fb) * (fi - fh))
+    } else {
+        (2.0 * bb * fi - bb * fb + fb - bb * bb - bb) / (2.0 * fi - 2.0 * fh)
+    };
+    Some(ratio)
+}
+
+/// The §5.3 optimal partition for a known offline size `h`: returns
+/// `(item_layer_size, competitive_ratio)`.
+///
+/// When `k ≥ (3Bh − h − B² − B)/(B − 1)` the optimal item layer is
+/// interior; otherwise the whole cache should be an item layer (`i = k`)
+/// with ratio `(2Bk − B² − B)/(2(k − h))`. Requires `k > h` and `B ≥ 2`.
+pub fn iblp_optimal_split(k: usize, h: usize, block_size: usize) -> Option<(usize, f64)> {
+    if k <= h || h == 0 || block_size < 2 {
+        return None;
+    }
+    let (fk, fh, bb) = (k as f64, h as f64, block_size as f64);
+    let threshold = (3.0 * bb * fh - fh - bb * bb - bb) / (bb - 1.0);
+    if fk >= threshold {
+        let i_num = fk * fk + 4.0 * bb * fh * fk - fh * fk + 4.0 * bb * bb * fh
+            - 3.0 * bb * fh
+            - bb * bb;
+        let i_den = 2.0 * bb * fk + fk + 2.0 * bb * fh - fh + 2.0 * bb * bb - 3.0 * bb;
+        let i = (i_num / i_den).round().max(fh + 1.0) as usize;
+        let i = i.min(k.saturating_sub(block_size)).max(h + 1);
+        let ratio =
+            (fk + bb - 1.0) * (fk - fh + bb * (2.0 * fh - 1.0)) / (fk - fh + bb).powi(2);
+        Some((i, ratio))
+    } else {
+        let ratio = (2.0 * bb * fk - bb * bb - bb) / (2.0 * (fk - fh));
+        Some((k, ratio))
+    }
+}
+
+/// Numerically maximize the §5.2 linear program for layer sizes `(i, b)`
+/// against offline size `h`: returns the maximal competitive ratio found.
+///
+/// As derived in the module docs, with both constraints tight the ratio is
+/// `1/s` where `s = (i−h)/(t·i − U(t))`, so the maximization reduces to a
+/// one-dimensional search over `t ∈ [1, B]` of `D(t) = t·i − U(t)`
+/// (concave in `t`), done here by dense scanning plus local refinement —
+/// slow but dependable, which is what a cross-check should be.
+pub fn lp_numeric_max(i: usize, b: usize, h: usize, block_size: usize) -> Option<f64> {
+    if i <= h || h == 0 {
+        return None;
+    }
+    let (fi, fb, fh, bb) = (i as f64, b as f64, h as f64, block_size as f64);
+    let q = fb / bb + 1.0;
+    let usage = |t: f64| t + t * (t - 1.0) / 2.0 * q;
+    let d = |t: f64| t * fi - usage(t);
+
+    // Dense scan of t in [1, B] with refinement around the best point.
+    let mut best_t = 1.0f64;
+    let mut best_d = d(1.0);
+    let steps = 4000;
+    for step in 0..=steps {
+        let t = 1.0 + (bb - 1.0) * step as f64 / steps as f64;
+        let val = d(t);
+        if val > best_d {
+            best_d = val;
+            best_t = t;
+        }
+    }
+    // Local ternary-search refinement.
+    let mut lo = (best_t - (bb - 1.0) / steps as f64).max(1.0);
+    let mut hi = (best_t + (bb - 1.0) / steps as f64).min(bb);
+    for _ in 0..200 {
+        let m1 = lo + (hi - lo) / 3.0;
+        let m2 = hi - (hi - lo) / 3.0;
+        if d(m1) < d(m2) {
+            lo = m1;
+        } else {
+            hi = m2;
+        }
+    }
+    let t = (lo + hi) / 2.0;
+    let dmax = d(t);
+    if dmax <= 0.0 {
+        return None;
+    }
+    // ratio = 1/s = D(t)/(i−h); must also respect r = 1 − s·t ∈ [0, 1].
+    let s = (fi - fh) / dmax;
+    let r = 1.0 - s * t;
+    if !(0.0..=1.0 + 1e-9).contains(&r) || s < 0.0 {
+        return None;
+    }
+    Some(1.0 / s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thm5_matches_sleator_tarjan_shape() {
+        // i = 2h ⇒ ratio 2 (the LRU bound with the off-by-one absorbed by
+        // the miss-space simplification, §5.2 footnote).
+        assert_eq!(thm5_item_layer(2048, 1024), Some(2.0));
+        assert!(thm5_item_layer(1024, 1024).is_none());
+    }
+
+    #[test]
+    fn thm6_caps_at_b() {
+        // Huge offline cache: the min picks B.
+        assert_eq!(thm6_block_layer(1024, 1 << 20, 64), Some(64.0));
+        // b = B, h = 1: (B + 2B − B)/(2B) = 1.
+        let r = thm6_block_layer(64, 1, 64).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thm7_closed_form_matches_numeric_lp_below_breakpoint() {
+        // Small i keeps the optimal t interior (first case of Theorem 7).
+        // Parameters chosen inside the closed form's validity region
+        // (the implied temporal-hit fraction r must lie in [0, 1]).
+        let (i, b, h, bb) = (1800, 20_000, 1000, 64);
+        let closed = thm7_iblp(i, b, h, bb).unwrap();
+        let numeric = lp_numeric_max(i, b, h, bb).unwrap();
+        assert!(
+            (closed / numeric - 1.0).abs() < 1e-6,
+            "closed {closed} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn thm7_closed_form_matches_numeric_lp_above_breakpoint() {
+        // Large i saturates t at B (second case); again inside the
+        // r ∈ [0, 1] validity region.
+        let (i, b, h, bb) = (5000, 1024, 2000, 64);
+        let closed = thm7_iblp(i, b, h, bb).unwrap();
+        let numeric = lp_numeric_max(i, b, h, bb).unwrap();
+        assert!(
+            (closed / numeric - 1.0).abs() < 1e-6,
+            "closed {closed} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn thm7_continuous_at_breakpoint() {
+        let (b, h, bb) = (10_000usize, 100usize, 64usize);
+        let brk = (2 * bb * b - b + 2 * bb * bb + bb) / (2 * bb);
+        let below = thm7_iblp(brk, b, h, bb).unwrap();
+        let above = thm7_iblp(brk + 1, b, h, bb).unwrap();
+        assert!((below / above - 1.0).abs() < 0.01, "below {below} above {above}");
+    }
+
+    #[test]
+    fn optimal_split_beats_balanced_and_extremes() {
+        let (k, h, bb) = (1 << 17, 1 << 11, 64);
+        let (i_opt, ratio_opt) = iblp_optimal_split(k, h, bb).unwrap();
+        assert!(i_opt > h && i_opt <= k);
+        // The optimal ratio must (approximately) lower-envelope other splits.
+        for i in [(h + 1).next_power_of_two(), k / 2, (k * 3) / 4, k - bb] {
+            if let Some(r) = thm7_iblp(i, k - i, h, bb) {
+                assert!(
+                    ratio_opt <= r * 1.02,
+                    "split i={i}: ratio {r} < optimal {ratio_opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_split_small_k_degenerates_to_item_cache() {
+        // Below the §5.3 threshold the best IBLP is all item layer.
+        let (k, h, bb) = (300usize, 200usize, 64usize);
+        let (i, ratio) = iblp_optimal_split(k, h, bb).unwrap();
+        assert_eq!(i, k);
+        let expected = (2.0 * 64.0 * 300.0 - 64.0 * 64.0 - 64.0) / (2.0 * (300.0 - 200.0));
+        assert!((ratio - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_upper_bound_reference_points() {
+        // Table 1 row 1: k = 2h ⇒ upper bound ≈ 2B.
+        let (h, bb) = (1 << 14, 64usize);
+        let (_, ratio) = iblp_optimal_split(2 * h, h, bb).unwrap();
+        assert!(
+            ratio > 1.5 * bb as f64 && ratio < 2.5 * bb as f64,
+            "ratio {ratio} vs 2B = {}",
+            2 * bb
+        );
+        // Row 3: k ≈ Bh ⇒ ratio ≈ 3.
+        let (_, ratio) = iblp_optimal_split(bb * h, h, bb).unwrap();
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+        // Row 2: ratio = augmentation at k ≈ √(2B)·h. The exact crossing
+        // of the interior-branch ratio x(x−1+2B)/(x−1)² = x solves
+        // (x−1)² − (x−1) − 2B = 0, i.e. x = 1 + (1 + √(1+8B))/2 — which
+        // the paper rounds to √(2B).
+        let x = 1.0 + (1.0 + (1.0 + 8.0 * bb as f64).sqrt()) / 2.0;
+        let k = (x * h as f64) as usize;
+        let (_, ratio) = iblp_optimal_split(k, h, bb).unwrap();
+        let augmentation = k as f64 / h as f64;
+        assert!(
+            (ratio / augmentation - 1.0).abs() < 0.05,
+            "ratio {ratio} vs augmentation {augmentation}"
+        );
+        assert!((augmentation / (2.0 * bb as f64).sqrt() - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn upper_bound_dominates_lower_bound() {
+        // Sanity across a sweep: Thm 7 (upper) ≥ the §4 lower envelope.
+        let (k, bb) = (1 << 17, 64);
+        for exp in 7..16 {
+            let h = 1usize << exp;
+            if h >= k {
+                break;
+            }
+            let lower = crate::competitive::gc_lower_bound(k, h, bb).unwrap();
+            let (_, upper) = iblp_optimal_split(k, h, bb).unwrap();
+            assert!(
+                upper >= lower * 0.99,
+                "h={h}: upper {upper} < lower {lower}"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_checks() {
+        assert!(thm7_iblp(100, 100, 100, 64).is_none());
+        assert!(iblp_optimal_split(100, 200, 64).is_none());
+        assert!(lp_numeric_max(100, 100, 200, 64).is_none());
+        assert!(thm6_block_layer(0, 1, 64).is_none());
+    }
+}

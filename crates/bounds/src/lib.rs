@@ -1,0 +1,32 @@
+//! # gc-bounds
+//!
+//! Every closed-form bound in *"Spatial Locality and Granularity Change in
+//! Caching"*, plus the generators for its evaluation artifacts:
+//!
+//! * [`competitive`] — the lower bounds of §4: Sleator–Tarjan (traditional
+//!   caching), Theorem 2 (Item Caches), Theorem 3 (Block Caches),
+//!   Theorem 4 (arbitrary deterministic policies, parameterized by `a`),
+//!   and the universal GC lower bound (the lower envelope over `a`).
+//! * [`iblp`] — the upper bounds of §5: Theorems 5–7 for IBLP's layers and
+//!   the combined policy, the §5.3 optimal partition split, and a
+//!   brute-force numeric maximizer for the underlying linear program that
+//!   cross-checks the closed forms (the authors solved them in
+//!   Mathematica; we verify the transcription numerically).
+//! * [`figures`] — the data series for Figure 3 (bounds vs optimal cache
+//!   size) and Figure 6 (fixed vs optimal layer split).
+//! * [`table1`] — the three salient (augmentation ⇒ ratio) comparison
+//!   points of Table 1.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod competitive;
+pub mod figures;
+pub mod iblp;
+pub mod table1;
+
+pub use competitive::{
+    gc_lower_bound, sleator_tarjan, thm2_item_cache_lower, thm3_block_cache_lower,
+    thm4_general_lower,
+};
+pub use iblp::{iblp_optimal_split, thm5_item_layer, thm6_block_layer, thm7_iblp};

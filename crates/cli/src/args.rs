@@ -1,0 +1,122 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+use std::str::FromStr;
+
+/// Parsed `--key value` flags plus positional arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    switches: Vec<String>,
+    pub positional: Vec<String>,
+}
+
+impl Args {
+    /// Parse everything after the subcommand. `--key value` becomes a
+    /// flag; a trailing `--key` with no value (or followed by another
+    /// `--...`) becomes a boolean switch.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = argv.iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(key) = token.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("stray `--`".into());
+                }
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        args.flags.insert(key.to_string(), iter.next().unwrap().clone());
+                    }
+                    _ => args.switches.push(key.to_string()),
+                }
+            } else {
+                args.positional.push(token.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// A required typed flag.
+    pub fn require<T: FromStr>(&self, key: &str) -> Result<T, String> {
+        self.flags
+            .get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))?
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}"))
+    }
+
+    /// An optional typed flag with a default.
+    pub fn get_or<T: FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("invalid value for --{key}")),
+        }
+    }
+
+    /// A raw string flag.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// A comma-separated list flag.
+    pub fn get_list<T: FromStr>(&self, key: &str) -> Result<Option<Vec<T>>, String> {
+        match self.flags.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .split(',')
+                .map(|part| {
+                    part.trim()
+                        .parse()
+                        .map_err(|_| format!("invalid element {part:?} in --{key}"))
+                })
+                .collect::<Result<Vec<T>, String>>()
+                .map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_flags_switches_positionals() {
+        let a = Args::parse(&argv("--k 10 pos1 --csv --h 3")).unwrap();
+        assert_eq!(a.require::<usize>("k").unwrap(), 10);
+        assert_eq!(a.require::<usize>("h").unwrap(), 3);
+        assert!(a.switch("csv"));
+        assert_eq!(a.positional, vec!["pos1"]);
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let a = Args::parse(&argv("--k ten")).unwrap();
+        assert!(a.require::<usize>("k").is_err());
+        assert!(a.require::<usize>("missing").is_err());
+        assert_eq!(a.get_or("absent", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn lists() {
+        let a = Args::parse(&argv("--caps 1,2,3")).unwrap();
+        assert_eq!(a.get_list::<usize>("caps").unwrap().unwrap(), vec![1, 2, 3]);
+        assert!(a.get_list::<usize>("nope").unwrap().is_none());
+        let bad = Args::parse(&argv("--caps 1,x")).unwrap();
+        assert!(bad.get_list::<usize>("caps").is_err());
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = Args::parse(&argv("--csv")).unwrap();
+        assert!(a.switch("csv"));
+    }
+}

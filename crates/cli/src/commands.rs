@@ -1,0 +1,403 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use gc_cache::gc_bounds::figures::{figure3, figure6, geometric_h_values};
+use gc_cache::gc_bounds::iblp_optimal_split;
+use gc_cache::gc_bounds::table1;
+use gc_cache::gc_locality::table2;
+use gc_cache::gc_offline::gc_belady_heuristic;
+use gc_cache::gc_sim::compare::{compare_policies, render_table};
+use gc_cache::gc_sim::sweep::{run_sweep, to_csv, SweepJob};
+use gc_cache::gc_trace::adversary;
+use gc_cache::gc_trace::synthetic::{block_runs, BlockRunConfig};
+use gc_cache::gc_trace::WorkingSetProfile;
+use gc_cache::prelude::*;
+
+const HELP: &str = "gc-cache — Granularity-Change caching toolkit
+
+USAGE: gc-cache <command> [--flag value ...]
+
+COMMANDS:
+  simulate   run one policy over a synthetic workload
+             --policy <label> --capacity <k> [--warmup W] [workload flags]
+             workload flags: --workload block-runs|scan|zipf|chase|walk|
+             hotspot|strided, --block-size B --len L --seed X --items N,
+             plus per-workload knobs (--blocks/--theta/--spatial for
+             block-runs, --stride, --step, --hot-fraction/--hot-weight)
+  sweep      compare the standard policy roster across capacities
+             --capacities a,b,c [workload flags as above] [--csv]
+  adversary  run a §4 adversary against a live policy
+             --which st|thm2|thm3|thm4 --k K --h H [--block-size B
+             --rounds R --a A]
+  figure3    competitive-ratio bound curves (paper Figure 3)
+             [--k 1280000 --block-size 64]
+  figure6    fixed vs optimal IBLP splits (paper Figure 6)
+             [--k 1280000 --block-size 64]
+  table1     salient bound comparison points (paper Table 1)
+             [--h 16384 --block-size 64]
+  table2     fault-rate bounds for polynomial locality (paper Table 2)
+             [--p 2 --block-size 64 --h 1048576]
+  fg         empirical f(n)/g(n) working-set profile of a workload
+             [workload flags as above]
+  mrc        item/block miss-ratio curves + IBLP split grid (Mattson)
+             --capacity <k> [workload flags as above]
+  bracket    two-sided bracket on the offline GC optimum
+             --capacity <h> [workload flags as above]
+  generate   write a workload to a trace file
+             --out <path> [--format json|text] [workload flags as above]
+  stats      locality diagnostics of a workload (reuse distances, block
+             runs, utilization) [workload flags or --load <path>]
+  help       this text
+";
+
+/// Dispatch on the first positional argument.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        print!("{HELP}");
+        return Ok(());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "simulate" => simulate_cmd(&args),
+        "sweep" => sweep_cmd(&args),
+        "adversary" => adversary_cmd(&args),
+        "figure3" => figure3_cmd(&args),
+        "figure6" => figure6_cmd(&args),
+        "table1" => table1_cmd(&args),
+        "table2" => table2_cmd(&args),
+        "fg" => fg_cmd(&args),
+        "mrc" => mrc_cmd(&args),
+        "bracket" => bracket_cmd(&args),
+        "generate" => generate_cmd(&args),
+        "stats" => stats_cmd(&args),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Workload parameters shared by all generator-backed subcommands.
+struct Workload {
+    trace: Trace,
+    map: BlockMap,
+    block_size: usize,
+}
+
+/// Build the workload selected by `--workload` (default `block-runs`):
+/// `block-runs | scan | zipf | chase | walk | hotspot | strided` — or load
+/// a previously generated trace file via `--load <path>`.
+fn workload(args: &Args) -> Result<Workload, String> {
+    if let Some(path) = args.get_str("load") {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        if path.ends_with(".json") {
+            let file = gc_cache::gc_trace::io::from_json(&raw).map_err(|e| e.to_string())?;
+            let block_size = file.block_map.max_block_size();
+            return Ok(Workload { trace: file.trace, map: file.block_map, block_size });
+        }
+        let trace = gc_cache::gc_trace::io::read_text(raw.as_bytes())
+            .map_err(|e| e.to_string())?;
+        let block_size: usize = args.get_or("block-size", 16usize)?;
+        return Ok(Workload { trace, map: BlockMap::strided(block_size), block_size });
+    }
+    let block_size: usize = args.get_or("block-size", 16usize)?;
+    let len: usize = args.get_or("len", 200_000usize)?;
+    let seed: u64 = args.get_or("seed", 42u64)?;
+    let items: u64 = args.get_or("items", 16_384u64)?;
+    let map = BlockMap::strided(block_size);
+    let trace = match args.get_str("workload").unwrap_or("block-runs") {
+        "block-runs" => {
+            let cfg = BlockRunConfig {
+                num_blocks: args.get_or("blocks", 1024u64)?,
+                block_size,
+                block_theta: args.get_or("theta", 0.8f64)?,
+                spatial_locality: args.get_or("spatial", 0.5f64)?,
+                len,
+                seed,
+            };
+            if !(0.0..=1.0).contains(&cfg.spatial_locality) {
+                return Err("--spatial must be in [0,1]".into());
+            }
+            block_runs(&cfg)
+        }
+        "scan" => gc_cache::gc_trace::synthetic::scan(items, len),
+        "zipf" => gc_cache::gc_trace::synthetic::zipfian(
+            items,
+            args.get_or("theta", 0.9f64)?,
+            len,
+            seed,
+        ),
+        "chase" => gc_cache::gc_trace::generators_ext::pointer_chase(items, len, seed),
+        "walk" => gc_cache::gc_trace::generators_ext::random_walk(
+            items,
+            args.get_or("step", 4u64)?,
+            len,
+            seed,
+        ),
+        "hotspot" => gc_cache::gc_trace::generators_ext::hotspot(
+            items,
+            args.get_or("hot-fraction", 0.01f64)?,
+            args.get_or("hot-weight", 0.9f64)?,
+            len,
+            seed,
+        ),
+        "strided" => gc_cache::gc_trace::generators_ext::strided(
+            items,
+            args.get_or("stride", block_size as u64)?,
+            len,
+        ),
+        other => return Err(format!("unknown workload {other:?}")),
+    };
+    Ok(Workload { trace, map, block_size })
+}
+
+fn simulate_cmd(args: &Args) -> Result<(), String> {
+    let label = args.get_str("policy").unwrap_or("iblp");
+    let kind = PolicyKind::parse(label).map_err(|e| e.to_string())?;
+    let capacity: usize = args.require("capacity")?;
+    let warmup: usize = args.get_or("warmup", 0usize)?;
+    let Workload { trace, map, .. } = workload(args)?;
+
+    let mut policy = kind.build(capacity, &map);
+    let stats = gc_cache::gc_sim::simulate_with_warmup(&mut policy, &trace, warmup);
+    println!("workload: {} ({} requests)", trace.name, trace.len());
+    println!("policy:   {}", policy.name());
+    println!("accesses        {}", stats.accesses);
+    println!("misses          {}", stats.misses);
+    println!("fault rate      {:.6}", stats.fault_rate());
+    println!("temporal hits   {}", stats.temporal_hits);
+    println!("spatial hits    {}", stats.spatial_hits);
+    println!("avg load width  {:.3}", stats.load_width());
+    let offline = gc_belady_heuristic(&trace, &map, capacity);
+    println!(
+        "offline block-Belady: {} misses (ratio {:.3})",
+        offline,
+        stats.misses as f64 / offline.max(1) as f64
+    );
+    Ok(())
+}
+
+fn sweep_cmd(args: &Args) -> Result<(), String> {
+    let capacities: Vec<usize> = args
+        .get_list("capacities")?
+        .unwrap_or_else(|| vec![256, 1024, 4096]);
+    let warmup: usize = args.get_or("warmup", 0usize)?;
+    let Workload { trace, map, .. } = workload(args)?;
+    let kinds = PolicyKind::standard_roster(args.get_or("seed", 42u64)?);
+    let jobs: Vec<SweepJob> = capacities
+        .iter()
+        .flat_map(|&capacity| {
+            kinds
+                .iter()
+                .map(move |kind| SweepJob { kind: kind.clone(), capacity, warmup })
+        })
+        .collect();
+    let results = run_sweep(&jobs, &trace, &map, args.get_or("threads", 0usize)?);
+    if args.switch("csv") {
+        print!("{}", to_csv(&results));
+    } else {
+        for &capacity in &capacities {
+            println!("== capacity {capacity} ==");
+            let rows = compare_policies(&kinds, capacity, &trace, &map, warmup);
+            print!("{}", render_table(&rows));
+            println!();
+        }
+    }
+    Ok(())
+}
+
+fn adversary_cmd(args: &Args) -> Result<(), String> {
+    let which = args.get_str("which").unwrap_or("thm2");
+    let k: usize = args.require("k")?;
+    let h: usize = args.require("h")?;
+    let b: usize = args.get_or("block-size", 16usize)?;
+    let rounds: usize = args.get_or("rounds", 100usize)?;
+    let rep = match which {
+        "st" => {
+            let mut probe = ProbeAdapter::new(ItemLru::new(k));
+            adversary::sleator_tarjan(&mut probe, k, h, rounds)
+        }
+        "thm2" => {
+            let mut probe = ProbeAdapter::new(ItemLru::new(k));
+            adversary::item_cache(&mut probe, k, h, b, rounds)
+        }
+        "thm3" => {
+            let mut probe = ProbeAdapter::new(BlockLru::new(k, BlockMap::strided(b)));
+            adversary::block_cache(&mut probe, k, h, b, rounds)
+        }
+        "thm4" => {
+            let a: usize = args.get_or("a", 1usize)?;
+            let mut probe = ProbeAdapter::new(ThresholdLoad::new(k, a, BlockMap::strided(b)));
+            adversary::general(&mut probe, k, h, b, rounds)
+        }
+        other => return Err(format!("unknown adversary {other:?} (st|thm2|thm3|thm4)")),
+    };
+    println!("trace: {} ({} requests, warmup {})", rep.trace.name, rep.trace.len(), rep.warmup_len);
+    println!("online misses  {}", rep.online_misses);
+    println!("offline misses {}", rep.opt_misses);
+    println!("certified competitive ratio ≥ {:.3}", rep.competitive_ratio());
+    Ok(())
+}
+
+fn figure3_cmd(args: &Args) -> Result<(), String> {
+    let k: usize = args.get_or("k", 1_280_000usize)?;
+    let b: usize = args.get_or("block-size", 64usize)?;
+    let hs = geometric_h_values(b * 2, k - 1, 6);
+    println!("h,sleator_tarjan,gc_lower,iblp_upper,item_cache_lower,block_cache_lower");
+    for p in figure3(k, b, &hs) {
+        let fmt = |v: Option<f64>| match v {
+            Some(x) if x.is_finite() => format!("{x:.4}"),
+            Some(_) => "inf".to_string(),
+            None => "".to_string(),
+        };
+        println!(
+            "{},{},{},{},{},{}",
+            p.h,
+            fmt(p.sleator_tarjan),
+            fmt(p.gc_lower),
+            fmt(p.iblp_upper),
+            fmt(p.item_cache_lower),
+            fmt(p.block_cache_lower)
+        );
+    }
+    Ok(())
+}
+
+fn figure6_cmd(args: &Args) -> Result<(), String> {
+    let k: usize = args.get_or("k", 1_280_000usize)?;
+    let b: usize = args.get_or("block-size", 64usize)?;
+    // Fixed splits tuned for three design points, as in the paper's plot.
+    let design_points = [k / 1024, k / 64, k / 8];
+    let fixed: Vec<usize> = design_points
+        .iter()
+        .filter_map(|&h| iblp_optimal_split(k, h, b).map(|(i, _)| i))
+        .collect();
+    let hs = geometric_h_values(b * 2, k / 2, 6);
+    let header: Vec<String> = fixed.iter().map(|i| format!("fixed_i_{i}")).collect();
+    println!("h,optimal,{}", header.join(","));
+    for p in figure6(k, b, &hs, &fixed) {
+        let fmt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.4}"));
+        let cells: Vec<String> = p.fixed_splits.iter().map(|&v| fmt(v)).collect();
+        println!("{},{},{}", p.h, fmt(p.optimal_split), cells.join(","));
+    }
+    Ok(())
+}
+
+fn table1_cmd(args: &Args) -> Result<(), String> {
+    let h: usize = args.get_or("h", 1usize << 14)?;
+    let b: usize = args.get_or("block-size", 64usize)?;
+    print!("{}", table1::render(&table1::table1(h, b)));
+    Ok(())
+}
+
+fn table2_cmd(args: &Args) -> Result<(), String> {
+    let p: f64 = args.get_or("p", 3.0f64)?;
+    if p <= 1.0 {
+        return Err("--p must be > 1".into());
+    }
+    let b: usize = args.get_or("block-size", 64usize)?;
+    let h: usize = args.get_or("h", 1usize << 20)?;
+    println!("Table 2 (f(n) = n^(1/p), i = b = h = {h}, B = {b}; rows 1-3: p = 2, rows 4-6: p = {p}):");
+    println!(
+        "{:<12} {:<22} {:>14} {:>14} {:>14}",
+        "f(n)", "g(n)", "lower bound", "item-layer UB", "block-layer UB"
+    );
+    for row in table2::table2_paper(p, b, h) {
+        println!(
+            "{:<12} {:<22} {:>14.3e} {:>14.3e} {:>14.3e}",
+            row.f_desc, row.g_desc, row.lower_asym, row.item_asym, row.block_asym
+        );
+    }
+    Ok(())
+}
+
+fn mrc_cmd(args: &Args) -> Result<(), String> {
+    use gc_cache::gc_sim::mrc::{block_mrc, iblp_split_grid, item_mrc};
+    let capacity: usize = args.require("capacity")?;
+    let Workload { trace, map, block_size } = workload(args)?;
+    let item = item_mrc(&trace, capacity);
+    let blocks = block_mrc(&trace, &map, capacity / block_size);
+    println!("size,item_miss_ratio,block_slots,block_miss_ratio");
+    let mut k = 1usize;
+    while k <= capacity {
+        let slots = (k / block_size).max(1);
+        println!(
+            "{k},{:.6},{slots},{:.6}",
+            item.miss_ratio(k),
+            blocks.miss_ratio(slots)
+        );
+        k *= 2;
+    }
+    let grid = iblp_split_grid(&trace, &map, capacity);
+    let best = grid
+        .iter()
+        .min_by_key(|cell| cell.miss_estimate)
+        .ok_or("empty split grid")?;
+    println!(
+        "# best IBLP split estimate at budget {capacity}: i={} b={} (≈{} misses)",
+        best.item_lines, best.block_lines, best.miss_estimate
+    );
+    Ok(())
+}
+
+fn bracket_cmd(args: &Args) -> Result<(), String> {
+    use gc_cache::gc_offline::bracket_opt;
+    let capacity: usize = args.require("capacity")?;
+    let Workload { trace, map, .. } = workload(args)?;
+    let bracket = bracket_opt(&trace, &map, capacity);
+    println!("trace: {} ({} requests)", trace.name, trace.len());
+    println!("offline optimum bracket at h = {capacity}:");
+    println!("  lower bound (windows)      {}", bracket.lower);
+    println!("  upper bound (block-Belady) {}", bracket.upper);
+    println!("  gap                        {:.3}×", bracket.gap());
+    Ok(())
+}
+
+fn generate_cmd(args: &Args) -> Result<(), String> {
+    let out = args
+        .get_str("out")
+        .ok_or("missing required flag --out <path>")?
+        .to_string();
+    let Workload { trace, map, .. } = workload(args)?;
+    match args.get_str("format").unwrap_or("json") {
+        "json" => {
+            std::fs::write(&out, gc_cache::gc_trace::io::to_json(&trace, &map))
+                .map_err(|e| format!("{out}: {e}"))?;
+        }
+        "text" => {
+            let mut buf = Vec::new();
+            gc_cache::gc_trace::io::write_text(&trace, &mut buf)
+                .map_err(|e| e.to_string())?;
+            std::fs::write(&out, buf).map_err(|e| format!("{out}: {e}"))?;
+        }
+        other => return Err(format!("unknown format {other:?} (json|text)")),
+    }
+    println!("wrote {} requests to {out}", trace.len());
+    Ok(())
+}
+
+fn stats_cmd(args: &Args) -> Result<(), String> {
+    let Workload { trace, map, .. } = workload(args)?;
+    println!("{}", gc_cache::gc_trace::stats::summarize(&trace, &map));
+    Ok(())
+}
+
+fn fg_cmd(args: &Args) -> Result<(), String> {
+    let Workload { trace, map, block_size } = workload(args)?;
+    let windows = WorkingSetProfile::geometric_windows(trace.len().min(1 << 16));
+    let profile = WorkingSetProfile::compute(&trace, &map, &windows);
+    profile
+        .check_consistency(block_size)
+        .map_err(|e| format!("inconsistent profile: {e}"))?;
+    println!("n,f(n),g(n),f/g");
+    for ((&n, &f), (&g, ratio)) in profile
+        .window_sizes
+        .iter()
+        .zip(&profile.f)
+        .zip(profile.g.iter().zip(profile.fg_ratio()))
+    {
+        println!("{n},{f},{g},{ratio:.3}");
+    }
+    Ok(())
+}

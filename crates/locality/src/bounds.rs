@@ -1,0 +1,173 @@
+//! Fault-rate bounds in the GC locality model (Theorems 8–11).
+//!
+//! All bounds take the locality pair [`GcLocality`] and cache sizes, and
+//! return a fault rate in `(0, 1]`. The formulas are exactly the theorem
+//! statements; no asymptotic simplification is applied (Table 2's
+//! asymptotic rows live in [`crate::table2`]).
+
+use crate::function::{GcLocality, Locality};
+
+/// Theorem 8: any deterministic replacement policy with cache size `k`
+/// faults at rate at least `g(f⁻¹(k+1) − 2) / (f⁻¹(k+1) − 2)`.
+///
+/// Returns `None` when the formula's window `f⁻¹(k+1) − 2` is not positive
+/// (degenerately small caches).
+pub fn thm8_lower(loc: &GcLocality, k: usize) -> Option<f64> {
+    let window = loc.f.f_inv(k as f64 + 1.0) - 2.0;
+    if window <= 0.0 {
+        return None;
+    }
+    Some((loc.g(window) / window).min(1.0))
+}
+
+/// Theorem 9: the IBLP item layer (an LRU cache of `i` items) faults at
+/// rate at most `(i − 1) / (f⁻¹(i+1) − 2)`.
+pub fn thm9_item_ub(loc: &GcLocality, i: usize) -> Option<f64> {
+    if i < 2 {
+        return None;
+    }
+    let window = loc.f.f_inv(i as f64 + 1.0) - 2.0;
+    if window <= 0.0 {
+        return None;
+    }
+    Some(((i as f64 - 1.0) / window).min(1.0))
+}
+
+/// Theorem 10: the IBLP block layer (a block-LRU of `b/B` block entries
+/// serving the block-granularity trace) faults at rate at most
+/// `(b/B − 1) / (g⁻¹(b/B + 1) − 2)`.
+///
+/// The proof substitutes the block working-set function `g` for `f` in the
+/// Albers et al. LRU bound, so the inverse here is `g⁻¹` (the theorem
+/// statement's `f⁻¹` is a typo carried from the template).
+pub fn thm10_block_ub(loc: &GcLocality, b: usize) -> Option<f64> {
+    let entries = b as f64 / loc.block_size;
+    if entries < 2.0 {
+        return None;
+    }
+    let window = loc.g_inv(entries + 1.0) - 2.0;
+    if window <= 0.0 {
+        return None;
+    }
+    Some(((entries - 1.0) / window).min(1.0))
+}
+
+/// Theorem 11: IBLP with layer sizes `(i, b)` faults at rate at most the
+/// minimum of its layers' bounds.
+pub fn thm11_iblp_ub(loc: &GcLocality, i: usize, b: usize) -> Option<f64> {
+    match (thm9_item_ub(loc, i), thm10_block_ub(loc, b)) {
+        (Some(a), Some(c)) => Some(a.min(c)),
+        (Some(a), None) => Some(a),
+        (None, Some(c)) => Some(c),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{PolyLocality, SpatialRatio};
+
+    fn loc(p: f64, b: f64, r: SpatialRatio) -> GcLocality {
+        GcLocality::new(PolyLocality::unit(p), b, r)
+    }
+
+    #[test]
+    fn thm8_matches_hand_computation() {
+        // f(n)=√n, g=f, k=99: window = 100² − 2 = 9998,
+        // bound = √9998 / 9998 ≈ 1/√9998.
+        let l = loc(2.0, 64.0, SpatialRatio::None);
+        let lb = thm8_lower(&l, 99).unwrap();
+        let expected = (9998.0f64).sqrt() / 9998.0;
+        assert!((lb - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thm8_scales_down_with_spatial_locality() {
+        // More spatial locality (bigger R) ⇒ fewer block faults are forced.
+        let none = thm8_lower(&loc(2.0, 64.0, SpatialRatio::None), 1000).unwrap();
+        let full = thm8_lower(&loc(2.0, 64.0, SpatialRatio::Full), 1000).unwrap();
+        assert!((none / full - 64.0).abs() < 1e-6, "none={none} full={full}");
+    }
+
+    #[test]
+    fn thm8_degenerate_cache_is_none() {
+        // p=1, c=1: f_inv(k+1)−2 ≤ 0 for k ≤ 1.
+        let l = loc(1.0, 4.0, SpatialRatio::None);
+        assert!(thm8_lower(&l, 1).is_none());
+        assert!(thm8_lower(&l, 2).is_some());
+    }
+
+    #[test]
+    fn thm9_matches_albers_lru_form() {
+        // Item layer ignores blocks entirely.
+        let l = loc(2.0, 64.0, SpatialRatio::Full);
+        let ub = thm9_item_ub(&l, 100).unwrap();
+        let expected = 99.0 / (101.0f64.powi(2) - 2.0);
+        assert!((ub - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thm10_uses_block_working_set() {
+        // With g = f/B, g⁻¹(m) = (mB)^p: a block layer of b = 2B entries
+        // has window (3B)² − 2.
+        let b_sz = 16.0;
+        let l = loc(2.0, b_sz, SpatialRatio::Full);
+        let ub = thm10_block_ub(&l, 32).unwrap();
+        let window = (3.0 * b_sz).powi(2) - 2.0;
+        assert!((ub - 1.0 / window).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thm10_needs_at_least_two_entries() {
+        let l = loc(2.0, 16.0, SpatialRatio::Full);
+        assert!(thm10_block_ub(&l, 16).is_none());
+        assert!(thm10_block_ub(&l, 32).is_some());
+    }
+
+    #[test]
+    fn thm11_takes_the_min() {
+        let l = loc(2.0, 16.0, SpatialRatio::Full);
+        let (i, b) = (64, 64);
+        let item = thm9_item_ub(&l, i).unwrap();
+        let block = thm10_block_ub(&l, b).unwrap();
+        assert_eq!(thm11_iblp_ub(&l, i, b), Some(item.min(block)));
+    }
+
+    #[test]
+    fn thm11_falls_back_to_available_layer() {
+        let l = loc(2.0, 16.0, SpatialRatio::Full);
+        // Block layer too small to matter: only the item bound applies.
+        assert_eq!(thm11_iblp_ub(&l, 64, 4), thm9_item_ub(&l, 64));
+        // Item layer degenerate: only the block bound applies.
+        assert_eq!(thm11_iblp_ub(&l, 1, 64), thm10_block_ub(&l, 64));
+        assert!(thm11_iblp_ub(&l, 1, 4).is_none());
+    }
+
+    #[test]
+    fn lower_bound_at_total_size_below_iblp_upper() {
+        // Model consistency: IBLP's total cache is i + b, so the Theorem 8
+        // lower bound at k = i + b must not exceed IBLP's Theorem 11 upper
+        // bound — otherwise the theorems would contradict each other.
+        for &ratio in &[SpatialRatio::None, SpatialRatio::MaxGap, SpatialRatio::Full] {
+            for &p in &[2.0, 3.0] {
+                let l = loc(p, 64.0, ratio);
+                let h = 4096;
+                let lb = thm8_lower(&l, 2 * h).unwrap();
+                let ub = thm11_iblp_ub(&l, h, h).unwrap();
+                assert!(
+                    lb <= ub * (1.0 + 1e-9),
+                    "p={p} ratio={ratio:?}: lb={lb} > ub={ub}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rates_are_capped_at_one() {
+        let l = loc(1.0, 4.0, SpatialRatio::None);
+        // Scans fault on every access; formulas must not exceed 1.
+        assert!(thm9_item_ub(&l, 10).unwrap() <= 1.0);
+        assert!(thm8_lower(&l, 10).unwrap() <= 1.0);
+    }
+}

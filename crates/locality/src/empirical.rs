@@ -1,0 +1,191 @@
+//! Empirical locality functions: feed the §7 bounds with *measured*
+//! working-set profiles instead of fitted polynomials.
+//!
+//! The locality model requires `f` to be increasing and concave. Raw
+//! profiles from `gc_trace::WorkingSetProfile` are increasing but can be
+//! locally non-concave (sampling noise, phase boundaries), so
+//! [`EmpiricalLocality`] takes the **upper concave envelope** of the
+//! samples first — the smallest concave function dominating the data,
+//! which keeps every Albers-style upper bound sound (a larger `f` weakens
+//! `f⁻¹`, making bounds conservative).
+
+use crate::function::Locality;
+
+/// A piecewise-linear concave locality function built from samples.
+#[derive(Clone, Debug)]
+pub struct EmpiricalLocality {
+    /// Hull points `(n, f(n))`, ascending in `n`, concave in value.
+    points: Vec<(f64, f64)>,
+}
+
+impl EmpiricalLocality {
+    /// Build from `(window, distinct)` samples (as produced by
+    /// `WorkingSetProfile`): computes the upper concave envelope and
+    /// interpolates linearly between hull points.
+    ///
+    /// Returns `None` if fewer than two usable samples exist.
+    pub fn from_samples(windows: &[usize], distinct: &[usize]) -> Option<Self> {
+        assert_eq!(windows.len(), distinct.len(), "sample arrays must align");
+        let mut samples: Vec<(f64, f64)> = windows
+            .iter()
+            .zip(distinct)
+            .filter(|(&n, &d)| n > 0 && d > 0)
+            .map(|(&n, &d)| (n as f64, d as f64))
+            .collect();
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+        samples.dedup_by(|a, b| a.0 == b.0);
+        if samples.len() < 2 {
+            return None;
+        }
+        // Anchor the function at the origin-ish point (window 0 → 0 items)
+        // so small-window queries behave.
+        let mut pts = vec![(0.0, 0.0)];
+        pts.extend(samples);
+        // Upper concave envelope (monotone-chain, keeping upper hull).
+        let mut hull: Vec<(f64, f64)> = Vec::with_capacity(pts.len());
+        for p in pts {
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                // Keep b only if a→b→p turns clockwise (b above the a→p
+                // chord — the concave/upper-hull condition); a counter-
+                // clockwise turn means b dips below and must go.
+                let cross = (b.0 - a.0) * (p.1 - a.1) - (b.1 - a.1) * (p.0 - a.0);
+                if cross <= 0.0 {
+                    break;
+                }
+                hull.pop();
+            }
+            hull.push(p);
+        }
+        Some(EmpiricalLocality { points: hull })
+    }
+
+    /// The hull points `(n, f(n))`.
+    pub fn hull(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+impl Locality for EmpiricalLocality {
+    fn f(&self, n: f64) -> f64 {
+        let pts = &self.points;
+        if n <= pts[0].0 {
+            return pts[0].1;
+        }
+        if let Some(last) = pts.last() {
+            if n >= last.0 {
+                // Extend flat beyond the data: the measured maximum is all
+                // we can certify (keeps f bounded, hence f⁻¹ defined only
+                // up to it).
+                return last.1;
+            }
+        }
+        let idx = pts.partition_point(|p| p.0 < n);
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        y0 + (y1 - y0) * (n - x0) / (x1 - x0)
+    }
+
+    fn f_inv(&self, m: f64) -> f64 {
+        let pts = &self.points;
+        if m <= pts[0].1 {
+            return pts[0].0;
+        }
+        if let Some(last) = pts.last() {
+            if m >= last.1 {
+                return last.0;
+            }
+        }
+        let idx = pts.partition_point(|p| p.1 < m);
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        if (y1 - y0).abs() < f64::EPSILON {
+            return x0;
+        }
+        x0 + (x1 - x0) * (m - y0) / (y1 - y0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_between_samples() {
+        let loc = EmpiricalLocality::from_samples(&[10, 100], &[5, 20]).unwrap();
+        assert!((loc.f(10.0) - 5.0).abs() < 1e-9);
+        assert!((loc.f(100.0) - 20.0).abs() < 1e-9);
+        let mid = loc.f(55.0);
+        assert!(mid > 5.0 && mid < 20.0);
+    }
+
+    #[test]
+    fn inverse_roundtrips_on_hull() {
+        let loc = EmpiricalLocality::from_samples(&[4, 16, 64, 256], &[3, 9, 20, 35]).unwrap();
+        for m in [3.0, 9.0, 15.0, 30.0] {
+            let n = loc.f_inv(m);
+            assert!((loc.f(n) - m).abs() < 1e-6, "m={m}");
+        }
+    }
+
+    #[test]
+    fn envelope_removes_nonconcave_dips() {
+        // Middle sample dips below the hull chord; the envelope must skip
+        // it, so f(50) interpolates the outer points.
+        let loc = EmpiricalLocality::from_samples(&[10, 50, 100], &[10, 12, 60]).unwrap();
+        let v = loc.f(50.0);
+        // Chord from (0,0)… hull: (0,0)-(10,10)-(100,60): at 50 the chord
+        // from (10,10) to (100,60) gives 10 + 40/90·50 ≈ 32.2 > 12.
+        assert!(v > 30.0, "envelope not applied: f(50) = {v}");
+        // The hull dominates every sample (upper envelope).
+        assert!(loc.f(50.0) >= 12.0);
+    }
+
+    #[test]
+    fn envelope_is_concave_and_monotone() {
+        let windows: Vec<usize> = (1..=12).map(|i| i * i * 3).collect();
+        let distinct: Vec<usize> = vec![2, 7, 9, 15, 16, 24, 25, 31, 33, 38, 40, 44];
+        let loc = EmpiricalLocality::from_samples(&windows, &distinct).unwrap();
+        let hull = loc.hull();
+        // Monotone values.
+        assert!(hull.windows(2).all(|w| w[1].1 >= w[0].1));
+        // Concave: slopes non-increasing.
+        let slopes: Vec<f64> = hull
+            .windows(2)
+            .map(|w| (w[1].1 - w[0].1) / (w[1].0 - w[0].0))
+            .collect();
+        assert!(
+            slopes.windows(2).all(|s| s[1] <= s[0] + 1e-9),
+            "slopes not non-increasing: {slopes:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_input_rejected() {
+        assert!(EmpiricalLocality::from_samples(&[5], &[3]).is_none());
+        assert!(EmpiricalLocality::from_samples(&[], &[]).is_none());
+        assert!(EmpiricalLocality::from_samples(&[5, 5], &[3, 4]).is_none());
+    }
+
+    #[test]
+    fn clamps_beyond_data() {
+        let loc = EmpiricalLocality::from_samples(&[10, 100], &[5, 20]).unwrap();
+        assert_eq!(loc.f(1_000_000.0), 20.0);
+        assert_eq!(loc.f_inv(99.0), 100.0);
+        assert_eq!(loc.f_inv(0.0), 0.0);
+    }
+
+    #[test]
+    fn dominates_all_samples() {
+        let windows = [2usize, 8, 32, 128, 512];
+        let distinct = [2usize, 5, 11, 30, 40];
+        let loc = EmpiricalLocality::from_samples(&windows, &distinct).unwrap();
+        for (&n, &d) in windows.iter().zip(&distinct) {
+            assert!(
+                loc.f(n as f64) >= d as f64 - 1e-9,
+                "envelope below sample at {n}"
+            );
+        }
+    }
+}

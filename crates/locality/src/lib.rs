@@ -1,0 +1,37 @@
+//! # gc-locality
+//!
+//! The locality-of-reference model of §2/§7 of *"Spatial Locality and
+//! Granularity Change in Caching"* and its fault-rate bounds.
+//!
+//! Albers, Favrholdt and Giel characterize a trace by a concave function
+//! `f(n)` — the maximum number of distinct items in any window of `n`
+//! accesses. The paper adds `g(n)` for distinct *blocks* per window;
+//! `f(n)/g(n) ∈ [1, B]` measures the trace's spatial locality. Competitive
+//! ratios in GC caching depend on the hypothetical comparison size `h`
+//! (§5.3 shows this dependence is intrinsic), so §7 re-analyzes policies by
+//! *fault rate* as a function of `(f, g)` alone:
+//!
+//! * [`bounds::thm8_lower`] — no deterministic policy can fault less than
+//!   `g(f⁻¹(k+1) − 2) / (f⁻¹(k+1) − 2)` (Theorem 8);
+//! * [`bounds::thm9_item_ub`] — the IBLP item layer faults at most
+//!   `(i−1)/(f⁻¹(i+1) − 2)` (Theorem 9);
+//! * [`bounds::thm10_block_ub`] — the block layer, viewed as an LRU cache
+//!   of `b/B` block-entries over the block trace, faults at most
+//!   `(b/B − 1)/(g⁻¹(b/B + 1) − 2)` (Theorem 10);
+//! * [`bounds::thm11_iblp_ub`] — IBLP faults at most the min of the two
+//!   (Theorem 11).
+//!
+//! [`table2`] reproduces the paper's Table 2 for the polynomial family
+//! `f(n) = n^{1/p}`; [`empirical`] feeds the same bounds with measured
+//! working-set profiles via an upper concave envelope.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bounds;
+pub mod empirical;
+pub mod function;
+pub mod table2;
+
+pub use empirical::EmpiricalLocality;
+pub use function::{fit_polynomial, GcLocality, Locality, PolyLocality, SpatialRatio};

@@ -1,0 +1,222 @@
+//! Table 2 of the paper: salient fault-rate bounds for the polynomial
+//! locality family, comparing an equally split IBLP cache (`i = b`) against
+//! the general lower bound for a cache of half the total size (`h = i`,
+//! i.e. `i + b = 2h`).
+//!
+//! The paper tabulates, for `f(n) = n^{1/p}` and three spatial-locality
+//! levels, the asymptotic leading terms:
+//!
+//! | `f(n)` | `g(n)` | lower bound | item-layer UB | block-layer UB |
+//! |---|---|---|---|---|
+//! | `x^{1/p}` | `x^{1/p}`             | `1/h^{p−1}`                 | `1/i^{p−1}` | `B^{p−1}/b^{p−1}` |
+//! | `x^{1/p}` | `x^{1/p}/B^{(p−1)/p}` | `1/(B^{(p−1)/p} h^{p−1})`   | `1/i^{p−1}` | `1/b^{p−1}` |
+//! | `x^{1/p}` | `x^{1/p}/B`           | `1/(B h^{p−1})`             | `1/i^{p−1}` | `1/(B b^{p−1})` |
+//!
+//! (The printed paper writes the middle row's `g` as `x^{1/p}/B^{1/2}`; the
+//! matching lower-bound column and the §7.3 analysis show the intended
+//! ratio is `B^{(p−1)/p}`, which coincides with `B^{1/2}` at `p = 2` —
+//! see [`SpatialRatio::MaxGap`].)
+
+use crate::bounds;
+use crate::function::{GcLocality, PolyLocality, SpatialRatio};
+
+/// One row of Table 2, in both closed form (strings) and evaluated form.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Human-readable `f(n)` (e.g. `x^{1/2}`).
+    pub f_desc: String,
+    /// Human-readable `g(n)`.
+    pub g_desc: String,
+    /// Asymptotic lower bound as printed in the paper.
+    pub lower_desc: String,
+    /// Asymptotic item-layer upper bound.
+    pub item_desc: String,
+    /// Asymptotic block-layer upper bound.
+    pub block_desc: String,
+    /// Asymptotic lower bound evaluated at the row's `h`.
+    pub lower_asym: f64,
+    /// Asymptotic item UB evaluated at the row's `i`.
+    pub item_asym: f64,
+    /// Asymptotic block UB evaluated at the row's `b`.
+    pub block_asym: f64,
+    /// Exact Theorem 8 lower bound (no asymptotic simplification).
+    pub lower_exact: f64,
+    /// Exact Theorem 9 bound.
+    pub item_exact: f64,
+    /// Exact Theorem 10 bound.
+    pub block_exact: f64,
+}
+
+fn pow_str(base: &str, e: f64) -> String {
+    if (e - 1.0).abs() < 1e-9 {
+        base.to_string()
+    } else {
+        format!("{base}^{e}")
+    }
+}
+
+fn row(p: f64, block_size: f64, ratio: SpatialRatio, h: usize, i: usize, b: usize) -> Table2Row {
+    let loc = GcLocality::new(PolyLocality::unit(p), block_size, ratio);
+    let r = ratio.value(block_size, p);
+    let e = p - 1.0;
+    let hp = (h as f64).powf(e);
+    let ip = (i as f64).powf(e);
+    let bp = (b as f64).powf(e);
+    let bb = block_size;
+
+    let (g_desc, lower_desc, block_desc, lower_asym, block_asym) = match ratio {
+        SpatialRatio::None => (
+            format!("x^{{1/{p}}}"),
+            format!("1/{}", pow_str("h", e)),
+            format!("{}/{}", pow_str("B", e), pow_str("b", e)),
+            1.0 / hp,
+            bb.powf(e) / bp,
+        ),
+        SpatialRatio::MaxGap => (
+            format!("x^{{1/{p}}}/B^{{({p}-1)/{p}}}"),
+            format!("1/(B^{{({p}-1)/{p}}}·{})", pow_str("h", e)),
+            format!("1/{}", pow_str("b", e)),
+            1.0 / (r * hp),
+            1.0 / bp,
+        ),
+        SpatialRatio::Full => (
+            format!("x^{{1/{p}}}/B"),
+            format!("1/(B·{})", pow_str("h", e)),
+            format!("1/(B·{})", pow_str("b", e)),
+            1.0 / (bb * hp),
+            1.0 / (bb * bp),
+        ),
+        SpatialRatio::Custom(_) => (
+            format!("x^{{1/{p}}}/{r}"),
+            format!("1/({r}·{})", pow_str("h", e)),
+            String::from("(custom)"),
+            1.0 / (r * hp),
+            f64::NAN,
+        ),
+    };
+
+    Table2Row {
+        f_desc: format!("x^{{1/{p}}}"),
+        g_desc,
+        lower_desc,
+        item_desc: format!("1/{}", pow_str("i", e)),
+        block_desc,
+        lower_asym,
+        item_asym: 1.0 / ip,
+        block_asym,
+        lower_exact: bounds::thm8_lower(&loc, h).unwrap_or(f64::NAN),
+        item_exact: bounds::thm9_item_ub(&loc, i).unwrap_or(f64::NAN),
+        block_exact: bounds::thm10_block_ub(&loc, b).unwrap_or(f64::NAN),
+    }
+}
+
+/// Generate Table 2 for degree `p`, block size `B`, and the equally split
+/// comparison `h = i = b` (so the online cache `i + b` is twice the
+/// lower-bound cache — augmentation factor 2, as in the paper's analysis).
+pub fn table2(p: f64, block_size: usize, h: usize) -> Vec<Table2Row> {
+    assert!(block_size >= 1);
+    [SpatialRatio::None, SpatialRatio::MaxGap, SpatialRatio::Full]
+        .into_iter()
+        .map(|ratio| row(p, block_size as f64, ratio, h, h, h))
+        .collect()
+}
+
+/// The full six-row table as printed (p = 2 rows then general-p rows).
+pub fn table2_paper(general_p: f64, block_size: usize, h: usize) -> Vec<Table2Row> {
+    let mut rows = table2(2.0, block_size, h);
+    rows.extend(table2(general_p, block_size, h));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_spatial_row_matches_paper_p2() {
+        // Row 1: f = g = x^{1/2}: LB 1/h, item 1/i, block B/b.
+        let rows = table2(2.0, 64, 1 << 20);
+        let r = &rows[0];
+        let h = (1u64 << 20) as f64;
+        assert!((r.lower_asym - 1.0 / h).abs() < 1e-12);
+        assert!((r.item_asym - 1.0 / h).abs() < 1e-12);
+        assert!((r.block_asym - 64.0 / h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxgap_row_matches_paper_p2() {
+        // Row 2: g = x^{1/2}/√B: LB 1/(√B·h), block 1/b.
+        let rows = table2(2.0, 64, 1 << 20);
+        let r = &rows[1];
+        let h = (1u64 << 20) as f64;
+        assert!((r.lower_asym - 1.0 / (8.0 * h)).abs() < 1e-15);
+        assert!((r.block_asym - 1.0 / h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_row_matches_paper_p2() {
+        // Row 3: g = x^{1/2}/B: LB 1/(Bh), block 1/(Bb).
+        let rows = table2(2.0, 64, 1 << 20);
+        let r = &rows[2];
+        let h = (1u64 << 20) as f64;
+        assert!((r.lower_asym - 1.0 / (64.0 * h)).abs() < 1e-18);
+        assert!((r.block_asym - 1.0 / (64.0 * h)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn general_p_rows_scale_as_power() {
+        let rows = table2(3.0, 64, 4096);
+        let h = 4096.0f64;
+        assert!((rows[0].lower_asym - 1.0 / h.powi(2)).abs() < 1e-15);
+        assert!((rows[0].item_asym - 1.0 / h.powi(2)).abs() < 1e-15);
+        assert!((rows[0].block_asym - 64.0f64.powi(2) / h.powi(2)).abs() < 1e-12);
+        // Middle row: R = B^{2/3}, both partition UBs meet at 1/i^{p−1}
+        // (§7.3: "the upper bounds for both partitions meet at 1/i^{p−1}").
+        let r = &rows[1];
+        assert!((r.item_asym - r.block_asym).abs() / r.item_asym < 1e-9);
+    }
+
+    #[test]
+    fn exact_bounds_track_asymptotics() {
+        // At large h the exact theorem values converge to the tabulated
+        // leading terms (within a constant factor that → 1).
+        for r in table2(2.0, 64, 1 << 22) {
+            assert!((r.lower_exact / r.lower_asym - 1.0).abs() < 0.01, "{r:?}");
+            assert!((r.item_exact / r.item_asym - 1.0).abs() < 0.01, "{r:?}");
+            assert!((r.block_exact / r.block_asym - 1.0).abs() < 0.1, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn gap_between_lb_and_iblp_is_at_most_fg_ratio() {
+        // §7.3: the IBLP-vs-LB multiplicative gap equals the f/g ratio of
+        // the row, peaking at B^{1−1/p} in the middle row.
+        for p in [2.0f64, 4.0] {
+            let rows = table2(p, 64, 1 << 20);
+            for (idx, r) in rows.iter().enumerate() {
+                let iblp = r.item_asym.min(r.block_asym);
+                let gap = iblp / r.lower_asym;
+                let expect = match idx {
+                    0 => 1.0,
+                    1 => 64.0f64.powf(1.0 - 1.0 / p),
+                    _ => 64.0f64.powf(p - 1.0).min(64.0), // row 3 gap: B^{p−1} capped... see below
+                };
+                // Row 3: item UB 1/i^{p−1} vs LB 1/(B·h^{p−1}) with h=i ⇒
+                // gap B; block UB equals LB exactly ⇒ gap 1. IBLP takes the
+                // min so the gap is 1 there for p ≥ 2.
+                let expect = if idx == 2 { 1.0 } else { expect };
+                assert!(
+                    (gap / expect - 1.0).abs() < 1e-6,
+                    "p={p} row={idx}: gap={gap} expect={expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_table_has_six_rows() {
+        let rows = table2_paper(3.0, 64, 4096);
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.lower_asym.is_finite()));
+    }
+}

@@ -1,0 +1,38 @@
+//! # gc-offline
+//!
+//! Offline algorithms for the Granularity-Change Caching Problem.
+//!
+//! Offline GC caching is NP-complete (Theorem 3.1 of the paper), so this
+//! crate provides the full toolbox a reproduction needs:
+//!
+//! * [`belady`] — Belady's MIN, exactly optimal for *traditional* caching
+//!   (`B = 1`), plus the **block-aware Belady heuristic**: load the whole
+//!   block (free under unit block cost), evict farthest-next-use. The
+//!   heuristic is always feasible, hence an upper bound on OPT that the
+//!   benchmarks use as the offline comparator at scale.
+//! * [`optimal`] — an exact exponential solver (memoized DFS over
+//!   `(position, cache-contents)` states with bitmask caches) for small
+//!   instances; the ground truth the heuristics and the reduction are
+//!   verified against.
+//! * [`varsize`] — variable-size caching in the fault model (the
+//!   NP-complete problem of Chrobak et al. that Theorem 1 reduces *from*),
+//!   with its own exact solver.
+//! * [`reduction`] — the executable Theorem 1 reduction: variable-size
+//!   instance → GC instance with equal optimal cost.
+//! * [`lower_bound`] — scalable window-based *lower* bounds on OPT, so long
+//!   traces get a two-sided bracket (`lower ≤ OPT ≤ block-Belady`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod belady;
+pub mod lower_bound;
+pub mod optimal;
+pub mod reduction;
+pub mod varsize;
+
+pub use belady::{belady_misses, gc_belady_heuristic};
+pub use lower_bound::{bracket_opt, gc_opt_lower_bound, OptBracket};
+pub use optimal::optimal_gc_cost;
+pub use reduction::reduce_varsize_to_gc;
+pub use varsize::VarSizeInstance;

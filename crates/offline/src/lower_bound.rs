@@ -1,0 +1,215 @@
+//! Scalable lower bounds on the offline GC optimum.
+//!
+//! The exact solver ([`crate::optimal`]) is exponential, and the block-aware
+//! Belady heuristic ([`crate::belady`]) only *upper*-bounds OPT. This
+//! module provides the matching lower bound at scale, so benchmarks can
+//! bracket OPT on arbitrarily long traces:
+//!
+//! For any window `W` of consecutive accesses, with `f_W` distinct items
+//! and `g_W` distinct blocks touched in `W`, an optimal cache of size `k`
+//! must miss at least
+//!
+//! * `⌈(f_W − k)/B⌉` times — at most `k` of the window's items can predate
+//!   the window, and each unit-cost load brings at most `B` items; and
+//! * `g_W − k` times — the `≤ k` items held at the window's start cover at
+//!   most `k` distinct blocks, and every other touched block needs its own
+//!   load (a load touches exactly one block).
+//!
+//! Summing `max` of the two over *disjoint* windows is sound because the
+//! windows' misses are disjoint events. The window length trades tightness
+//! against smoothing; [`gc_opt_lower_bound`] takes the best over a ladder
+//! of window sizes.
+
+use crate::belady::gc_belady_heuristic;
+use gc_types::{BlockMap, FxHashSet, ItemId, Trace};
+
+/// Lower bound on OPT's misses using disjoint windows of `window` accesses.
+///
+/// # Panics
+/// Panics if `window == 0` or `capacity == 0`.
+pub fn gc_opt_lower_bound_windowed(
+    trace: &Trace,
+    map: &BlockMap,
+    capacity: usize,
+    window: usize,
+) -> u64 {
+    assert!(window > 0, "window must be positive");
+    assert!(capacity > 0, "capacity must be positive");
+    let b = map.max_block_size() as u64;
+    let k = capacity as u64;
+    let mut total = 0u64;
+    let mut items: FxHashSet<ItemId> = FxHashSet::default();
+    let mut blocks = FxHashSet::default();
+    for chunk in trace.requests().chunks(window) {
+        items.clear();
+        blocks.clear();
+        for &item in chunk {
+            items.insert(item);
+            blocks.insert(map.block_of(item));
+        }
+        let f_w = items.len() as u64;
+        let g_w = blocks.len() as u64;
+        let by_items = f_w.saturating_sub(k).div_ceil(b);
+        let by_blocks = g_w.saturating_sub(k);
+        total += by_items.max(by_blocks);
+    }
+    total
+}
+
+/// The best windowed lower bound over a geometric ladder of window sizes
+/// (from `2k` up to the trace length). Larger windows see more distinct
+/// items per window; smaller windows cash in the start-of-window advantage
+/// more often — neither dominates, so take the max.
+pub fn gc_opt_lower_bound(trace: &Trace, map: &BlockMap, capacity: usize) -> u64 {
+    if trace.is_empty() {
+        return 0;
+    }
+    // Cold misses: every distinct block needs at least one load, ever.
+    let mut best = trace.distinct_blocks(map) as u64;
+    let mut window = (2 * capacity).max(4);
+    while window <= trace.len() * 2 {
+        best = best.max(gc_opt_lower_bound_windowed(trace, map, capacity, window));
+        window *= 2;
+    }
+    best
+}
+
+/// A two-sided bracket on the offline GC optimum.
+#[derive(Clone, Copy, Debug)]
+pub struct OptBracket {
+    /// Provable lower bound on OPT's misses.
+    pub lower: u64,
+    /// Feasible-strategy upper bound (block-aware Belady).
+    pub upper: u64,
+}
+
+impl OptBracket {
+    /// The multiplicative gap `upper/lower` (∞ when lower is 0).
+    pub fn gap(&self) -> f64 {
+        if self.lower == 0 {
+            f64::INFINITY
+        } else {
+            self.upper as f64 / self.lower as f64
+        }
+    }
+}
+
+/// Bracket OPT between the window lower bound and the block-aware Belady
+/// upper bound. Any online policy's competitive ratio on this trace lies
+/// within `[misses/upper, misses/lower]`.
+///
+/// ```
+/// use gc_offline::bracket_opt;
+/// use gc_types::{BlockMap, Trace};
+///
+/// // A one-pass scan over 32 blocks with a small cache: OPT is exactly
+/// // one load per block, and the bracket is tight.
+/// let trace = Trace::from_ids(0..256u64);
+/// let map = BlockMap::strided(8);
+/// let bracket = bracket_opt(&trace, &map, 16);
+/// assert_eq!(bracket.lower, 32);
+/// assert_eq!(bracket.upper, 32);
+/// ```
+pub fn bracket_opt(trace: &Trace, map: &BlockMap, capacity: usize) -> OptBracket {
+    OptBracket {
+        lower: gc_opt_lower_bound(trace, map, capacity),
+        upper: gc_belady_heuristic(trace, map, capacity),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::optimal_gc_cost;
+
+    #[test]
+    fn cold_blocks_floor() {
+        // 8 distinct blocks, everything fits: OPT = 8, bound = 8.
+        let trace = Trace::from_ids(0..64u64);
+        let map = BlockMap::strided(8);
+        assert_eq!(gc_opt_lower_bound(&trace, &map, 64), 8);
+    }
+
+    #[test]
+    fn sandwich_on_small_instances() {
+        let map = BlockMap::strided(3);
+        let mut x = 17u64;
+        for trial in 0..25 {
+            let ids: Vec<u64> = (0..40)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x % 12
+                })
+                .collect();
+            let trace = Trace::from_ids(ids);
+            for k in [3usize, 4, 6] {
+                let exact = optimal_gc_cost(&trace, &map, k);
+                let bracket = bracket_opt(&trace, &map, k);
+                assert!(
+                    bracket.lower <= exact,
+                    "trial {trial} k {k}: lower {} > exact {exact}",
+                    bracket.lower
+                );
+                assert!(
+                    exact <= bracket.upper,
+                    "trial {trial} k {k}: exact {exact} > upper {}",
+                    bracket.upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_bound_is_tight() {
+        // A one-pass scan over many blocks with a tiny cache: OPT must load
+        // every block once; the bound matches exactly.
+        let trace = Trace::from_ids(0..4096u64);
+        let map = BlockMap::strided(16);
+        let bracket = bracket_opt(&trace, &map, 32);
+        assert_eq!(bracket.lower, 256);
+        assert_eq!(bracket.upper, 256);
+        assert!((bracket.gap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn item_granular_thrash_bound() {
+        // Loop over k+1 sparse items (one per block): the window bound's
+        // g_W − k term forces roughly one miss per window.
+        let b = 8u64;
+        let loop_items: Vec<u64> = (0..17u64).map(|i| i * b).collect();
+        let trace = Trace::from_ids(loop_items.iter().cycle().copied().take(1700));
+        let map = BlockMap::strided(b as usize);
+        let lb = gc_opt_lower_bound(&trace, &map, 16);
+        assert!(lb >= 40, "lb = {lb}");
+        // And stays below the heuristic.
+        let ub = gc_belady_heuristic(&trace, &map, 16);
+        assert!(lb <= ub);
+    }
+
+    #[test]
+    fn windowed_bound_monotone_reasonable() {
+        let trace = Trace::from_ids((0..2000u64).map(|i| (i * 37) % 512));
+        let map = BlockMap::strided(8);
+        for window in [64usize, 256, 1024] {
+            let lb = gc_opt_lower_bound_windowed(&trace, &map, 64, window);
+            let ub = gc_belady_heuristic(&trace, &map, 64);
+            assert!(lb <= ub, "window {window}: {lb} > {ub}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        assert_eq!(
+            gc_opt_lower_bound(&Trace::new(), &BlockMap::singleton(), 4),
+            0
+        );
+    }
+
+    #[test]
+    fn gap_reports_infinite_for_zero_lower() {
+        let bracket = OptBracket { lower: 0, upper: 5 };
+        assert!(bracket.gap().is_infinite());
+    }
+}

@@ -1,0 +1,146 @@
+//! The Theorem 1 reduction: variable-size caching → GC caching.
+//!
+//! Given a variable-size instance with integral sizes, the reduction builds
+//! a GC instance whose optimal cost equals the variable-size optimum:
+//!
+//! * each variable-size item `j` of size `z_j` becomes a **block** whose
+//!   *active set* holds `z_j` unit-size items;
+//! * each access to `j` becomes `z_j` round-robin passes over the active
+//!   set (`z_j²` consecutive accesses), which forces any optimal solution
+//!   to load and evict active sets atomically (Figure 2 of the paper);
+//! * the cache size carries over unchanged.
+//!
+//! [`reduce_varsize_to_gc`] is the constructive map; the equality of
+//! optimal costs is verified empirically in the tests (and exhaustively in
+//! the workspace integration tests) using the exact solvers on both sides.
+
+use crate::varsize::VarSizeInstance;
+use gc_types::{BlockMap, ItemId, Trace};
+
+/// A self-contained GC caching instance.
+#[derive(Clone, Debug)]
+pub struct GcInstanceSpec {
+    /// The generated request trace.
+    pub trace: Trace,
+    /// The generated block partition.
+    pub map: BlockMap,
+    /// Cache capacity in items.
+    pub capacity: usize,
+}
+
+/// Build the Theorem 1 GC instance from a variable-size instance.
+///
+/// The blocks' maximum size is `max(z_j)`; only the first `z_j` items of
+/// block `j` (its active set) ever appear in the trace.
+///
+/// # Panics
+/// Panics if the instance fails [`VarSizeInstance::validate`].
+pub fn reduce_varsize_to_gc(inst: &VarSizeInstance) -> GcInstanceSpec {
+    inst.validate().expect("invalid variable-size instance");
+
+    // Active set of block j: item ids are globally unique and contiguous
+    // within the block.
+    let mut groups: Vec<Vec<ItemId>> = Vec::with_capacity(inst.sizes.len());
+    let mut next_id = 0u64;
+    for &z in &inst.sizes {
+        let group: Vec<ItemId> = (0..z).map(|off| ItemId(next_id + off)).collect();
+        next_id += z;
+        groups.push(group);
+    }
+    let map = BlockMap::from_groups(groups.clone()).expect("groups are disjoint by construction");
+
+    // Each variable-size access to item j becomes z_j round-robin passes
+    // over block j's active set.
+    let mut trace = Trace::new().named("thm1-reduction");
+    for &j in &inst.trace {
+        let active = &groups[j];
+        let z = active.len();
+        trace.reserve(z * z);
+        for _ in 0..z {
+            for &item in active {
+                trace.push(item);
+            }
+        }
+    }
+
+    GcInstanceSpec {
+        trace,
+        map,
+        capacity: inst.capacity as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::optimal_gc_cost;
+
+    #[test]
+    fn structure_matches_figure_2() {
+        // Figure 2's example shape: sizes A=2, B=1, C=3; trace A B A C.
+        let inst = VarSizeInstance {
+            sizes: vec![2, 1, 3],
+            trace: vec![0, 1, 0, 2],
+            capacity: 3,
+        };
+        let gc = reduce_varsize_to_gc(&inst);
+        // Access counts: 2² + 1² + 2² + 3² = 18.
+        assert_eq!(gc.trace.len(), 18);
+        assert_eq!(gc.map.num_blocks(), Some(3));
+        assert_eq!(gc.map.max_block_size(), 3);
+        assert_eq!(gc.capacity, 3);
+        // The first variable-size access expands to A1 A2 A1 A2.
+        let ids: Vec<u64> = gc.trace.iter().take(4).map(|i| i.0).collect();
+        assert_eq!(ids, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn reduction_preserves_optimal_cost_small_batch() {
+        for seed in 1..25u64 {
+            let inst = VarSizeInstance::random_small(seed, 3, 5, 3);
+            let var_opt = inst.optimal_cost();
+            let gc = reduce_varsize_to_gc(&inst);
+            let gc_opt = optimal_gc_cost(&gc.trace, &gc.map, gc.capacity);
+            assert_eq!(
+                gc_opt, var_opt,
+                "seed {seed}: GC opt {gc_opt} ≠ var-size opt {var_opt} ({inst:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_sizes_reduce_to_traditional_caching() {
+        let inst = VarSizeInstance {
+            sizes: vec![1, 1, 1, 1],
+            trace: vec![0, 1, 2, 3, 0, 1, 2, 3],
+            capacity: 3,
+        };
+        let gc = reduce_varsize_to_gc(&inst);
+        // Unit sizes: one item per block, trace identical to the source.
+        assert_eq!(gc.trace.len(), 8);
+        assert!(gc.map.is_traditional());
+        assert_eq!(
+            optimal_gc_cost(&gc.trace, &gc.map, gc.capacity),
+            inst.optimal_cost()
+        );
+    }
+
+    #[test]
+    fn repeated_same_item_costs_one() {
+        let inst = VarSizeInstance {
+            sizes: vec![2],
+            trace: vec![0, 0, 0],
+            capacity: 2,
+        };
+        assert_eq!(inst.optimal_cost(), 1);
+        let gc = reduce_varsize_to_gc(&inst);
+        assert_eq!(optimal_gc_cost(&gc.trace, &gc.map, gc.capacity), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid variable-size instance")]
+    fn rejects_invalid_instances() {
+        let inst = VarSizeInstance { sizes: vec![5], trace: vec![0], capacity: 2 };
+        let _ = reduce_varsize_to_gc(&inst);
+    }
+}

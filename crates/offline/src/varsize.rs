@@ -1,0 +1,231 @@
+//! Variable-size caching in the fault model — the NP-complete source
+//! problem of the Theorem 1 reduction.
+//!
+//! In this problem (Chrobak, Woeginger, Makino, Xu 2012) items have
+//! arbitrary integral sizes, every fault costs one unit regardless of size,
+//! and the cache may hold any set of items whose sizes sum to at most `k`.
+//! Unlike GC caching, an item is atomic: it cannot be partially cached.
+
+use gc_types::{FxHashMap, GcError};
+
+/// A variable-size caching instance with integral sizes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarSizeInstance {
+    /// `sizes[i]` is the size of item `i` (positive).
+    pub sizes: Vec<u64>,
+    /// The request sequence, as indices into `sizes`.
+    pub trace: Vec<usize>,
+    /// Cache capacity (in size units).
+    pub capacity: u64,
+}
+
+impl VarSizeInstance {
+    /// Validate basic well-formedness: positive sizes, in-range trace
+    /// indices, and every requested item fits the cache on its own.
+    pub fn validate(&self) -> Result<(), GcError> {
+        if self.capacity == 0 {
+            return Err(GcError::ZeroCapacity);
+        }
+        for (i, &s) in self.sizes.iter().enumerate() {
+            if s == 0 {
+                return Err(GcError::InvalidParameter(format!("item {i} has size 0")));
+            }
+        }
+        for &ix in &self.trace {
+            if ix >= self.sizes.len() {
+                return Err(GcError::InvalidParameter(format!(
+                    "trace references item {ix}, but only {} exist",
+                    self.sizes.len()
+                )));
+            }
+            if self.sizes[ix] > self.capacity {
+                return Err(GcError::InvalidParameter(format!(
+                    "item {ix} (size {}) exceeds the cache ({})",
+                    self.sizes[ix], self.capacity
+                )));
+            }
+        }
+        if self.sizes.len() > 20 {
+            return Err(GcError::InvalidParameter(
+                "exact solver supports ≤ 20 items".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Exact minimum fault count via memoized search over
+    /// `(position, cache-contents)` states.
+    ///
+    /// # Panics
+    /// Panics if [`validate`](Self::validate) would fail.
+    pub fn optimal_cost(&self) -> u64 {
+        self.validate().expect("invalid instance");
+        if self.trace.is_empty() {
+            return 0;
+        }
+        let mut memo: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        self.solve(0, 0, &mut memo)
+    }
+
+    fn mask_size(&self, mask: u32) -> u64 {
+        let mut total = 0;
+        let mut m = mask;
+        while m != 0 {
+            let bit = m.trailing_zeros() as usize;
+            total += self.sizes[bit];
+            m &= m - 1;
+        }
+        total
+    }
+
+    fn solve(&self, pos: u32, mask: u32, memo: &mut FxHashMap<(u32, u32), u64>) -> u64 {
+        if pos as usize == self.trace.len() {
+            return 0;
+        }
+        let x = self.trace[pos as usize] as u32;
+        let xbit = 1u32 << x;
+        if mask & xbit != 0 {
+            return self.solve(pos + 1, mask, memo);
+        }
+        if let Some(&cached) = memo.get(&(pos, mask)) {
+            return cached;
+        }
+        // Fault: choose the retained subset of the current contents.
+        let allowed = mask;
+        let mut best = u64::MAX;
+        let mut sub = allowed;
+        loop {
+            let next_mask = sub | xbit;
+            if self.mask_size(next_mask) <= self.capacity {
+                best = best.min(self.solve(pos + 1, next_mask, memo));
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & allowed;
+        }
+        let result = 1 + best;
+        memo.insert((pos, mask), result);
+        result
+    }
+
+    /// A deterministic pseudo-random small instance generator for property
+    /// tests (xorshift; no external RNG needed).
+    pub fn random_small(seed: u64, num_items: usize, trace_len: usize, max_size: u64) -> Self {
+        assert!((1..=8).contains(&num_items));
+        assert!(max_size >= 1);
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let sizes: Vec<u64> = (0..num_items).map(|_| next() % max_size + 1).collect();
+        let max_item = *sizes.iter().max().unwrap();
+        let total: u64 = sizes.iter().sum();
+        // Capacity between the largest item and the sum (exclusive) keeps
+        // the instance nontrivial.
+        let capacity = max_item + next() % (total - max_item + 1);
+        let trace: Vec<usize> = (0..trace_len).map(|_| (next() % num_items as u64) as usize).collect();
+        VarSizeInstance { sizes, trace, capacity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_sizes_match_classical_min() {
+        // All sizes 1 ⇒ identical to Belady on the same trace.
+        let inst = VarSizeInstance {
+            sizes: vec![1; 4],
+            trace: vec![0, 1, 2, 0, 1, 3, 0, 1, 2, 3],
+            capacity: 3,
+        };
+        let t = gc_types::Trace::from_ids(inst.trace.iter().map(|&i| i as u64));
+        assert_eq!(inst.optimal_cost(), crate::belady::belady_misses(&t, 3));
+    }
+
+    #[test]
+    fn big_item_displaces_small_ones() {
+        // Items: a=2, b=1, c=1; capacity 2. Trace: b c a b c.
+        // Caching a forces dropping both b and c → cost 5 either way? OPT:
+        // faults b, c; a faults (evict b,c); b faults; c faults → 5. Or
+        // skip caching a... every fault must load the item; loading a
+        // requires room (evict b,c). So 5. Alternative: cost 5 is forced.
+        let inst = VarSizeInstance {
+            sizes: vec![2, 1, 1],
+            trace: vec![1, 2, 0, 1, 2],
+            capacity: 2,
+        };
+        assert_eq!(inst.optimal_cost(), 5);
+    }
+
+    #[test]
+    fn fits_entirely_costs_distinct_items() {
+        let inst = VarSizeInstance {
+            sizes: vec![2, 3, 1],
+            trace: vec![0, 1, 2, 0, 1, 2, 2, 1, 0],
+            capacity: 6,
+        };
+        assert_eq!(inst.optimal_cost(), 3);
+    }
+
+    #[test]
+    fn empty_trace_is_free() {
+        let inst = VarSizeInstance { sizes: vec![1], trace: vec![], capacity: 1 };
+        assert_eq!(inst.optimal_cost(), 0);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        assert!(VarSizeInstance { sizes: vec![0], trace: vec![0], capacity: 2 }
+            .validate()
+            .is_err());
+        assert!(VarSizeInstance { sizes: vec![3], trace: vec![0], capacity: 2 }
+            .validate()
+            .is_err());
+        assert!(VarSizeInstance { sizes: vec![1], trace: vec![1], capacity: 2 }
+            .validate()
+            .is_err());
+        assert!(VarSizeInstance { sizes: vec![1], trace: vec![0], capacity: 0 }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn random_instances_are_valid_and_solvable() {
+        for seed in 1..30u64 {
+            let inst = VarSizeInstance::random_small(seed, 4, 8, 3);
+            inst.validate().unwrap();
+            let cost = inst.optimal_cost();
+            let distinct = {
+                let mut seen: Vec<usize> = inst.trace.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                seen.len() as u64
+            };
+            // Cost is at least the number of distinct requested items... no:
+            // at least 1 per distinct cold item, at most trace length.
+            assert!(cost >= distinct.min(1));
+            assert!(cost <= inst.trace.len() as u64);
+        }
+    }
+
+    #[test]
+    fn optimal_monotone_in_capacity() {
+        let inst = VarSizeInstance {
+            sizes: vec![2, 3, 1, 2],
+            trace: vec![0, 1, 2, 3, 0, 2, 1, 3, 0],
+            capacity: 3,
+        };
+        let mut prev = u64::MAX;
+        for capacity in 3..=8 {
+            let cost = VarSizeInstance { capacity, ..inst.clone() }.optimal_cost();
+            assert!(cost <= prev);
+            prev = cost;
+        }
+    }
+}

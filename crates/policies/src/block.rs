@@ -1,0 +1,288 @@
+//! Block Caches: policies that increase their granularity to whole blocks.
+//!
+//! A Block Cache loads **all** items of the requested block and also evicts
+//! them together (§2 baseline). It captures spatial locality perfectly but
+//! suffers pollution when blocks are sparsely used: Theorem 3 shows that
+//! with one hot item per block the cache effectively shrinks by `B×`,
+//! making its competitive ratio unbounded unless `k ≥ B·h`.
+
+use crate::lru_list::LruList;
+use crate::GcPolicy;
+use gc_types::{AccessResult, BlockId, BlockMap, FxHashSet, ItemId};
+use std::collections::VecDeque;
+
+fn block_slots(capacity: usize, map: &BlockMap) -> usize {
+    assert!(capacity > 0, "cache capacity must be positive");
+    let b = map.max_block_size();
+    assert!(
+        capacity >= b,
+        "block cache of capacity {capacity} cannot hold a block of {b} items"
+    );
+    capacity / b
+}
+
+fn evict_block_items(map: &BlockMap, block: BlockId, evicted: &mut Vec<ItemId>) {
+    evicted.extend(map.items_of(block));
+}
+
+/// LRU-ordered Block Cache: the whole block is the unit of load, hit
+/// tracking, and eviction.
+#[derive(Clone, Debug)]
+pub struct BlockLru {
+    capacity: usize,
+    slots: usize,
+    map: BlockMap,
+    list: LruList,
+}
+
+impl BlockLru {
+    /// A block-granular LRU holding up to `capacity` items, i.e.
+    /// `⌊capacity/B⌋` whole blocks.
+    pub fn new(capacity: usize, map: BlockMap) -> Self {
+        let slots = block_slots(capacity, &map);
+        BlockLru {
+            capacity,
+            slots,
+            map,
+            list: LruList::with_capacity(slots),
+        }
+    }
+
+    /// The number of whole-block slots (`⌊k/B⌋`).
+    pub fn block_slots(&self) -> usize {
+        self.slots
+    }
+}
+
+impl GcPolicy for BlockLru {
+    fn name(&self) -> String {
+        format!("BlockLRU(k={},B={})", self.capacity, self.map.max_block_size())
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.list
+            .iter_mru()
+            .map(|b| self.map.block_len(BlockId(b)))
+            .sum()
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.map
+            .try_block_of(item)
+            .is_some_and(|b| self.list.contains(b.0))
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        let block = self.map.block_of(item);
+        if !self.list.touch(block.0) {
+            return AccessResult::Hit;
+        }
+        let mut evicted = Vec::new();
+        if self.list.len() > self.slots {
+            let victim = self.list.evict_lru().expect("nonempty after insert");
+            evict_block_items(&self.map, BlockId(victim), &mut evicted);
+        }
+        AccessResult::Miss {
+            loaded: self.map.items_of(block).collect(),
+            evicted,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.list.clear();
+    }
+}
+
+/// FIFO-ordered Block Cache: blocks are evicted in load order; hits do not
+/// refresh.
+#[derive(Clone, Debug)]
+pub struct BlockFifo {
+    capacity: usize,
+    slots: usize,
+    map: BlockMap,
+    queue: VecDeque<BlockId>,
+    present: FxHashSet<BlockId>,
+}
+
+impl BlockFifo {
+    /// A block-granular FIFO holding up to `capacity` items.
+    pub fn new(capacity: usize, map: BlockMap) -> Self {
+        let slots = block_slots(capacity, &map);
+        BlockFifo {
+            capacity,
+            slots,
+            map,
+            queue: VecDeque::with_capacity(slots + 1),
+            present: FxHashSet::default(),
+        }
+    }
+}
+
+impl GcPolicy for BlockFifo {
+    fn name(&self) -> String {
+        format!("BlockFIFO(k={},B={})", self.capacity, self.map.max_block_size())
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.present
+            .iter()
+            .map(|&b| self.map.block_len(b))
+            .sum()
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.map
+            .try_block_of(item)
+            .is_some_and(|b| self.present.contains(&b))
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        let block = self.map.block_of(item);
+        if self.present.contains(&block) {
+            return AccessResult::Hit;
+        }
+        let mut evicted = Vec::new();
+        if self.present.len() == self.slots {
+            let victim = self.queue.pop_front().expect("queue tracks presence");
+            self.present.remove(&victim);
+            evict_block_items(&self.map, victim, &mut evicted);
+        }
+        self.queue.push_back(block);
+        self.present.insert(block);
+        AccessResult::Miss {
+            loaded: self.map.items_of(block).collect(),
+            evicted,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.queue.clear();
+        self.present.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_lru_loads_whole_block() {
+        let map = BlockMap::strided(4);
+        let mut c = BlockLru::new(8, map);
+        assert_eq!(c.block_slots(), 2);
+        let r = c.access(ItemId(1));
+        assert_eq!(
+            r.loaded(),
+            &[ItemId(0), ItemId(1), ItemId(2), ItemId(3)],
+            "whole block loads"
+        );
+        // Sibling items hit for free: spatial locality.
+        assert!(c.access(ItemId(2)).is_hit());
+        assert!(c.access(ItemId(0)).is_hit());
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn block_lru_evicts_whole_block() {
+        let map = BlockMap::strided(2);
+        let mut c = BlockLru::new(4, map); // 2 block slots
+        c.access(ItemId(0)); // block 0
+        c.access(ItemId(2)); // block 1
+        c.access(ItemId(0)); // touch block 0
+        let r = c.access(ItemId(4)); // block 2 evicts block 1
+        assert_eq!(r.evicted(), &[ItemId(2), ItemId(3)]);
+        assert!(c.contains(ItemId(1)), "block 0 intact");
+        assert!(!c.contains(ItemId(3)));
+    }
+
+    #[test]
+    fn block_fifo_ignores_recency() {
+        let map = BlockMap::strided(2);
+        let mut c = BlockFifo::new(4, map);
+        c.access(ItemId(0)); // block 0
+        c.access(ItemId(2)); // block 1
+        c.access(ItemId(1)); // hit block 0 — no refresh
+        let r = c.access(ItemId(4)); // block 2 evicts block 0 (first in)
+        assert_eq!(r.evicted(), &[ItemId(0), ItemId(1)]);
+    }
+
+    #[test]
+    fn pollution_shrinks_effective_size() {
+        // One hot item per block: a block cache of k=8, B=4 holds only two
+        // "useful" items, so a 3-item working set thrashes.
+        let map = BlockMap::strided(4);
+        let mut c = BlockLru::new(8, map);
+        let mut misses = 0;
+        for round in 0..30 {
+            for blk in 0..3u64 {
+                if c.access(ItemId(blk * 4)).is_miss()
+                    && round > 0 {
+                        misses += 1;
+                    }
+            }
+        }
+        assert!(misses > 50, "expected thrashing, got {misses} misses");
+    }
+
+    #[test]
+    fn len_counts_items_not_blocks() {
+        let map = BlockMap::strided(4);
+        let mut c = BlockLru::new(12, map);
+        c.access(ItemId(0));
+        c.access(ItemId(4));
+        assert_eq!(c.len(), 8);
+        assert!(c.len() <= c.capacity());
+    }
+
+    #[test]
+    fn explicit_maps_with_ragged_blocks() {
+        let map = BlockMap::from_groups(vec![
+            vec![ItemId(10), ItemId(11), ItemId(12)],
+            vec![ItemId(20)],
+        ])
+        .unwrap();
+        let mut c = BlockLru::new(3, map);
+        assert_eq!(c.block_slots(), 1);
+        let r = c.access(ItemId(20));
+        assert_eq!(r.loaded(), &[ItemId(20)]);
+        assert_eq!(c.len(), 1);
+        let r = c.access(ItemId(11));
+        assert_eq!(r.loaded().len(), 3);
+        assert_eq!(r.evicted(), &[ItemId(20)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold a block")]
+    fn rejects_capacity_below_block_size() {
+        let _ = BlockLru::new(3, BlockMap::strided(4));
+    }
+
+    #[test]
+    fn reset_clears_blocks() {
+        let map = BlockMap::strided(2);
+        let mut c = BlockFifo::new(4, map);
+        c.access(ItemId(0));
+        c.reset();
+        assert_eq!(c.len(), 0);
+        assert!(c.access(ItemId(0)).is_miss());
+    }
+
+    #[test]
+    fn singleton_blocks_degenerate_to_item_cache() {
+        let mut blk = BlockLru::new(2, BlockMap::singleton());
+        let mut itm = crate::item::ItemLru::new(2);
+        for id in [1u64, 2, 1, 3, 2, 1, 3, 3, 4] {
+            let a = blk.access(ItemId(id));
+            let b = itm.access(ItemId(id));
+            assert_eq!(a.is_hit(), b.is_hit(), "diverged at {id}");
+        }
+    }
+}

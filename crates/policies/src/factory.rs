@@ -1,0 +1,298 @@
+//! Policy construction by name — the registry used by the CLI, the sweep
+//! harness, and the benchmarks.
+
+use crate::{
+    AdaptiveIblp, BlockFifo, BlockLru, GcPolicy, Gcm, Iblp, ItemClock, ItemFifo, ItemLfu,
+    ItemLru, ItemMarking, ItemRandom, LruK, Slru, ThresholdLoad, TwoQ, WTinyLfu,
+};
+use gc_types::{BlockMap, GcError};
+
+/// A buildable policy description.
+///
+/// `PolicyKind` is `Clone + Eq` and cheap, so sweep configurations can
+/// carry lists of kinds and instantiate fresh policies per (trace, size)
+/// combination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`ItemLru`].
+    ItemLru,
+    /// [`ItemFifo`].
+    ItemFifo,
+    /// [`ItemClock`].
+    ItemClock,
+    /// [`ItemLfu`].
+    ItemLfu,
+    /// [`ItemRandom`] with an RNG seed.
+    ItemRandom {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`ItemMarking`] with an RNG seed.
+    ItemMarking {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`BlockLru`].
+    BlockLru,
+    /// [`BlockFifo`].
+    BlockFifo,
+    /// [`Iblp`] with an even item/block split.
+    IblpBalanced,
+    /// [`Iblp`] with an explicit item-layer size; the block layer gets the
+    /// remaining lines.
+    Iblp {
+        /// Item-layer size `i` in lines.
+        item_lines: usize,
+    },
+    /// [`Gcm`] with an RNG seed.
+    Gcm {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`ThresholdLoad`] with parameter `a`.
+    ThresholdLoad {
+        /// The `a` parameter of Theorem 4.
+        a: usize,
+    },
+    /// [`TwoQ`].
+    TwoQ,
+    /// [`Slru`] with the default 80%-protected tuning.
+    Slru,
+    /// [`LruK`] with history depth `k`.
+    LruK {
+        /// History depth (2 is the classic setting).
+        k: usize,
+    },
+    /// [`WTinyLfu`].
+    WTinyLfu,
+    /// [`AdaptiveIblp`].
+    AdaptiveIblp,
+    /// [`Gcm`] restricted to at most `coload` guests per miss (§6.2's
+    /// partial-loading family).
+    PartialGcm {
+        /// RNG seed.
+        seed: u64,
+        /// Maximum co-loaded guests per miss.
+        coload: usize,
+    },
+}
+
+impl PolicyKind {
+    /// Instantiate the policy with total capacity `capacity` over `map`.
+    pub fn build(&self, capacity: usize, map: &BlockMap) -> Box<dyn GcPolicy> {
+        match *self {
+            PolicyKind::ItemLru => Box::new(ItemLru::new(capacity)),
+            PolicyKind::ItemFifo => Box::new(ItemFifo::new(capacity)),
+            PolicyKind::ItemClock => Box::new(ItemClock::new(capacity)),
+            PolicyKind::ItemLfu => Box::new(ItemLfu::new(capacity)),
+            PolicyKind::ItemRandom { seed } => Box::new(ItemRandom::new(capacity, seed)),
+            PolicyKind::ItemMarking { seed } => Box::new(ItemMarking::new(capacity, seed)),
+            PolicyKind::BlockLru => Box::new(BlockLru::new(capacity, map.clone())),
+            PolicyKind::BlockFifo => Box::new(BlockFifo::new(capacity, map.clone())),
+            PolicyKind::IblpBalanced => Box::new(Iblp::balanced(capacity, map.clone())),
+            PolicyKind::Iblp { item_lines } => {
+                let i = item_lines.min(capacity.saturating_sub(map.max_block_size()));
+                Box::new(Iblp::new(i.max(1), capacity - i.max(1), map.clone()))
+            }
+            PolicyKind::Gcm { seed } => Box::new(Gcm::new(capacity, map.clone(), seed)),
+            PolicyKind::ThresholdLoad { a } => {
+                // Clamp a into [1, B] so rosters parameterized by a stay
+                // buildable across block sizes.
+                let a = a.clamp(1, map.max_block_size());
+                Box::new(ThresholdLoad::new(capacity, a, map.clone()))
+            }
+            PolicyKind::TwoQ => Box::new(TwoQ::new(capacity)),
+            PolicyKind::Slru => Box::new(Slru::new(capacity)),
+            PolicyKind::LruK { k } => Box::new(LruK::new(capacity, k.max(1))),
+            PolicyKind::WTinyLfu => Box::new(WTinyLfu::new(capacity)),
+            PolicyKind::AdaptiveIblp => Box::new(AdaptiveIblp::new(capacity, map.clone())),
+            PolicyKind::PartialGcm { seed, coload } => {
+                Box::new(Gcm::with_coload_limit(capacity, map.clone(), seed, coload))
+            }
+        }
+    }
+
+    /// Short stable label (used in CSV headers and CLI output).
+    pub fn label(&self) -> String {
+        match self {
+            PolicyKind::ItemLru => "item-lru".into(),
+            PolicyKind::ItemFifo => "item-fifo".into(),
+            PolicyKind::ItemClock => "item-clock".into(),
+            PolicyKind::ItemLfu => "item-lfu".into(),
+            PolicyKind::ItemRandom { .. } => "item-random".into(),
+            PolicyKind::ItemMarking { .. } => "item-marking".into(),
+            PolicyKind::BlockLru => "block-lru".into(),
+            PolicyKind::BlockFifo => "block-fifo".into(),
+            PolicyKind::IblpBalanced => "iblp".into(),
+            PolicyKind::Iblp { item_lines } => format!("iblp:i={item_lines}"),
+            PolicyKind::Gcm { .. } => "gcm".into(),
+            PolicyKind::ThresholdLoad { a } => format!("loadk:a={a}"),
+            PolicyKind::TwoQ => "2q".into(),
+            PolicyKind::Slru => "slru".into(),
+            PolicyKind::LruK { k } => format!("lru-k:k={k}"),
+            PolicyKind::WTinyLfu => "tinylfu".into(),
+            PolicyKind::AdaptiveIblp => "adaptive-iblp".into(),
+            PolicyKind::PartialGcm { coload, .. } => format!("gcm-partial:j={coload}"),
+        }
+    }
+
+    /// Parse a label produced by [`label`](Self::label) (plus `seed=`
+    /// parameters for the randomized policies), e.g. `item-lru`,
+    /// `iblp:i=4096`, `loadk:a=2`, `gcm:seed=7`.
+    pub fn parse(s: &str) -> Result<Self, GcError> {
+        let (name, args) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        let parse_u64 = |args: Option<&str>, key: &str, default: u64| -> Result<u64, GcError> {
+            match args {
+                None => Ok(default),
+                Some(a) => match a.split_once('=') {
+                    Some((k, v)) if k == key => v
+                        .parse()
+                        .map_err(|_| GcError::InvalidParameter(format!("bad {key} in {s:?}"))),
+                    _ => Err(GcError::InvalidParameter(format!(
+                        "expected {key}=<n> in {s:?}"
+                    ))),
+                },
+            }
+        };
+        match name {
+            "item-lru" => Ok(PolicyKind::ItemLru),
+            "item-fifo" => Ok(PolicyKind::ItemFifo),
+            "item-clock" => Ok(PolicyKind::ItemClock),
+            "item-lfu" => Ok(PolicyKind::ItemLfu),
+            "item-random" => Ok(PolicyKind::ItemRandom { seed: parse_u64(args, "seed", 0)? }),
+            "item-marking" => Ok(PolicyKind::ItemMarking { seed: parse_u64(args, "seed", 0)? }),
+            "block-lru" => Ok(PolicyKind::BlockLru),
+            "block-fifo" => Ok(PolicyKind::BlockFifo),
+            "iblp" => match args {
+                None => Ok(PolicyKind::IblpBalanced),
+                Some(_) => Ok(PolicyKind::Iblp {
+                    item_lines: parse_u64(args, "i", 0)? as usize,
+                }),
+            },
+            "gcm" => Ok(PolicyKind::Gcm { seed: parse_u64(args, "seed", 0)? }),
+            "loadk" => Ok(PolicyKind::ThresholdLoad {
+                a: parse_u64(args, "a", 1)? as usize,
+            }),
+            "2q" => Ok(PolicyKind::TwoQ),
+            "slru" => Ok(PolicyKind::Slru),
+            "lru-k" => Ok(PolicyKind::LruK { k: parse_u64(args, "k", 2)? as usize }),
+            "tinylfu" => Ok(PolicyKind::WTinyLfu),
+            "adaptive-iblp" => Ok(PolicyKind::AdaptiveIblp),
+            "gcm-partial" => Ok(PolicyKind::PartialGcm {
+                seed: 0,
+                coload: parse_u64(args, "j", 1)? as usize,
+            }),
+            _ => Err(GcError::InvalidParameter(format!("unknown policy {s:?}"))),
+        }
+    }
+
+    /// The standard comparison roster: the paper's three protagonists plus
+    /// the classic baselines.
+    pub fn standard_roster(seed: u64) -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::ItemLru,
+            PolicyKind::ItemFifo,
+            PolicyKind::ItemClock,
+            PolicyKind::ItemLfu,
+            PolicyKind::ItemMarking { seed },
+            PolicyKind::BlockLru,
+            PolicyKind::IblpBalanced,
+            PolicyKind::Gcm { seed },
+            PolicyKind::ThresholdLoad { a: 1 },
+        ]
+    }
+
+    /// The extended roster: the standard roster plus the scan-resistant
+    /// item caches and the adaptive IBLP extension.
+    pub fn extended_roster(seed: u64) -> Vec<PolicyKind> {
+        let mut roster = Self::standard_roster(seed);
+        roster.extend([
+            PolicyKind::TwoQ,
+            PolicyKind::Slru,
+            PolicyKind::LruK { k: 2 },
+            PolicyKind::WTinyLfu,
+            PolicyKind::AdaptiveIblp,
+        ]);
+        roster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_types::ItemId;
+
+    #[test]
+    fn build_all_kinds() {
+        let map = BlockMap::strided(4);
+        for kind in PolicyKind::standard_roster(1) {
+            let mut p = kind.build(16, &map);
+            assert!(p.access(ItemId(0)).is_miss(), "{}", p.name());
+            assert!(p.access(ItemId(0)).is_hit(), "{}", p.name());
+            assert_eq!(p.capacity(), 16);
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips_labels() {
+        for kind in [
+            PolicyKind::ItemLru,
+            PolicyKind::ItemFifo,
+            PolicyKind::ItemClock,
+            PolicyKind::ItemLfu,
+            PolicyKind::BlockLru,
+            PolicyKind::BlockFifo,
+            PolicyKind::IblpBalanced,
+            PolicyKind::Iblp { item_lines: 42 },
+            PolicyKind::ThresholdLoad { a: 3 },
+            PolicyKind::TwoQ,
+            PolicyKind::Slru,
+            PolicyKind::LruK { k: 2 },
+            PolicyKind::WTinyLfu,
+            PolicyKind::AdaptiveIblp,
+            PolicyKind::PartialGcm { seed: 0, coload: 3 },
+        ] {
+            assert_eq!(PolicyKind::parse(&kind.label()).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn extended_roster_builds_everywhere() {
+        let map = BlockMap::strided(8);
+        for kind in PolicyKind::extended_roster(3) {
+            let mut p = kind.build(64, &map);
+            assert!(p.access(ItemId(0)).is_miss(), "{}", p.name());
+            assert!(p.access(ItemId(0)).is_hit(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn parse_seeded_policies() {
+        assert_eq!(
+            PolicyKind::parse("gcm:seed=9").unwrap(),
+            PolicyKind::Gcm { seed: 9 }
+        );
+        assert_eq!(
+            PolicyKind::parse("item-random").unwrap(),
+            PolicyKind::ItemRandom { seed: 0 }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(PolicyKind::parse("belady").is_err());
+        assert!(PolicyKind::parse("loadk:b=1").is_err());
+        assert!(PolicyKind::parse("loadk:a=x").is_err());
+    }
+
+    #[test]
+    fn iblp_item_lines_clamped_to_leave_block_room() {
+        let map = BlockMap::strided(8);
+        // item_lines larger than capacity − B must be clamped, not panic.
+        let p = PolicyKind::Iblp { item_lines: 100 }.build(32, &map);
+        assert_eq!(p.capacity(), 32);
+    }
+}

@@ -1,0 +1,371 @@
+//! Item-Block Layered Partitioning (IBLP) — the paper's policy (§5).
+//!
+//! IBLP splits its `k = i + b` lines into two layers (Figure 4):
+//!
+//! * an **item layer** of `i` lines: an item-granular LRU that serves every
+//!   access and loads only requested items (temporal locality);
+//! * a **block layer** of `b` lines: a block-granular LRU that serves only
+//!   accesses that *miss* in the item layer, loading and evicting whole
+//!   blocks (spatial locality).
+//!
+//! Two design subtleties from §5.1 are honored here:
+//!
+//! 1. **Ordering** — item-layer hits do *not* touch the block layer's LRU
+//!    list, so a block with one hot item cannot pin itself in the block
+//!    layer and pollute it.
+//! 2. **Neither inclusive nor exclusive** — an item may occupy a line in
+//!    both layers at once; each copy consumes one line of its layer's
+//!    budget, exactly like a real partitioned cache.
+//!
+//! Theorem 7 bounds IBLP's competitive ratio; `gc-bounds` has the closed
+//! forms and the §5.3 optimal split.
+
+use crate::lru_list::LruList;
+use crate::GcPolicy;
+use gc_types::{AccessResult, BlockId, BlockMap, ItemId};
+
+/// The IBLP policy. See the module docs for semantics.
+///
+/// ```
+/// use gc_policies::{GcPolicy, Iblp};
+/// use gc_types::{BlockMap, ItemId};
+///
+/// let mut cache = Iblp::new(8, 8, BlockMap::strided(4));
+/// assert!(cache.access(ItemId(0)).is_miss()); // loads the whole block
+/// assert!(cache.access(ItemId(1)).is_hit());  // spatial hit via block layer
+/// assert!(cache.access(ItemId(0)).is_hit());  // temporal hit via item layer
+/// ```
+#[derive(Clone, Debug)]
+pub struct Iblp {
+    item_size: usize,
+    block_size_lines: usize,
+    block_slots: usize,
+    map: BlockMap,
+    item_layer: LruList,
+    block_layer: LruList,
+}
+
+impl Iblp {
+    /// Build IBLP with an item layer of `item_size` lines and a block layer
+    /// of `block_size_lines` lines (holding `⌊block_size_lines/B⌋` blocks).
+    ///
+    /// # Panics
+    /// Panics if `item_size == 0` or the block layer cannot hold one block.
+    pub fn new(item_size: usize, block_size_lines: usize, map: BlockMap) -> Self {
+        assert!(item_size > 0, "item layer must hold at least one item");
+        let b = map.max_block_size();
+        assert!(
+            block_size_lines >= b,
+            "block layer of {block_size_lines} lines cannot hold a block of {b} items"
+        );
+        let block_slots = block_size_lines / b;
+        Iblp {
+            item_size,
+            block_size_lines,
+            block_slots,
+            map,
+            item_layer: LruList::with_capacity(item_size),
+            block_layer: LruList::with_capacity(block_slots),
+        }
+    }
+
+    /// IBLP with an even split: `i = ⌈k/2⌉`, `b = ⌊k/2⌋` — the
+    /// configuration analyzed in §7.3 / Table 2.
+    pub fn balanced(capacity: usize, map: BlockMap) -> Self {
+        let i = capacity.div_ceil(2);
+        Self::new(i, capacity - i, map)
+    }
+
+    /// Item-layer size `i`.
+    pub fn item_layer_size(&self) -> usize {
+        self.item_size
+    }
+
+    /// Block-layer size `b` in lines.
+    pub fn block_layer_size(&self) -> usize {
+        self.block_size_lines
+    }
+
+    /// Whether the block layer currently holds `block`.
+    pub fn block_resident(&self, block: BlockId) -> bool {
+        self.block_layer.contains(block.0)
+    }
+
+    /// Promote `item` into the item layer, returning an item evicted from
+    /// the cache as a whole (one that the block layer does not cover).
+    fn promote(&mut self, item: ItemId) -> Option<ItemId> {
+        self.item_layer.touch(item.0);
+        if self.item_layer.len() > self.item_size {
+            let victim = ItemId(self.item_layer.evict_lru().expect("nonempty"));
+            let covered = self.block_layer.contains(self.map.block_of(victim).0);
+            if !covered {
+                return Some(victim);
+            }
+        }
+        None
+    }
+}
+
+impl GcPolicy for Iblp {
+    fn name(&self) -> String {
+        format!(
+            "IBLP(i={},b={},B={})",
+            self.item_size,
+            self.block_size_lines,
+            self.map.max_block_size()
+        )
+    }
+
+    fn capacity(&self) -> usize {
+        self.item_size + self.block_size_lines
+    }
+
+    /// Lines in use across both layers. An item resident in both layers
+    /// occupies two lines, matching the partitioned-cache space model of
+    /// §5.1 (the layers are neither inclusive nor exclusive).
+    fn len(&self) -> usize {
+        let block_lines: usize = self
+            .block_layer
+            .iter_mru()
+            .map(|b| self.map.block_len(BlockId(b)))
+            .sum();
+        self.item_layer.len() + block_lines
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.item_layer.contains(item.0)
+            || self
+                .map
+                .try_block_of(item)
+                .is_some_and(|b| self.block_layer.contains(b.0))
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        // Item-layer hit: serve without disturbing the block layer (§5.1).
+        if self.item_layer.contains(item.0) {
+            self.item_layer.touch(item.0);
+            return AccessResult::Hit;
+        }
+
+        let block = self.map.block_of(item);
+
+        // Block-layer hit: refresh the block's recency, promote the item.
+        if self.block_layer.contains(block.0) {
+            self.block_layer.touch(block.0);
+            let _ = self.promote(item);
+            return AccessResult::Hit;
+        }
+
+        // Overall miss: load the whole block into the block layer.
+        // Items of the block already held by the item layer were resident
+        // before, so they are not part of `loaded`.
+        let loaded: Vec<ItemId> = self
+            .map
+            .items_of(block)
+            .filter(|z| !self.item_layer.contains(z.0))
+            .collect();
+        debug_assert!(loaded.contains(&item));
+
+        let mut evicted = Vec::new();
+        self.block_layer.touch(block.0);
+        if self.block_layer.len() > self.block_slots {
+            let victim = BlockId(self.block_layer.evict_lru().expect("nonempty"));
+            debug_assert_ne!(victim, block, "just-loaded block cannot be LRU");
+            for z in self.map.items_of(victim) {
+                if !self.item_layer.contains(z.0) {
+                    evicted.push(z);
+                }
+            }
+        }
+        if let Some(victim) = self.promote(item) {
+            evicted.push(victim);
+        }
+        AccessResult::Miss { loaded, evicted }
+    }
+
+    fn reset(&mut self) {
+        self.item_layer.clear();
+        self.block_layer.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map4() -> BlockMap {
+        BlockMap::strided(4)
+    }
+
+    #[test]
+    fn spatial_hits_come_from_block_layer() {
+        let mut c = Iblp::new(4, 8, map4());
+        let r = c.access(ItemId(0));
+        assert!(r.is_miss());
+        assert_eq!(r.loaded().len(), 4, "whole block loads");
+        // Sibling items hit via the block layer.
+        assert!(c.access(ItemId(1)).is_hit());
+        assert!(c.access(ItemId(3)).is_hit());
+    }
+
+    #[test]
+    fn temporal_hits_do_not_touch_block_lru() {
+        // Block layer holds 2 blocks (b=8, B=4). Access blocks 0 then 1,
+        // then hammer item 0 (an item-layer hit after promotion). Block 0
+        // must NOT be refreshed in the block layer, so loading block 2
+        // evicts block 0, not block 1.
+        let mut c = Iblp::new(4, 8, map4());
+        c.access(ItemId(0)); // block 0 loads; item 0 promoted
+        c.access(ItemId(4)); // block 1 loads
+        for _ in 0..5 {
+            assert!(c.access(ItemId(0)).is_hit(), "item-layer hit");
+        }
+        let r = c.access(ItemId(8)); // block 2
+        assert!(r.is_miss());
+        // Block 0 was LRU in the block layer despite the hot item.
+        assert!(!c.block_resident(BlockId(0)));
+        assert!(c.block_resident(BlockId(1)));
+        // Item 0 survives in the item layer.
+        assert!(c.contains(ItemId(0)));
+    }
+
+    #[test]
+    fn eviction_respects_layer_overlap() {
+        // An item evicted from the item layer stays resident if its block
+        // is still in the block layer.
+        let mut c = Iblp::new(1, 4, map4());
+        c.access(ItemId(0)); // block 0 in block layer; item 0 in item layer
+        let r = c.access(ItemId(1)); // hit via block layer; promotion evicts 0 from item layer
+        assert!(r.is_hit());
+        assert!(c.contains(ItemId(0)), "still covered by block layer");
+    }
+
+    #[test]
+    fn eviction_reported_when_uncovered() {
+        // Item promoted long ago whose block has left the block layer is
+        // truly evicted when it falls off the item layer.
+        let mut c = Iblp::new(2, 4, map4()); // 1 block slot
+        c.access(ItemId(0)); // block 0; item layer [0]
+        c.access(ItemId(4)); // block 1 replaces block 0; item layer [4,0]
+        // Now item 0 is only in the item layer. Two more promotions push it out.
+        let r1 = c.access(ItemId(5)); // hit via block layer; item layer [5,4], 0 evicted
+        assert!(r1.is_hit());
+        assert!(!c.contains(ItemId(0)), "item 0 fully evicted");
+    }
+
+    #[test]
+    fn miss_lists_block_evictions() {
+        let mut c = Iblp::new(4, 4, map4()); // 1 block slot
+        c.access(ItemId(0)); // block 0
+        let r = c.access(ItemId(4)); // block 1 evicts block 0
+        // Items 1,2,3 leave (not in item layer); item 0 survives in item layer.
+        assert_eq!(r.evicted(), &[ItemId(1), ItemId(2), ItemId(3)]);
+        assert!(c.contains(ItemId(0)));
+        assert!(r.loaded().contains(&ItemId(4)));
+    }
+
+    #[test]
+    fn loaded_excludes_items_already_in_item_layer() {
+        let mut c = Iblp::new(4, 4, map4()); // 1 block slot
+        c.access(ItemId(0)); // block 0; item 0 promoted
+        c.access(ItemId(4)); // block 1 replaces block 0; item 0 only in item layer
+        let r = c.access(ItemId(1)); // block 0 reloads
+        assert!(r.is_miss());
+        // Item 0 was already resident (item layer), so block 0's reload
+        // brings in 1, 2, 3 only.
+        assert_eq!(r.loaded(), &[ItemId(1), ItemId(2), ItemId(3)]);
+    }
+
+    #[test]
+    fn capacity_and_len_count_lines() {
+        let mut c = Iblp::new(3, 8, map4());
+        assert_eq!(c.capacity(), 11);
+        c.access(ItemId(0));
+        // Item 0 occupies an item-layer line AND a block-layer line.
+        assert_eq!(c.len(), 1 + 4);
+        c.access(ItemId(4));
+        assert_eq!(c.len(), 2 + 8);
+        assert!(c.len() <= c.capacity());
+    }
+
+    #[test]
+    fn balanced_split() {
+        let c = Iblp::balanced(64, map4());
+        assert_eq!(c.item_layer_size(), 32);
+        assert_eq!(c.block_layer_size(), 32);
+        assert_eq!(c.capacity(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold a block")]
+    fn block_layer_must_fit_one_block() {
+        let _ = Iblp::new(4, 2, map4());
+    }
+
+    #[test]
+    fn beats_item_cache_on_streaming() {
+        // Whole-block streaming: IBLP hits B−1 of every B accesses; an item
+        // cache of equal size misses everything (universe >> k).
+        use crate::item::ItemLru;
+        let map = BlockMap::strided(8);
+        let mut iblp = Iblp::new(8, 8, map);
+        let mut lru = ItemLru::new(16);
+        let mut iblp_misses = 0;
+        let mut lru_misses = 0;
+        for id in 0..4000u64 {
+            if iblp.access(ItemId(id)).is_miss() {
+                iblp_misses += 1;
+            }
+            if lru.access(ItemId(id)).is_miss() {
+                lru_misses += 1;
+            }
+        }
+        assert_eq!(lru_misses, 4000);
+        assert_eq!(iblp_misses, 4000 / 8);
+    }
+
+    #[test]
+    fn beats_block_cache_on_sparse_reuse() {
+        // One hot item per block, working set of 6 blocks: a block cache of
+        // 16 lines (2 block slots) thrashes; IBLP's item layer holds all 6.
+        use crate::block::BlockLru;
+        let map = BlockMap::strided(8);
+        let mut iblp = Iblp::new(8, 8, map.clone());
+        let mut blk = BlockLru::new(16, map);
+        let mut iblp_misses = 0;
+        let mut blk_misses = 0;
+        for round in 0..200u64 {
+            for b in 0..6u64 {
+                let item = ItemId(b * 8);
+                if iblp.access(item).is_miss() && round > 0 {
+                    iblp_misses += 1;
+                }
+                if blk.access(item).is_miss() && round > 0 {
+                    blk_misses += 1;
+                }
+            }
+        }
+        assert_eq!(iblp_misses, 0, "item layer covers the working set");
+        assert!(blk_misses > 500, "block cache thrashes: {blk_misses}");
+    }
+
+    #[test]
+    fn reset_clears_both_layers() {
+        let mut c = Iblp::new(4, 8, map4());
+        c.access(ItemId(0));
+        c.reset();
+        assert_eq!(c.len(), 0);
+        assert!(c.access(ItemId(0)).is_miss());
+    }
+
+    #[test]
+    fn contains_matches_access_outcome() {
+        let mut c = Iblp::new(3, 8, map4());
+        let ids = [0u64, 5, 1, 9, 13, 2, 7, 0, 4, 11, 3, 8, 1];
+        for &id in &ids {
+            let pre = c.contains(ItemId(id));
+            let r = c.access(ItemId(id));
+            assert_eq!(pre, r.is_hit(), "at {id}");
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Ablation variants of IBLP, exercising the §5.1 design choices.
+//!
+//! §5.1 motivates two subtleties of IBLP's design:
+//!
+//! 1. **Layer ordering** — item-layer hits must *not* refresh the block
+//!    layer's LRU list, otherwise "blocks with a small number of frequently
+//!    accessed items … pollute the block layer".
+//! 2. **Promotion** — every access loads the requested item into the item
+//!    layer, so temporal reuse is served there and stops perturbing the
+//!    block layer.
+//!
+//! [`IblpVariant`] makes both choices configurable so the claims can be
+//! measured (see the ablation tests below and the `ablation` bench): the
+//! paper's configuration is [`IblpConfig::paper`], the spoiled ones flip a
+//! flag each.
+
+use crate::lru_list::LruList;
+use crate::GcPolicy;
+use gc_types::{AccessResult, BlockId, BlockMap, ItemId};
+
+/// Design-choice switches for [`IblpVariant`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IblpConfig {
+    /// If `true`, an item-layer hit also touches the block's LRU entry —
+    /// the pollution mistake §5.1 warns against.
+    pub touch_block_on_item_hit: bool,
+    /// If `false`, block-layer hits do not promote the item into the item
+    /// layer (temporal reuse keeps hammering the block layer).
+    pub promote_on_block_hit: bool,
+}
+
+impl IblpConfig {
+    /// The paper's design (equivalent to [`crate::Iblp`]).
+    pub fn paper() -> Self {
+        IblpConfig { touch_block_on_item_hit: false, promote_on_block_hit: true }
+    }
+
+    /// Ablation 1: item hits refresh block recency.
+    pub fn block_touching() -> Self {
+        IblpConfig { touch_block_on_item_hit: true, ..Self::paper() }
+    }
+
+    /// Ablation 2: no promotion on block-layer hits.
+    pub fn no_promotion() -> Self {
+        IblpConfig { promote_on_block_hit: false, ..Self::paper() }
+    }
+}
+
+/// IBLP with configurable design choices (see [`IblpConfig`]).
+#[derive(Clone, Debug)]
+pub struct IblpVariant {
+    config: IblpConfig,
+    item_size: usize,
+    block_size_lines: usize,
+    block_slots: usize,
+    map: BlockMap,
+    item_layer: LruList,
+    block_layer: LruList,
+}
+
+impl IblpVariant {
+    /// Build a variant with layer sizes `(item_size, block_size_lines)`.
+    pub fn new(item_size: usize, block_size_lines: usize, map: BlockMap, config: IblpConfig) -> Self {
+        assert!(item_size > 0, "item layer must hold at least one item");
+        let b = map.max_block_size();
+        assert!(block_size_lines >= b, "block layer cannot hold a block");
+        IblpVariant {
+            config,
+            item_size,
+            block_size_lines,
+            block_slots: block_size_lines / b,
+            map,
+            item_layer: LruList::with_capacity(item_size),
+            block_layer: LruList::with_capacity(block_size_lines / b),
+        }
+    }
+
+    fn promote(&mut self, item: ItemId) -> Option<ItemId> {
+        self.item_layer.touch(item.0);
+        if self.item_layer.len() > self.item_size {
+            let victim = ItemId(self.item_layer.evict_lru().expect("nonempty"));
+            if !self.block_layer.contains(self.map.block_of(victim).0) {
+                return Some(victim);
+            }
+        }
+        None
+    }
+}
+
+impl GcPolicy for IblpVariant {
+    fn name(&self) -> String {
+        format!(
+            "IBLP-variant(i={},b={},touch={},promote={})",
+            self.item_size,
+            self.block_size_lines,
+            self.config.touch_block_on_item_hit,
+            self.config.promote_on_block_hit
+        )
+    }
+
+    fn capacity(&self) -> usize {
+        self.item_size + self.block_size_lines
+    }
+
+    fn len(&self) -> usize {
+        let block_lines: usize = self
+            .block_layer
+            .iter_mru()
+            .map(|b| self.map.block_len(BlockId(b)))
+            .sum();
+        self.item_layer.len() + block_lines
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.item_layer.contains(item.0)
+            || self
+                .map
+                .try_block_of(item)
+                .is_some_and(|b| self.block_layer.contains(b.0))
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        let block = self.map.block_of(item);
+        if self.item_layer.contains(item.0) {
+            self.item_layer.touch(item.0);
+            if self.config.touch_block_on_item_hit && self.block_layer.contains(block.0) {
+                self.block_layer.touch(block.0);
+            }
+            return AccessResult::Hit;
+        }
+        if self.block_layer.contains(block.0) {
+            self.block_layer.touch(block.0);
+            if self.config.promote_on_block_hit {
+                let _ = self.promote(item);
+            }
+            return AccessResult::Hit;
+        }
+        let loaded: Vec<ItemId> = self
+            .map
+            .items_of(block)
+            .filter(|z| !self.item_layer.contains(z.0))
+            .collect();
+        let mut evicted = Vec::new();
+        self.block_layer.touch(block.0);
+        if self.block_layer.len() > self.block_slots {
+            let victim = BlockId(self.block_layer.evict_lru().expect("nonempty"));
+            for z in self.map.items_of(victim) {
+                if !self.item_layer.contains(z.0) {
+                    evicted.push(z);
+                }
+            }
+        }
+        if let Some(victim) = self.promote(item) {
+            evicted.push(victim);
+        }
+        AccessResult::Miss { loaded, evicted }
+    }
+
+    fn reset(&mut self) {
+        self.item_layer.clear();
+        self.block_layer.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iblp::Iblp;
+    use gc_types::Trace;
+
+    fn misses(policy: &mut dyn GcPolicy, trace: &Trace) -> u64 {
+        trace.iter().filter(|&i| policy.access(i).is_miss()).count() as u64
+    }
+
+    /// The §5.1 pollution trace: one block with a single hot item that is
+    /// hammered between accesses to streaming blocks. If item hits refresh
+    /// block recency, the hot item's mostly-useless block pins a block slot.
+    fn pollution_trace(b: u64, blocks: u64, rounds: u64) -> Trace {
+        let mut t = Trace::new();
+        for round in 0..rounds {
+            // Hot item from block 0 (only item 0 is ever used there).
+            for _ in 0..b {
+                t.push(ItemId(0));
+            }
+            // Stream a handful of fully-used blocks (cycled).
+            let blk = 1 + (round % blocks);
+            for off in 0..b {
+                t.push(ItemId(blk * b + off));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn paper_config_matches_canonical_iblp() {
+        let map = BlockMap::strided(4);
+        let trace = pollution_trace(4, 6, 300);
+        let mut canonical = Iblp::new(8, 8, map.clone());
+        let mut variant = IblpVariant::new(8, 8, map, IblpConfig::paper());
+        for item in trace.iter() {
+            assert_eq!(
+                canonical.access(item).is_hit(),
+                variant.access(item).is_hit(),
+                "diverged at {item}"
+            );
+        }
+    }
+
+    #[test]
+    fn ablation_block_touching_hurts_on_pollution_trace() {
+        // With touching, the hot item's block stays MRU in the block layer
+        // and the streaming blocks thrash in the remaining slot(s).
+        let map = BlockMap::strided(4);
+        let trace = pollution_trace(4, 3, 500);
+        let mut paper = IblpVariant::new(4, 8, map.clone(), IblpConfig::paper());
+        let mut spoiled = IblpVariant::new(4, 8, map, IblpConfig::block_touching());
+        let m_paper = misses(&mut paper, &trace);
+        let m_spoiled = misses(&mut spoiled, &trace);
+        assert!(
+            m_paper <= m_spoiled,
+            "paper {m_paper} should not lose to block-touching {m_spoiled}"
+        );
+    }
+
+    #[test]
+    fn ablation_no_promotion_loses_block_hit_reuse() {
+        // The promotion path matters when an item's first touch is a
+        // block-layer hit (a co-load) and the block then leaves the block
+        // layer: with promotion the item survives in the item layer; without
+        // it the next access misses. Micro-scenario with B = 4, 2 block
+        // slots, item layer of 8:
+        let map = BlockMap::strided(4);
+        let trace = Trace::from_ids([
+            1,  // miss: loads block 0, promotes item 1
+            0,  // BLOCK-LAYER hit on a co-load — the config decision point
+            4,  // miss: block 1
+            8,  // miss: block 2 — evicts block 0 from the block layer
+            0,  // promoted ⇒ item-layer hit; unpromoted ⇒ miss
+        ]);
+        let mut paper = IblpVariant::new(8, 8, map.clone(), IblpConfig::paper());
+        let mut spoiled = IblpVariant::new(8, 8, map, IblpConfig::no_promotion());
+        assert_eq!(misses(&mut paper, &trace), 3);
+        assert_eq!(misses(&mut spoiled, &trace), 4, "lost the reuse of item 0");
+    }
+
+    #[test]
+    fn promotion_tradeoff_stream_pollution_is_real() {
+        // The flip side §5.1 accepts: promoting *every* access lets
+        // streaming items churn a tiny item layer. With a hot item whose
+        // reuse distance spans a whole streamed block, the paper config
+        // pays for its choice — documenting that the design is a trade-off,
+        // not a free lunch (the item layer must be sized for the hot set).
+        let map = BlockMap::strided(8);
+        let mut trace = Trace::new();
+        for round in 0..200u64 {
+            trace.push(ItemId(0));
+            let blk = 1 + (round % 2);
+            for off in 0..8 {
+                trace.push(ItemId(blk * 8 + off));
+            }
+        }
+        let mut tiny = IblpVariant::new(2, 16, map.clone(), IblpConfig::paper());
+        let mut sized = IblpVariant::new(16, 16, map, IblpConfig::paper());
+        let m_tiny = misses(&mut tiny, &trace);
+        let m_sized = misses(&mut sized, &trace);
+        assert!(
+            m_sized < m_tiny / 2,
+            "sizing the item layer for the hot set must pay off: {m_sized} vs {m_tiny}"
+        );
+    }
+
+    #[test]
+    fn invariants_hold_for_all_configs() {
+        for config in [IblpConfig::paper(), IblpConfig::block_touching(), IblpConfig::no_promotion()] {
+            let map = BlockMap::strided(4);
+            let mut c = IblpVariant::new(6, 8, map, config);
+            let mut x = 11u64;
+            for _ in 0..2000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let item = ItemId(x % 48);
+                let pre = c.contains(item);
+                let r = c.access(item);
+                assert_eq!(pre, r.is_hit(), "{config:?}");
+                assert!(c.contains(item));
+                assert!(c.len() <= c.capacity());
+                for e in r.evicted() {
+                    assert!(!c.contains(*e), "{config:?}: zombie {e}");
+                }
+            }
+            c.reset();
+            assert_eq!(c.len(), 0);
+        }
+    }
+}

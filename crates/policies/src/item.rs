@@ -1,0 +1,639 @@
+//! Item Caches: policies that load only the requested item.
+//!
+//! These are the "traditional caches" of the paper's §2 baseline — they
+//! exploit temporal locality only. Theorem 2 shows any such policy pays a
+//! competitive penalty of roughly `B×` in the GC model; they remain the
+//! right choice when the online cache is barely larger than the comparison
+//! point (§4.4).
+
+use crate::lru_list::LruList;
+use crate::GcPolicy;
+use gc_types::{AccessResult, FxHashMap, FxHashSet, ItemId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, VecDeque};
+
+fn check_capacity(capacity: usize) -> usize {
+    assert!(capacity > 0, "cache capacity must be positive");
+    capacity
+}
+
+/// Least-Recently-Used item cache — the canonical online policy and the
+/// building block of IBLP's item layer.
+#[derive(Clone, Debug)]
+pub struct ItemLru {
+    capacity: usize,
+    list: LruList,
+}
+
+impl ItemLru {
+    /// An LRU cache holding up to `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        ItemLru {
+            capacity: check_capacity(capacity),
+            list: LruList::with_capacity(capacity),
+        }
+    }
+}
+
+impl GcPolicy for ItemLru {
+    fn name(&self) -> String {
+        format!("ItemLRU(k={})", self.capacity)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.list.contains(item.0)
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        if !self.list.touch(item.0) {
+            return AccessResult::Hit;
+        }
+        let mut evicted = Vec::new();
+        if self.list.len() > self.capacity {
+            let victim = self.list.evict_lru().expect("nonempty after insert");
+            evicted.push(ItemId(victim));
+        }
+        AccessResult::Miss { loaded: vec![item], evicted }
+    }
+
+    fn reset(&mut self) {
+        self.list.clear();
+    }
+}
+
+/// First-In-First-Out item cache: evicts in insertion order, ignoring
+/// recency (hits do not move an item).
+#[derive(Clone, Debug)]
+pub struct ItemFifo {
+    capacity: usize,
+    queue: VecDeque<ItemId>,
+    present: FxHashSet<ItemId>,
+}
+
+impl ItemFifo {
+    /// A FIFO cache holding up to `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        ItemFifo {
+            capacity: check_capacity(capacity),
+            queue: VecDeque::with_capacity(capacity + 1),
+            present: FxHashSet::default(),
+        }
+    }
+}
+
+impl GcPolicy for ItemFifo {
+    fn name(&self) -> String {
+        format!("ItemFIFO(k={})", self.capacity)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.present.contains(&item)
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        if self.present.contains(&item) {
+            return AccessResult::Hit;
+        }
+        let mut evicted = Vec::new();
+        if self.present.len() == self.capacity {
+            let victim = self.queue.pop_front().expect("queue tracks presence");
+            self.present.remove(&victim);
+            evicted.push(victim);
+        }
+        self.queue.push_back(item);
+        self.present.insert(item);
+        AccessResult::Miss { loaded: vec![item], evicted }
+    }
+
+    fn reset(&mut self) {
+        self.queue.clear();
+        self.present.clear();
+    }
+}
+
+/// CLOCK (second-chance) item cache: a FIFO ring with one reference bit per
+/// entry — the classic low-overhead LRU approximation.
+#[derive(Clone, Debug)]
+pub struct ItemClock {
+    capacity: usize,
+    ring: Vec<(ItemId, bool)>,
+    hand: usize,
+    index: FxHashMap<ItemId, usize>,
+}
+
+impl ItemClock {
+    /// A CLOCK cache holding up to `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        ItemClock {
+            capacity: check_capacity(capacity),
+            ring: Vec::with_capacity(capacity),
+            hand: 0,
+            index: FxHashMap::default(),
+        }
+    }
+}
+
+impl GcPolicy for ItemClock {
+    fn name(&self) -> String {
+        format!("ItemCLOCK(k={})", self.capacity)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.index.contains_key(&item)
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        if let Some(&pos) = self.index.get(&item) {
+            self.ring[pos].1 = true;
+            return AccessResult::Hit;
+        }
+        let mut evicted = Vec::new();
+        // New entries start with the reference bit clear; only a hit sets
+        // it. That is what makes the hand's "second chance" meaningful.
+        if self.ring.len() < self.capacity {
+            self.index.insert(item, self.ring.len());
+            self.ring.push((item, false));
+        } else {
+            // Advance the hand until an unreferenced entry is found.
+            loop {
+                let (victim, referenced) = self.ring[self.hand];
+                if referenced {
+                    self.ring[self.hand].1 = false;
+                    self.hand = (self.hand + 1) % self.capacity;
+                } else {
+                    self.index.remove(&victim);
+                    evicted.push(victim);
+                    self.ring[self.hand] = (item, false);
+                    self.index.insert(item, self.hand);
+                    self.hand = (self.hand + 1) % self.capacity;
+                    break;
+                }
+            }
+        }
+        AccessResult::Miss { loaded: vec![item], evicted }
+    }
+
+    fn reset(&mut self) {
+        self.ring.clear();
+        self.index.clear();
+        self.hand = 0;
+    }
+}
+
+/// Least-Frequently-Used item cache with LRU tie-breaking.
+///
+/// Frequencies persist only while the item is resident (no ghost history).
+#[derive(Clone, Debug)]
+pub struct ItemLfu {
+    capacity: usize,
+    /// (frequency, last-access sequence, item) — the `BTreeSet` minimum is
+    /// the eviction victim.
+    order: BTreeSet<(u64, u64, ItemId)>,
+    entries: FxHashMap<ItemId, (u64, u64)>,
+    clock: u64,
+}
+
+impl ItemLfu {
+    /// An LFU cache holding up to `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        ItemLfu {
+            capacity: check_capacity(capacity),
+            order: BTreeSet::new(),
+            entries: FxHashMap::default(),
+            clock: 0,
+        }
+    }
+}
+
+impl GcPolicy for ItemLfu {
+    fn name(&self) -> String {
+        format!("ItemLFU(k={})", self.capacity)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.entries.contains_key(&item)
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        self.clock += 1;
+        if let Some(&(freq, seq)) = self.entries.get(&item) {
+            self.order.remove(&(freq, seq, item));
+            self.order.insert((freq + 1, self.clock, item));
+            self.entries.insert(item, (freq + 1, self.clock));
+            return AccessResult::Hit;
+        }
+        let mut evicted = Vec::new();
+        if self.entries.len() == self.capacity {
+            let &(freq, seq, victim) = self.order.iter().next().expect("nonempty at capacity");
+            self.order.remove(&(freq, seq, victim));
+            self.entries.remove(&victim);
+            evicted.push(victim);
+        }
+        self.order.insert((1, self.clock, item));
+        self.entries.insert(item, (1, self.clock));
+        AccessResult::Miss { loaded: vec![item], evicted }
+    }
+
+    fn reset(&mut self) {
+        self.order.clear();
+        self.entries.clear();
+        self.clock = 0;
+    }
+}
+
+/// Random-replacement item cache (seeded, hence reproducible).
+#[derive(Clone, Debug)]
+pub struct ItemRandom {
+    capacity: usize,
+    items: Vec<ItemId>,
+    index: FxHashMap<ItemId, usize>,
+    rng: SmallRng,
+}
+
+impl ItemRandom {
+    /// A random-replacement cache holding up to `capacity` items.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        ItemRandom {
+            capacity: check_capacity(capacity),
+            items: Vec::with_capacity(capacity),
+            index: FxHashMap::default(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl GcPolicy for ItemRandom {
+    fn name(&self) -> String {
+        format!("ItemRandom(k={})", self.capacity)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.index.contains_key(&item)
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        if self.index.contains_key(&item) {
+            return AccessResult::Hit;
+        }
+        let mut evicted = Vec::new();
+        if self.items.len() == self.capacity {
+            let pos = self.rng.gen_range(0..self.items.len());
+            let victim = self.items.swap_remove(pos);
+            self.index.remove(&victim);
+            if pos < self.items.len() {
+                self.index.insert(self.items[pos], pos);
+            }
+            evicted.push(victim);
+        }
+        self.index.insert(item, self.items.len());
+        self.items.push(item);
+        AccessResult::Miss { loaded: vec![item], evicted }
+    }
+
+    fn reset(&mut self) {
+        self.items.clear();
+        self.index.clear();
+    }
+}
+
+/// The classic randomized marking algorithm (Fiat et al.), at item
+/// granularity.
+///
+/// Requested items are marked; evictions pick a uniformly random *unmarked*
+/// item, and when everything is marked a new phase begins (all marks
+/// cleared). §6.1 notes this policy ignores granularity change and pays a
+/// factor `B` on block-streaming traces — [`Gcm`](crate::Gcm) is the
+/// granularity-aware fix.
+#[derive(Clone, Debug)]
+pub struct ItemMarking {
+    capacity: usize,
+    marked: FxHashSet<ItemId>,
+    /// Unmarked resident items, in a vector for O(1) random choice.
+    unmarked: Vec<ItemId>,
+    unmarked_pos: FxHashMap<ItemId, usize>,
+    rng: SmallRng,
+}
+
+impl ItemMarking {
+    /// A marking cache holding up to `capacity` items.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        ItemMarking {
+            capacity: check_capacity(capacity),
+            marked: FxHashSet::default(),
+            unmarked: Vec::new(),
+            unmarked_pos: FxHashMap::default(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn remove_unmarked(&mut self, item: ItemId) -> bool {
+        if let Some(pos) = self.unmarked_pos.remove(&item) {
+            self.unmarked.swap_remove(pos);
+            if pos < self.unmarked.len() {
+                self.unmarked_pos.insert(self.unmarked[pos], pos);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evict one item: random unmarked, starting a new phase if none exist.
+    fn evict_one(&mut self) -> ItemId {
+        if self.unmarked.is_empty() {
+            // New phase: clear all marks.
+            for item in self.marked.drain() {
+                self.unmarked_pos.insert(item, self.unmarked.len());
+                self.unmarked.push(item);
+            }
+        }
+        let pos = self.rng.gen_range(0..self.unmarked.len());
+        let victim = self.unmarked.swap_remove(pos);
+        self.unmarked_pos.remove(&victim);
+        if pos < self.unmarked.len() {
+            self.unmarked_pos.insert(self.unmarked[pos], pos);
+        }
+        victim
+    }
+}
+
+impl GcPolicy for ItemMarking {
+    fn name(&self) -> String {
+        format!("ItemMarking(k={})", self.capacity)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.marked.len() + self.unmarked.len()
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.marked.contains(&item) || self.unmarked_pos.contains_key(&item)
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        if self.marked.contains(&item) {
+            return AccessResult::Hit;
+        }
+        if self.remove_unmarked(item) {
+            self.marked.insert(item);
+            return AccessResult::Hit;
+        }
+        let mut evicted = Vec::new();
+        if self.len() == self.capacity {
+            evicted.push(self.evict_one());
+        }
+        self.marked.insert(item);
+        AccessResult::Miss { loaded: vec![item], evicted }
+    }
+
+    fn reset(&mut self) {
+        self.marked.clear();
+        self.unmarked.clear();
+        self.unmarked_pos.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(policy: &mut impl GcPolicy, ids: &[u64]) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for &id in ids {
+            match policy.access(ItemId(id)) {
+                AccessResult::Hit => hits += 1,
+                AccessResult::Miss { .. } => misses += 1,
+            }
+        }
+        (hits, misses)
+    }
+
+    /// Invariant check shared by all item policies.
+    fn invariants(policy: &mut impl GcPolicy, ids: &[u64]) {
+        for &id in ids {
+            let item = ItemId(id);
+            let was_present = policy.contains(item);
+            let result = policy.access(item);
+            assert_eq!(result.is_hit(), was_present, "contains/access disagree");
+            if let AccessResult::Miss { loaded, evicted } = &result {
+                assert_eq!(loaded, &vec![item], "item caches load only the request");
+                for e in evicted {
+                    assert!(!policy.contains(*e), "evicted item still present");
+                }
+            }
+            assert!(policy.contains(item), "requested item must be resident after access");
+            assert!(policy.len() <= policy.capacity(), "capacity exceeded");
+        }
+    }
+
+    fn pseudo_ids(len: usize, universe: u64) -> Vec<u64> {
+        let mut x = 0x9E37_79B9u64;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % universe
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = ItemLru::new(2);
+        c.access(ItemId(1));
+        c.access(ItemId(2));
+        c.access(ItemId(1)); // 1 is now MRU
+        let r = c.access(ItemId(3));
+        assert_eq!(r.evicted(), &[ItemId(2)]);
+        assert!(c.contains(ItemId(1)));
+        assert!(!c.contains(ItemId(2)));
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut c = ItemFifo::new(2);
+        c.access(ItemId(1));
+        c.access(ItemId(2));
+        c.access(ItemId(1)); // hit: does NOT refresh
+        let r = c.access(ItemId(3));
+        assert_eq!(r.evicted(), &[ItemId(1)], "FIFO evicts first-in despite the hit");
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut c = ItemClock::new(2);
+        c.access(ItemId(1));
+        c.access(ItemId(2));
+        c.access(ItemId(1)); // sets 1's ref bit
+        let r = c.access(ItemId(3));
+        // Hand passes 1 (referenced: cleared), evicts 2.
+        assert_eq!(r.evicted(), &[ItemId(2)]);
+        assert!(c.contains(ItemId(1)));
+    }
+
+    #[test]
+    fn lfu_protects_frequent_items() {
+        let mut c = ItemLfu::new(2);
+        c.access(ItemId(1));
+        c.access(ItemId(1));
+        c.access(ItemId(1));
+        c.access(ItemId(2));
+        let r = c.access(ItemId(3));
+        assert_eq!(r.evicted(), &[ItemId(2)], "the singleton loses to the hot item");
+    }
+
+    #[test]
+    fn lfu_ties_break_lru() {
+        let mut c = ItemLfu::new(2);
+        c.access(ItemId(1));
+        c.access(ItemId(2));
+        // Both have frequency 1; 1 is older.
+        let r = c.access(ItemId(3));
+        assert_eq!(r.evicted(), &[ItemId(1)]);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let ids = pseudo_ids(2000, 64);
+        let mut a = ItemRandom::new(16, 42);
+        let mut b = ItemRandom::new(16, 42);
+        assert_eq!(drive(&mut a, &ids), drive(&mut b, &ids));
+    }
+
+    #[test]
+    fn marking_hits_mark_items() {
+        let mut c = ItemMarking::new(3, 1);
+        c.access(ItemId(1));
+        c.access(ItemId(2));
+        c.access(ItemId(3));
+        // All marked; next miss starts a new phase and evicts one of them.
+        let r = c.access(ItemId(4));
+        assert_eq!(r.evicted().len(), 1);
+        assert!(c.contains(ItemId(4)));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn marking_never_evicts_marked_while_unmarked_exist() {
+        let mut c = ItemMarking::new(3, 7);
+        c.access(ItemId(1)); // marked
+        c.access(ItemId(2)); // marked
+        c.access(ItemId(3)); // marked
+        // Phase reset on next miss, then re-mark 1.
+        c.access(ItemId(4));
+        c.access(ItemId(1));
+        // 1 and 4 are marked; eviction must take 2 or 3.
+        let r = c.access(ItemId(5));
+        let v = r.evicted()[0];
+        assert!(v == ItemId(2) || v == ItemId(3), "evicted {v}");
+    }
+
+    #[test]
+    fn all_policies_satisfy_invariants() {
+        let ids = pseudo_ids(5000, 100);
+        invariants(&mut ItemLru::new(32), &ids);
+        invariants(&mut ItemFifo::new(32), &ids);
+        invariants(&mut ItemClock::new(32), &ids);
+        invariants(&mut ItemLfu::new(32), &ids);
+        invariants(&mut ItemRandom::new(32, 3), &ids);
+        invariants(&mut ItemMarking::new(32, 3), &ids);
+    }
+
+    #[test]
+    fn reset_restores_cold_cache() {
+        let ids = pseudo_ids(100, 20);
+        let mut c = ItemLru::new(8);
+        drive(&mut c, &ids);
+        c.reset();
+        assert_eq!(c.len(), 0);
+        let r = c.access(ItemId(ids[0]));
+        assert!(r.is_miss());
+    }
+
+    #[test]
+    fn capacity_one_caches_work() {
+        for policy in [
+            Box::new(ItemLru::new(1)) as Box<dyn GcPolicy>,
+            Box::new(ItemFifo::new(1)),
+            Box::new(ItemClock::new(1)),
+            Box::new(ItemLfu::new(1)),
+            Box::new(ItemRandom::new(1, 0)),
+            Box::new(ItemMarking::new(1, 0)),
+        ] {
+            let mut p = policy;
+            assert!(p.access(ItemId(1)).is_miss());
+            assert!(p.access(ItemId(1)).is_hit());
+            let r = p.access(ItemId(2));
+            assert_eq!(r.evicted(), &[ItemId(1)], "{}", p.name());
+            assert_eq!(p.len(), 1);
+        }
+    }
+
+    #[test]
+    fn lru_beats_fifo_on_hot_item_plus_scan() {
+        // Hot item 0 interleaved with a cold scan. LRU pins the hot item
+        // forever; FIFO cycles it out once per capacity-many cold items.
+        let mut ids = Vec::with_capacity(20_000);
+        for i in 0..10_000u64 {
+            ids.push(0);
+            ids.push(100 + i);
+        }
+        let (lru_hits, _) = drive(&mut ItemLru::new(64), &ids);
+        let (fifo_hits, _) = drive(&mut ItemFifo::new(64), &ids);
+        assert_eq!(lru_hits, 9_999, "LRU never evicts the hot item");
+        assert!(fifo_hits < lru_hits, "lru={lru_hits} fifo={fifo_hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = ItemLru::new(0);
+    }
+}

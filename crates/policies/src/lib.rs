@@ -1,0 +1,140 @@
+//! # gc-policies
+//!
+//! Online replacement policies for the Granularity-Change Caching Problem.
+//!
+//! The model (Definition 1 of the paper): items have unit size, the item
+//! universe is partitioned into blocks of at most `B` items, and on a miss
+//! the cache may load **any subset of the missing item's block for one unit
+//! of cost** (the subset must contain the requested item). Items are cached
+//! and evicted individually — that freedom is what separates GC caching
+//! from variable-size caching.
+//!
+//! ## Policy families
+//!
+//! * **Item caches** ([`item`]) load only the requested item: [`ItemLru`],
+//!   [`ItemFifo`], [`ItemClock`], [`ItemLfu`], [`ItemRandom`],
+//!   [`ItemMarking`]. They capture temporal locality and ignore spatial
+//!   locality (Theorem 2 shows they forfeit a factor `≈ B`).
+//! * **Block caches** ([`block`]) load *and evict* whole blocks:
+//!   [`BlockLru`], [`BlockFifo`]. They capture spatial locality but one
+//!   hot item pins `B` lines (Theorem 3 shows the effective size drops to
+//!   `k/B`).
+//! * **IBLP** ([`iblp`]) — *Item-Block Layered Partitioning*, the paper's
+//!   policy (§5): an item-granular LRU front layer of size `i` backed by a
+//!   block-granular LRU layer of size `b`. Loads whole blocks, evicts
+//!   items; competitive ratio within ~3× of the general lower bound.
+//! * **GCM** ([`gcm`]) — *Granularity-Change Marking* (§6): a randomized
+//!   marking policy that co-loads a block's items unmarked, so spatial
+//!   guesses never displace items with proven temporal locality.
+//! * **ThresholdLoad** ([`loadk`]) — the `a`-parameter family of Theorem 4:
+//!   loads the full block only after `a` distinct items of the block have
+//!   been requested. `a = 1` and `a = B` are the extremes §4.4 recommends.
+//! * **Extended item-cache roster** — [`TwoQ`], [`Slru`], [`LruK`], and
+//!   [`WTinyLfu`] (with its [`CountMinSketch`] substrate): production
+//!   scan-resistant policies, all still subject to the Theorem 2 item-cache
+//!   lower bound.
+//! * **Extensions** ([`iblp_variants`], [`adaptive_iblp`]) — ablations of
+//!   the §5.1 design choices, and an ARC-style ghost-list adaptation of the
+//!   IBLP split (§5.3 shows no static split is right for every comparison
+//!   size).
+//!
+//! All policies implement [`GcPolicy`] and report per-access
+//! [`AccessResult`]s precise enough for the simulator to attribute hits to
+//! temporal vs spatial locality.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adaptive_iblp;
+pub mod block;
+pub mod factory;
+pub mod gcm;
+pub mod iblp;
+pub mod iblp_variants;
+pub mod item;
+pub mod loadk;
+pub mod lru_list;
+pub mod lruk;
+pub mod sketch;
+pub mod slru;
+pub mod tinylfu;
+pub mod twoq;
+
+pub use adaptive_iblp::AdaptiveIblp;
+pub use block::{BlockFifo, BlockLru};
+pub use factory::PolicyKind;
+pub use gcm::Gcm;
+pub use iblp::Iblp;
+pub use iblp_variants::{IblpConfig, IblpVariant};
+pub use item::{ItemClock, ItemFifo, ItemLfu, ItemLru, ItemMarking, ItemRandom};
+pub use loadk::ThresholdLoad;
+pub use lruk::LruK;
+pub use sketch::CountMinSketch;
+pub use slru::Slru;
+pub use tinylfu::WTinyLfu;
+pub use twoq::TwoQ;
+
+use gc_types::{AccessResult, ItemId};
+
+/// An online cache policy for the GC Caching Problem.
+///
+/// Implementations own their [`BlockMap`](gc_types::BlockMap) (it is
+/// `Arc`-backed and cheap to clone) and their full replacement state. The
+/// simulator drives them one request at a time through [`access`].
+///
+/// [`access`]: GcPolicy::access
+pub trait GcPolicy {
+    /// Human-readable policy name, including salient parameters.
+    fn name(&self) -> String;
+
+    /// Total capacity `k` in items.
+    fn capacity(&self) -> usize;
+
+    /// Items currently resident.
+    fn len(&self) -> usize;
+
+    /// Whether the cache currently holds `item` (i.e. a request to it now
+    /// would hit).
+    fn contains(&self, item: ItemId) -> bool;
+
+    /// Serve one request, mutating the cache and reporting what happened.
+    ///
+    /// On a miss the result lists exactly which items were loaded (always
+    /// including `item`) and which were evicted from the cache as a whole.
+    fn access(&mut self, item: ItemId) -> AccessResult;
+
+    /// Clear all cached state, returning to the post-construction state.
+    fn reset(&mut self);
+
+    /// Whether the cache holds no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Boxed-policy convenience: `Box<dyn GcPolicy>` is itself a policy.
+impl GcPolicy for Box<dyn GcPolicy> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn capacity(&self) -> usize {
+        (**self).capacity()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        (**self).contains(item)
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        (**self).access(item)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}

@@ -1,0 +1,369 @@
+//! An intrusive O(1) LRU list over slab storage.
+//!
+//! This is the shared recency engine for every LRU-ordered policy in the
+//! crate. Keys are raw `u64`s so the same structure serves item-granular
+//! caches ([`ItemId`](gc_types::ItemId) indices) and block-granular caches
+//! ([`BlockId`](gc_types::BlockId) indices). All operations are O(1)
+//! expected: entries live in a slab `Vec`, linked by index, with an
+//! `FxHashMap` from key to slot.
+
+use gc_types::FxHashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Slot {
+    key: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// An LRU-ordered set of `u64` keys with O(1) touch/insert/evict.
+#[derive(Clone, Debug)]
+pub struct LruList {
+    slots: Vec<Slot>,
+    map: FxHashMap<u64, u32>,
+    /// Most recently used slot.
+    head: u32,
+    /// Least recently used slot.
+    tail: u32,
+    /// Head of the free list (chained through `next`).
+    free: u32,
+}
+
+impl Default for LruList {
+    fn default() -> Self {
+        Self::with_capacity(0)
+    }
+}
+
+impl LruList {
+    /// An empty list with capacity hint `cap`.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut l = LruList {
+            slots: Vec::with_capacity(cap),
+            map: FxHashMap::default(),
+            head: NIL,
+            tail: NIL,
+            free: NIL,
+        };
+        l.map.reserve(cap);
+        l
+    }
+
+    /// Number of keys present.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no keys are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Mark `key` most-recently-used, inserting it if absent.
+    ///
+    /// Returns `true` if the key was newly inserted.
+    pub fn touch(&mut self, key: u64) -> bool {
+        if let Some(&slot) = self.map.get(&key) {
+            self.unlink(slot);
+            self.push_front(slot);
+            false
+        } else {
+            let slot = self.alloc(key);
+            self.push_front(slot);
+            self.map.insert(key, slot);
+            true
+        }
+    }
+
+    /// Insert `key` at the *LRU* end if absent (used for cold insertions
+    /// that should be first in line for eviction). Returns `true` if newly
+    /// inserted; an existing key is left where it is.
+    pub fn insert_cold(&mut self, key: u64) -> bool {
+        if self.map.contains_key(&key) {
+            return false;
+        }
+        let slot = self.alloc(key);
+        self.push_back(slot);
+        self.map.insert(key, slot);
+        true
+    }
+
+    /// Remove and return the least-recently-used key.
+    pub fn evict_lru(&mut self) -> Option<u64> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = self.tail;
+        let key = self.slots[slot as usize].key;
+        self.unlink(slot);
+        self.release(slot);
+        self.map.remove(&key);
+        Some(key)
+    }
+
+    /// The least-recently-used key, without removing it.
+    pub fn peek_lru(&self) -> Option<u64> {
+        (self.tail != NIL).then(|| self.slots[self.tail as usize].key)
+    }
+
+    /// The most-recently-used key.
+    pub fn peek_mru(&self) -> Option<u64> {
+        (self.head != NIL).then(|| self.slots[self.head as usize].key)
+    }
+
+    /// Remove a specific key. Returns `true` if it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        if let Some(slot) = self.map.remove(&key) {
+            self.unlink(slot);
+            self.release(slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop all keys.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.map.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.free = NIL;
+    }
+
+    /// Keys from most- to least-recently used.
+    pub fn iter_mru(&self) -> IterMru<'_> {
+        IterMru { list: self, cursor: self.head }
+    }
+
+    fn alloc(&mut self, key: u64) -> u32 {
+        if self.free != NIL {
+            let slot = self.free;
+            self.free = self.slots[slot as usize].next;
+            self.slots[slot as usize] = Slot { key, prev: NIL, next: NIL };
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            assert!(slot != NIL, "LruList slab overflow");
+            self.slots.push(Slot { key, prev: NIL, next: NIL });
+            slot
+        }
+    }
+
+    fn release(&mut self, slot: u32) {
+        self.slots[slot as usize].next = self.free;
+        self.free = slot;
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let Slot { prev, next, .. } = self.slots[slot as usize];
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot as usize].prev = NIL;
+        self.slots[slot as usize].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        self.slots[slot as usize].prev = NIL;
+        self.slots[slot as usize].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn push_back(&mut self, slot: u32) {
+        self.slots[slot as usize].next = NIL;
+        self.slots[slot as usize].prev = self.tail;
+        if self.tail != NIL {
+            self.slots[self.tail as usize].next = slot;
+        }
+        self.tail = slot;
+        if self.head == NIL {
+            self.head = slot;
+        }
+    }
+}
+
+/// Iterator over keys from MRU to LRU. See [`LruList::iter_mru`].
+pub struct IterMru<'a> {
+    list: &'a LruList,
+    cursor: u32,
+}
+
+impl Iterator for IterMru<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let slot = &self.list.slots[self.cursor as usize];
+        self.cursor = slot.next;
+        Some(slot.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_orders_mru_first() {
+        let mut l = LruList::with_capacity(4);
+        assert!(l.touch(1));
+        assert!(l.touch(2));
+        assert!(l.touch(3));
+        assert!(!l.touch(1)); // re-touch
+        let order: Vec<u64> = l.iter_mru().collect();
+        assert_eq!(order, vec![1, 3, 2]);
+        assert_eq!(l.peek_mru(), Some(1));
+        assert_eq!(l.peek_lru(), Some(2));
+    }
+
+    #[test]
+    fn evict_lru_removes_oldest() {
+        let mut l = LruList::with_capacity(4);
+        l.touch(10);
+        l.touch(20);
+        l.touch(30);
+        assert_eq!(l.evict_lru(), Some(10));
+        assert_eq!(l.evict_lru(), Some(20));
+        assert_eq!(l.len(), 1);
+        assert!(l.contains(30));
+    }
+
+    #[test]
+    fn evict_empty_is_none() {
+        let mut l = LruList::default();
+        assert_eq!(l.evict_lru(), None);
+        assert_eq!(l.peek_lru(), None);
+        assert_eq!(l.peek_mru(), None);
+    }
+
+    #[test]
+    fn remove_specific_key() {
+        let mut l = LruList::with_capacity(4);
+        l.touch(1);
+        l.touch(2);
+        l.touch(3);
+        assert!(l.remove(2));
+        assert!(!l.remove(2));
+        let order: Vec<u64> = l.iter_mru().collect();
+        assert_eq!(order, vec![3, 1]);
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        let mut l = LruList::with_capacity(4);
+        l.touch(1);
+        l.touch(2);
+        l.touch(3); // order: 3 2 1
+        assert!(l.remove(3)); // remove head
+        assert_eq!(l.peek_mru(), Some(2));
+        assert!(l.remove(1)); // remove tail
+        assert_eq!(l.peek_lru(), Some(2));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn insert_cold_goes_to_lru_end() {
+        let mut l = LruList::with_capacity(4);
+        l.touch(1);
+        l.touch(2);
+        assert!(l.insert_cold(3));
+        assert_eq!(l.peek_lru(), Some(3));
+        assert!(!l.insert_cold(2)); // present: untouched
+        let order: Vec<u64> = l.iter_mru().collect();
+        assert_eq!(order, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut l = LruList::with_capacity(2);
+        for round in 0..100u64 {
+            l.touch(round);
+            if l.len() > 2 {
+                l.evict_lru();
+            }
+        }
+        // Only ever 3 live slots → slab stays small.
+        assert!(l.slots.len() <= 4, "slab grew to {}", l.slots.len());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut l = LruList::with_capacity(4);
+        l.touch(1);
+        l.touch(2);
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.evict_lru(), None);
+        l.touch(7);
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn single_element_edge_cases() {
+        let mut l = LruList::default();
+        l.touch(42);
+        assert_eq!(l.peek_mru(), Some(42));
+        assert_eq!(l.peek_lru(), Some(42));
+        l.touch(42); // self re-touch must not corrupt links
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.evict_lru(), Some(42));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn stress_against_reference_model() {
+        // Differential test vs a naive Vec-based LRU.
+        let mut fast = LruList::with_capacity(8);
+        let mut slow: Vec<u64> = Vec::new(); // MRU at front
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        for step in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 30;
+            match x % 5 {
+                0..=2 => {
+                    fast.touch(key);
+                    slow.retain(|&k| k != key);
+                    slow.insert(0, key);
+                }
+                3 => {
+                    assert_eq!(fast.evict_lru(), slow.pop(), "step {step}");
+                }
+                _ => {
+                    let was = slow.contains(&key);
+                    assert_eq!(fast.remove(key), was, "step {step}");
+                    slow.retain(|&k| k != key);
+                }
+            }
+            assert_eq!(fast.len(), slow.len(), "step {step}");
+        }
+        assert_eq!(fast.iter_mru().collect::<Vec<_>>(), slow);
+    }
+}

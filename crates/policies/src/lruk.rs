@@ -1,0 +1,238 @@
+//! LRU-K (O'Neil, O'Neil & Weikum, SIGMOD'93) — evict the item whose K-th
+//! most recent reference is oldest.
+//!
+//! LRU-K distinguishes items with genuine reuse (K or more references)
+//! from one-shot items: an item seen fewer than K times has backward
+//! K-distance ∞ and is evicted first (ties broken by oldest last
+//! reference). `K = 2` is the classic database-buffer setting.
+
+use crate::GcPolicy;
+use gc_types::{AccessResult, FxHashMap, ItemId};
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+/// Per-item reference history (most recent last, at most K entries).
+#[derive(Clone, Debug)]
+struct History {
+    times: VecDeque<u64>,
+}
+
+/// The LRU-K replacement policy (item-granular).
+#[derive(Clone, Debug)]
+pub struct LruK {
+    capacity: usize,
+    k: usize,
+    clock: u64,
+    entries: FxHashMap<ItemId, History>,
+    /// Eviction order: (kth-most-recent time with 0 = "fewer than K refs",
+    /// most-recent time, item). The BTreeSet minimum is the victim.
+    order: BTreeSet<(u64, u64, ItemId)>,
+    /// Reference histories of recently evicted items (O'Neil et al.'s
+    /// *Retained Information Period*): without it, a reloaded item restarts
+    /// as a singleton and LRU-K degenerates to LRU under thrashing.
+    retained: FxHashMap<ItemId, History>,
+    retained_order: crate::lru_list::LruList,
+}
+
+impl LruK {
+    /// An LRU-K cache of `capacity` items tracking the last `k` references.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `k == 0`.
+    pub fn new(capacity: usize, k: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(k > 0, "K must be positive");
+        LruK {
+            capacity,
+            k,
+            clock: 0,
+            entries: FxHashMap::default(),
+            order: BTreeSet::new(),
+            retained: FxHashMap::default(),
+            retained_order: crate::lru_list::LruList::with_capacity(capacity),
+        }
+    }
+
+    fn key_of(&self, history: &History, _item: ItemId) -> (u64, u64) {
+        let newest = *history.times.back().expect("history never empty");
+        let kth = if history.times.len() >= self.k {
+            history.times[history.times.len() - self.k]
+        } else {
+            0 // backward K-distance ∞: first in line for eviction
+        };
+        (kth, newest)
+    }
+}
+
+impl GcPolicy for LruK {
+    fn name(&self) -> String {
+        format!("LRU-{}(k={})", self.k, self.capacity)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.entries.contains_key(&item)
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        self.clock += 1;
+        let k = self.k;
+        if let Some(history) = self.entries.get_mut(&item) {
+            let key_of = |history: &History| {
+                let newest = *history.times.back().expect("nonempty");
+                let kth = if history.times.len() >= k {
+                    history.times[history.times.len() - k]
+                } else {
+                    0
+                };
+                (kth, newest)
+            };
+            let old_key = key_of(history);
+            self.order.remove(&(old_key.0, old_key.1, item));
+            history.times.push_back(self.clock);
+            while history.times.len() > k {
+                history.times.pop_front();
+            }
+            let new_key = key_of(history);
+            self.order.insert((new_key.0, new_key.1, item));
+            return AccessResult::Hit;
+        }
+        let mut evicted = Vec::new();
+        if self.entries.len() == self.capacity {
+            let &(kth, newest, victim) = self.order.iter().next().expect("full cache");
+            self.order.remove(&(kth, newest, victim));
+            let history = self.entries.remove(&victim).expect("ordered item resident");
+            // Retain the victim's history for a while (bounded LRU).
+            self.retained.insert(victim, history);
+            self.retained_order.touch(victim.0);
+            while self.retained_order.len() > self.capacity {
+                let stale = self.retained_order.evict_lru().expect("nonempty");
+                self.retained.remove(&ItemId(stale));
+            }
+            evicted.push(victim);
+        }
+        // Resurrect retained history if we have it.
+        let mut history = if let Some(old) = self.retained.remove(&item) {
+            self.retained_order.remove(item.0);
+            old
+        } else {
+            History { times: VecDeque::with_capacity(self.k) }
+        };
+        history.times.push_back(self.clock);
+        while history.times.len() > self.k {
+            history.times.pop_front();
+        }
+        let key = self.key_of(&history, item);
+        self.order.insert((key.0, key.1, item));
+        self.entries.insert(item, history);
+        AccessResult::Miss { loaded: vec![item], evicted }
+    }
+
+    fn reset(&mut self) {
+        self.clock = 0;
+        self.entries.clear();
+        self.order.clear();
+        self.retained.clear();
+        self.retained_order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn once_referenced_items_evicted_before_reused_ones() {
+        let mut c = LruK::new(3, 2);
+        c.access(ItemId(1));
+        c.access(ItemId(1)); // 1 has 2 refs
+        c.access(ItemId(2)); // 1 ref
+        c.access(ItemId(3)); // 1 ref
+        let r = c.access(ItemId(4));
+        // Victim must be 2 (singleton with the oldest last reference),
+        // even though 1 is the least *recently* used overall? — no: 1 was
+        // touched twice early. LRU would evict 1; LRU-2 evicts 2.
+        assert_eq!(r.evicted(), &[ItemId(2)]);
+        assert!(c.contains(ItemId(1)));
+    }
+
+    #[test]
+    fn k1_degenerates_to_lru() {
+        use crate::item::ItemLru;
+        let mut lruk = LruK::new(5, 1);
+        let mut lru = ItemLru::new(5);
+        let mut x = 12u64;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = ItemId(x % 17);
+            assert_eq!(lruk.access(item).is_hit(), lru.access(item).is_hit());
+        }
+    }
+
+    #[test]
+    fn scan_resistance_vs_lru() {
+        use crate::item::ItemLru;
+        // Hot set of 4 items with reuse + a 3-item one-shot scan burst per
+        // round. LRU's recency order lets the burst push hot items out;
+        // LRU-2 ranks the single-reference scanners below the hot set.
+        let mut trace = Vec::new();
+        for round in 0..200u64 {
+            for hot in 0..4u64 {
+                trace.push(hot);
+            }
+            for s in 0..3u64 {
+                trace.push(1000 + round * 3 + s);
+            }
+        }
+        let run = |mut p: Box<dyn GcPolicy>| {
+            let mut misses = 0;
+            for &id in &trace {
+                if p.access(ItemId(id)).is_miss() {
+                    misses += 1;
+                }
+            }
+            misses
+        };
+        let lruk_misses = run(Box::new(LruK::new(5, 2)));
+        let lru_misses = run(Box::new(ItemLru::new(5)));
+        assert!(
+            lruk_misses < lru_misses,
+            "LRU-2 {lruk_misses} should beat LRU {lru_misses} under scan pollution"
+        );
+    }
+
+    #[test]
+    fn capacity_and_agreement_invariants() {
+        let mut c = LruK::new(7, 2);
+        let mut x = 3u64;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let item = ItemId(x % 30);
+            let pre = c.contains(item);
+            let r = c.access(item);
+            assert_eq!(pre, r.is_hit());
+            assert!(c.len() <= 7);
+            for e in r.evicted() {
+                assert!(!c.contains(*e));
+            }
+        }
+    }
+
+    #[test]
+    fn history_window_is_bounded() {
+        let mut c = LruK::new(2, 2);
+        for _ in 0..100 {
+            c.access(ItemId(1));
+        }
+        assert!(c.entries[&ItemId(1)].times.len() <= 2);
+    }
+}

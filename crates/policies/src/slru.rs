@@ -1,0 +1,176 @@
+//! Segmented LRU (SLRU) — an item cache with probationary and protected
+//! segments (Karedla, Love & Wherry 1994).
+//!
+//! New items enter the *probationary* segment; a hit promotes an item to
+//! the *protected* segment, whose overflow demotes back to probationary
+//! MRU. One-shot items therefore never displace twice-touched ones. SLRU
+//! is also the main-region structure of [`WTinyLfu`](crate::WTinyLfu).
+
+use crate::lru_list::LruList;
+use crate::GcPolicy;
+use gc_types::{AccessResult, ItemId};
+
+/// The SLRU replacement policy (item-granular).
+#[derive(Clone, Debug)]
+pub struct Slru {
+    capacity: usize,
+    protected_cap: usize,
+    probationary: LruList,
+    protected: LruList,
+}
+
+impl Slru {
+    /// An SLRU of `capacity` items with the common 80%-protected tuning.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self::with_protected(capacity, (capacity * 4 / 5).min(capacity.saturating_sub(1)))
+    }
+
+    /// An SLRU with an explicit protected-segment capacity
+    /// (`protected < capacity`; the rest is probationary).
+    pub fn with_protected(capacity: usize, protected_cap: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(
+            protected_cap < capacity,
+            "protected segment must leave probationary room"
+        );
+        Slru {
+            capacity,
+            protected_cap,
+            probationary: LruList::with_capacity(capacity),
+            protected: LruList::with_capacity(protected_cap),
+        }
+    }
+
+    /// Promote an item into the protected segment, demoting its LRU back
+    /// to probationary MRU if it overflows.
+    fn promote(&mut self, item: ItemId) {
+        if self.protected_cap == 0 {
+            self.probationary.touch(item.0);
+            return;
+        }
+        self.protected.touch(item.0);
+        if self.protected.len() > self.protected_cap {
+            let demoted = self.protected.evict_lru().expect("overflow implies nonempty");
+            self.probationary.touch(demoted);
+        }
+    }
+}
+
+impl GcPolicy for Slru {
+    fn name(&self) -> String {
+        format!("SLRU(k={},prot={})", self.capacity, self.protected_cap)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.probationary.len() + self.protected.len()
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.probationary.contains(item.0) || self.protected.contains(item.0)
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        if self.protected.contains(item.0) {
+            self.protected.touch(item.0);
+            return AccessResult::Hit;
+        }
+        if self.probationary.contains(item.0) {
+            self.probationary.remove(item.0);
+            self.promote(item);
+            return AccessResult::Hit;
+        }
+        let mut evicted = Vec::new();
+        if self.len() == self.capacity {
+            // Probationary LRU is the victim; if probationary is empty
+            // (all-protected corner), fall back to protected LRU.
+            let victim = self
+                .probationary
+                .evict_lru()
+                .or_else(|| self.protected.evict_lru())
+                .expect("cache full implies nonempty");
+            evicted.push(ItemId(victim));
+        }
+        self.probationary.touch(item.0);
+        AccessResult::Miss { loaded: vec![item], evicted }
+    }
+
+    fn reset(&mut self) {
+        self.probationary.clear();
+        self.protected.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotion_protects_reused_items() {
+        let mut c = Slru::with_protected(4, 2);
+        c.access(ItemId(1));
+        c.access(ItemId(1)); // promoted to protected
+        // Scan three one-shot items: probationary churns, 1 survives.
+        for id in [10u64, 11, 12, 13, 14] {
+            c.access(ItemId(id));
+        }
+        assert!(c.contains(ItemId(1)), "protected item scanned out");
+    }
+
+    #[test]
+    fn protected_overflow_demotes() {
+        let mut c = Slru::with_protected(4, 1);
+        c.access(ItemId(1));
+        c.access(ItemId(1)); // protected = [1]
+        c.access(ItemId(2));
+        c.access(ItemId(2)); // promotes 2, demotes 1 to probationary MRU
+        assert!(c.contains(ItemId(1)));
+        assert!(c.contains(ItemId(2)));
+        // Next insertions evict probationary LRU; demoted 1 is MRU there,
+        // so it outlives an older probationary resident.
+        c.access(ItemId(3));
+        c.access(ItemId(4)); // cache full: 1,2,3,4
+        let r = c.access(ItemId(5));
+        assert_eq!(r.evicted().len(), 1);
+        assert!(c.contains(ItemId(2)), "protected untouched by miss evictions");
+    }
+
+    #[test]
+    fn default_tuning_valid_for_small_caches() {
+        for capacity in 1..10usize {
+            let mut c = Slru::new(capacity);
+            for id in 0..50u64 {
+                c.access(ItemId(id % 12));
+                assert!(c.len() <= capacity);
+            }
+        }
+    }
+
+    #[test]
+    fn contains_matches_access() {
+        let mut c = Slru::new(6);
+        let mut x = 5u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let item = ItemId(x % 20);
+            let pre = c.contains(item);
+            assert_eq!(pre, c.access(item).is_hit());
+        }
+    }
+
+    #[test]
+    fn evicted_items_are_gone() {
+        let mut c = Slru::new(3);
+        for id in 0..60u64 {
+            if let AccessResult::Miss { evicted, .. } = c.access(ItemId(id % 9)) {
+                for e in evicted {
+                    assert!(!c.contains(e));
+                }
+            }
+        }
+    }
+}

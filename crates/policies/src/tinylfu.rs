@@ -1,0 +1,229 @@
+//! W-TinyLFU (Einziger, Friedman & Manes 2017) — a frequency-informed item
+//! cache: a small admission *window* (LRU) in front of an SLRU main region,
+//! with a [`CountMinSketch`] deciding, on window overflow, whether the
+//! window's victim deserves a main-region slot more than the main region's
+//! own victim.
+//!
+//! Adapted to the GC model's **no-bypass** rule: the requested item always
+//! enters the window (it must be resident through its own access); the
+//! frequency filter only arbitrates between two already-resident items, so
+//! no admission decision ever rejects the request itself.
+
+use crate::lru_list::LruList;
+use crate::sketch::CountMinSketch;
+use crate::GcPolicy;
+use gc_types::{AccessResult, ItemId};
+
+/// The W-TinyLFU replacement policy (item-granular).
+#[derive(Clone, Debug)]
+pub struct WTinyLfu {
+    capacity: usize,
+    window_cap: usize,
+    protected_cap: usize,
+    window: LruList,
+    probationary: LruList,
+    protected: LruList,
+    sketch: CountMinSketch,
+}
+
+impl WTinyLfu {
+    /// A W-TinyLFU cache of `capacity` items: window = `capacity/8`
+    /// (≥ 1), main region = SLRU with 80% protected.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        let window_cap = (capacity / 8).max(1).min(capacity);
+        let main = capacity - window_cap;
+        WTinyLfu {
+            capacity,
+            window_cap,
+            protected_cap: main * 4 / 5,
+            window: LruList::with_capacity(window_cap),
+            probationary: LruList::with_capacity(main),
+            protected: LruList::with_capacity(main),
+            sketch: CountMinSketch::new(capacity.max(64)),
+        }
+    }
+
+    fn main_len(&self) -> usize {
+        self.probationary.len() + self.protected.len()
+    }
+
+    fn main_cap(&self) -> usize {
+        self.capacity - self.window_cap
+    }
+
+    /// Promote a main-region item into the protected segment.
+    fn promote(&mut self, item: ItemId) {
+        self.protected.touch(item.0);
+        if self.protected.len() > self.protected_cap {
+            let demoted = self.protected.evict_lru().expect("overflow implies nonempty");
+            self.probationary.touch(demoted);
+        }
+    }
+
+    /// Handle window overflow: the window's LRU candidate either moves to
+    /// the main region (free slot, or by winning the frequency duel against
+    /// the main victim) or is evicted. Returns the item that left the
+    /// cache, if any.
+    fn spill_window(&mut self) -> Option<ItemId> {
+        let candidate = ItemId(self.window.evict_lru().expect("spill on nonempty window"));
+        if self.main_cap() == 0 {
+            return Some(candidate);
+        }
+        if self.main_len() < self.main_cap() {
+            self.probationary.touch(candidate.0);
+            return None;
+        }
+        let victim = ItemId(
+            self.probationary
+                .peek_lru()
+                .or_else(|| self.protected.peek_lru())
+                .expect("main region full implies nonempty"),
+        );
+        if self.sketch.estimate(candidate) > self.sketch.estimate(victim) {
+            self.probationary.remove(victim.0);
+            self.protected.remove(victim.0);
+            self.probationary.touch(candidate.0);
+            Some(victim)
+        } else {
+            Some(candidate)
+        }
+    }
+}
+
+impl GcPolicy for WTinyLfu {
+    fn name(&self) -> String {
+        format!("W-TinyLFU(k={},win={})", self.capacity, self.window_cap)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.window.len() + self.main_len()
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.window.contains(item.0)
+            || self.probationary.contains(item.0)
+            || self.protected.contains(item.0)
+    }
+
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        self.sketch.increment(item);
+        if self.window.contains(item.0) {
+            self.window.touch(item.0);
+            return AccessResult::Hit;
+        }
+        if self.protected.contains(item.0) {
+            self.protected.touch(item.0);
+            return AccessResult::Hit;
+        }
+        if self.probationary.contains(item.0) {
+            self.probationary.remove(item.0);
+            self.promote(item);
+            return AccessResult::Hit;
+        }
+        // Miss: always admit into the window (no-bypass), then rebalance.
+        let mut evicted = Vec::new();
+        self.window.touch(item.0);
+        if self.window.len() > self.window_cap {
+            if let Some(gone) = self.spill_window() {
+                evicted.push(gone);
+            }
+        }
+        AccessResult::Miss { loaded: vec![item], evicted }
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+        self.probationary.clear();
+        self.protected.clear();
+        self.sketch.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_guards_main_region_from_scans() {
+        let mut c = WTinyLfu::new(16); // window 2, main 14
+        // Make items 1..=8 frequent and resident in the main region.
+        for _ in 0..6 {
+            for id in 1..=8u64 {
+                c.access(ItemId(id));
+            }
+        }
+        // A long one-shot scan: scanners reach the window, lose every
+        // frequency duel, and never displace the hot set.
+        for id in 1000..1400u64 {
+            c.access(ItemId(id));
+        }
+        for id in 1..=8u64 {
+            assert!(c.contains(ItemId(id)), "hot item {id} scanned out");
+        }
+    }
+
+    #[test]
+    fn beats_lru_on_scan_pollution() {
+        use crate::item::ItemLru;
+        let mut trace = Vec::new();
+        for round in 0..400u64 {
+            for hot in 0..12u64 {
+                trace.push(hot);
+            }
+            for s in 0..6u64 {
+                trace.push(10_000 + round * 6 + s);
+            }
+        }
+        let run = |mut p: Box<dyn GcPolicy>| {
+            trace
+                .iter()
+                .filter(|&&id| p.access(ItemId(id)).is_miss())
+                .count()
+        };
+        let tiny = run(Box::new(WTinyLfu::new(16)));
+        let lru = run(Box::new(ItemLru::new(16)));
+        assert!(tiny < lru / 2, "W-TinyLFU {tiny} vs LRU {lru}");
+    }
+
+    #[test]
+    fn request_always_admitted_no_bypass() {
+        let mut c = WTinyLfu::new(8);
+        for id in 0..500u64 {
+            c.access(ItemId(id));
+            assert!(c.contains(ItemId(id)), "no-bypass violated at {id}");
+        }
+    }
+
+    #[test]
+    fn capacity_and_eviction_invariants() {
+        let mut c = WTinyLfu::new(10);
+        let mut x = 9u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = ItemId(x % 60);
+            let pre = c.contains(item);
+            let r = c.access(item);
+            assert_eq!(pre, r.is_hit());
+            assert!(c.len() <= 10);
+            for e in r.evicted() {
+                assert!(!c.contains(*e), "zombie {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_capacities_work() {
+        for capacity in 1..6usize {
+            let mut c = WTinyLfu::new(capacity);
+            for id in 0..40u64 {
+                c.access(ItemId(id % 9));
+                assert!(c.len() <= capacity);
+            }
+        }
+    }
+}

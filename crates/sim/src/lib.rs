@@ -1,0 +1,43 @@
+//! # gc-sim
+//!
+//! The simulation substrate: drives any [`GcPolicy`](gc_policies::GcPolicy)
+//! over a [`Trace`](gc_types::Trace) and reports what happened.
+//!
+//! * [`engine`] — the single-pass simulator, with per-access attribution of
+//!   hits to **temporal** vs **spatial** locality exactly as defined in §2
+//!   of the paper (the first hit to a co-loaded item is spatial; every
+//!   later hit is temporal).
+//! * [`stats`] — the [`SimStats`](stats::SimStats) accumulator.
+//! * [`probe`] — [`ProbeAdapter`](probe::ProbeAdapter), which lets the
+//!   adaptive adversaries of `gc-trace` drive any policy.
+//! * [`sweep`] — a parallel parameter-sweep harness built on crossbeam
+//!   scoped threads with an atomic work cursor (Rayon-style work
+//!   distribution without the dependency).
+//! * [`compare`] — run a roster of policies over one trace and tabulate.
+//! * [`mrc`] — Mattson-stack miss-ratio curves (item- and block-granular)
+//!   and the IBLP split grid.
+//! * [`hierarchy`] — two-level (L1 → GC L2) composition, the Figure 1
+//!   setting with per-level attribution and AMAT.
+//! * [`rowbuffer`] — a DRAM row-buffer cost model that re-prices loads in
+//!   activate/column cycles, validating the unit-block-cost abstraction.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod compare;
+pub mod engine;
+pub mod hierarchy;
+pub mod mrc;
+pub mod probe;
+pub mod rowbuffer;
+pub mod stats;
+pub mod sweep;
+
+pub use compare::{compare_policies, ComparisonRow};
+pub use engine::{simulate, simulate_with_warmup};
+pub use hierarchy::{simulate_hierarchy, HierarchyStats};
+pub use mrc::{block_mrc, iblp_split_grid, item_mrc, MissRatioCurve};
+pub use probe::ProbeAdapter;
+pub use rowbuffer::{simulate_with_row_buffer, RowBufferCosts, RowBufferStats};
+pub use stats::SimStats;
+pub use sweep::{run_sweep, SweepJob, SweepResult};

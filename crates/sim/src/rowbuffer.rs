@@ -1,0 +1,228 @@
+//! A DRAM row-buffer cost model — validating the paper's unit-block-cost
+//! assumption against the hardware behavior that motivates it.
+//!
+//! §2 justifies charging one unit per block subset: *"there is typically a
+//! small memory buffer used to handle data as it is being read or written.
+//! The cost of moving data from the subsequent level into this buffer is
+//! typically large relative to the cost of operating on the buffer
+//! itself."* In DRAM terms: a miss that needs a new row pays an
+//! activate+precharge (`row_miss_cost`); once the row is open, streaming
+//! further items out of it costs only column accesses (`open_row_cost`).
+//!
+//! [`RowBufferMeter`] replays an [`AccessResult`] stream under that cost
+//! model (open-page policy: the last-used row stays open), so any policy's
+//! simulator run can be re-priced in "DRAM cycles" instead of unit block
+//! costs. The `rowbuffer_validation` experiment shows the unit-cost model
+//! preserves the policy ranking — the substitution argument for the whole
+//! reproduction, measured.
+
+use gc_policies::GcPolicy;
+use gc_types::{AccessResult, BlockMap, Trace};
+
+/// Cost parameters for the row-buffer model (defaults roughly mirror
+/// DDR4-class timing ratios: row activate ≈ 10× a column access, cache
+/// hits ≈ free at this granularity).
+#[derive(Clone, Copy, Debug)]
+pub struct RowBufferCosts {
+    /// Cost of a load whose block is *not* in the open row
+    /// (precharge + activate + first column access).
+    pub row_miss_cost: u64,
+    /// Cost of a load whose block is already open (column access only).
+    pub open_row_cost: u64,
+    /// Per-item transfer cost on top of the row charge (burst beats).
+    pub per_item_cost: u64,
+}
+
+impl Default for RowBufferCosts {
+    fn default() -> Self {
+        RowBufferCosts { row_miss_cost: 20, open_row_cost: 2, per_item_cost: 1 }
+    }
+}
+
+/// Accumulated row-buffer statistics for one simulation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RowBufferStats {
+    /// Loads that found their row open ("row-buffer hits").
+    pub row_hits: u64,
+    /// Loads that had to open a new row.
+    pub row_misses: u64,
+    /// Total items transferred.
+    pub items_transferred: u64,
+    /// Total cost in model cycles.
+    pub total_cost: u64,
+}
+
+impl RowBufferStats {
+    /// Row-buffer hit rate among loads.
+    pub fn row_hit_rate(&self) -> f64 {
+        let loads = self.row_hits + self.row_misses;
+        if loads == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / loads as f64
+        }
+    }
+}
+
+/// Replays a policy's load stream under the row-buffer cost model.
+#[derive(Clone, Debug)]
+pub struct RowBufferMeter {
+    costs: RowBufferCosts,
+    map: BlockMap,
+    open_row: Option<u64>,
+    stats: RowBufferStats,
+}
+
+impl RowBufferMeter {
+    /// A meter with the given costs over the given block (row) partition.
+    pub fn new(map: BlockMap, costs: RowBufferCosts) -> Self {
+        RowBufferMeter { costs, map, open_row: None, stats: RowBufferStats::default() }
+    }
+
+    /// Account one access outcome. Hits are free (served from the cache);
+    /// a miss charges the open-row or row-miss cost plus per-item burst
+    /// transfer, and leaves the block's row open.
+    pub fn record(&mut self, result: &AccessResult) {
+        let AccessResult::Miss { loaded, .. } = result else {
+            return;
+        };
+        let row = self.map.block_of(loaded[0]).0;
+        if self.open_row == Some(row) {
+            self.stats.row_hits += 1;
+            self.stats.total_cost += self.costs.open_row_cost;
+        } else {
+            self.stats.row_misses += 1;
+            self.stats.total_cost += self.costs.row_miss_cost;
+            self.open_row = Some(row);
+        }
+        self.stats.items_transferred += loaded.len() as u64;
+        self.stats.total_cost += self.costs.per_item_cost * loaded.len() as u64;
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &RowBufferStats {
+        &self.stats
+    }
+}
+
+/// Run `policy` over `trace`, pricing its loads with the row-buffer model.
+/// Returns `(unit_cost_misses, row_buffer_stats)` so the two cost models
+/// can be compared directly.
+pub fn simulate_with_row_buffer<P: GcPolicy + ?Sized>(
+    policy: &mut P,
+    trace: &Trace,
+    map: &BlockMap,
+    costs: RowBufferCosts,
+) -> (u64, RowBufferStats) {
+    let mut meter = RowBufferMeter::new(map.clone(), costs);
+    let mut misses = 0u64;
+    for item in trace.iter() {
+        let result = policy.access(item);
+        if result.is_miss() {
+            misses += 1;
+        }
+        meter.record(&result);
+    }
+    (misses, meter.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_policies::{BlockLru, Iblp, ItemLru, PolicyKind};
+
+    #[test]
+    fn hits_cost_nothing() {
+        let map = BlockMap::strided(4);
+        let mut cache = BlockLru::new(16, map.clone());
+        let trace = Trace::from_ids([0, 1, 2, 3, 0, 1]);
+        let (misses, stats) = simulate_with_row_buffer(
+            &mut cache,
+            &trace,
+            &map,
+            RowBufferCosts::default(),
+        );
+        assert_eq!(misses, 1);
+        assert_eq!(stats.row_misses, 1);
+        assert_eq!(stats.items_transferred, 4);
+        // 20 (row) + 4 items × 1.
+        assert_eq!(stats.total_cost, 24);
+    }
+
+    #[test]
+    fn consecutive_same_block_loads_hit_the_open_row() {
+        // An item cache streaming a block pays the row once, then open-row
+        // costs — the hardware effect the unit-cost model abstracts.
+        let map = BlockMap::strided(8);
+        let mut lru = ItemLru::new(4);
+        let trace = Trace::from_ids(0..8u64);
+        let (misses, stats) = simulate_with_row_buffer(
+            &mut lru,
+            &trace,
+            &map,
+            RowBufferCosts::default(),
+        );
+        assert_eq!(misses, 8);
+        assert_eq!(stats.row_misses, 1);
+        assert_eq!(stats.row_hits, 7);
+        assert!((stats.row_hit_rate() - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_cost_model_preserves_policy_ranking() {
+        // The substitution argument: on a mixed workload, ordering by unit
+        // miss cost and ordering by row-buffer cycles agree for the main
+        // contenders.
+        let b = 16usize;
+        let map = BlockMap::strided(b);
+        let mut trace = Trace::new();
+        for round in 0..400u64 {
+            for hot in 0..48u64 {
+                trace.push(gc_types::ItemId(hot * b as u64));
+            }
+            let fresh = 10_000 + round;
+            for off in 0..b as u64 {
+                trace.push(gc_types::ItemId(fresh * b as u64 + off));
+            }
+        }
+        let mut results = Vec::new();
+        for kind in [PolicyKind::ItemLru, PolicyKind::BlockLru, PolicyKind::IblpBalanced] {
+            let mut policy = kind.build(256, &map);
+            let (misses, stats) = simulate_with_row_buffer(
+                &mut policy,
+                &trace,
+                &map,
+                RowBufferCosts::default(),
+            );
+            results.push((kind.label(), misses, stats.total_cost));
+        }
+        let mut by_misses = results.clone();
+        by_misses.sort_by_key(|r| r.1);
+        let mut by_cycles = results;
+        by_cycles.sort_by_key(|r| r.2);
+        let order_m: Vec<&str> = by_misses.iter().map(|r| r.0.as_str()).collect();
+        let order_c: Vec<&str> = by_cycles.iter().map(|r| r.0.as_str()).collect();
+        assert_eq!(order_m, order_c, "cost models disagree on the ranking");
+    }
+
+    #[test]
+    fn iblp_whole_block_loads_amortize_row_opens() {
+        // IBLP's one load per block transfers B items for one row charge;
+        // an item cache pays the row open once but B column accesses.
+        let map = BlockMap::strided(8);
+        let trace = Trace::from_ids(0..8000u64);
+        let mut iblp = Iblp::new(8, 8, map.clone());
+        let (_, s_iblp) =
+            simulate_with_row_buffer(&mut iblp, &trace, &map, RowBufferCosts::default());
+        let mut lru = ItemLru::new(16);
+        let (_, s_lru) =
+            simulate_with_row_buffer(&mut lru, &trace, &map, RowBufferCosts::default());
+        assert_eq!(s_iblp.items_transferred, s_lru.items_transferred);
+        assert!(
+            s_iblp.total_cost < s_lru.total_cost,
+            "batched transfer should be cheaper: {} vs {}",
+            s_iblp.total_cost,
+            s_lru.total_cost
+        );
+    }
+}

@@ -1,0 +1,768 @@
+//! Executable versions of the paper's lower-bound trace constructions.
+//!
+//! The competitive lower bounds of §4 are proved by describing an adversary
+//! that watches the online cache and always requests something it does not
+//! hold, while a prescient offline cache pays far less. This module turns
+//! each construction into code:
+//!
+//! * [`sleator_tarjan`] — the classic traditional-caching adversary
+//!   (Sleator & Tarjan 1985), the baseline in Table 1;
+//! * [`item_cache`] — the Theorem 2 adversary against any *Item Cache*
+//!   (loads only the requested item);
+//! * [`block_cache`] — the Theorem 3 adversary against any *Block Cache*
+//!   (loads and evicts whole blocks);
+//! * [`general`] — the Theorem 4 adversary against any deterministic policy,
+//!   parameterized by the policy's `a` value (distinct consecutive accesses
+//!   to a block before it loads the whole block);
+//! * [`locality_family`] — the Theorem 8 family that additionally respects a
+//!   locality envelope `f(n)`/`g(n)`.
+//!
+//! Because the adversaries are **adaptive**, each generator drives the online
+//! cache through the [`OnlineCacheProbe`] trait while it builds the trace.
+//! Alongside the trace, each generator returns the cost of the *feasible
+//! offline strategy from the proof* ([`AdversaryReport::opt_misses`]). Any
+//! feasible strategy upper-bounds OPT, so the reported
+//! [`competitive_ratio`](AdversaryReport::competitive_ratio) is a certified
+//! *lower bound* on the true online-vs-OPT ratio for that trace.
+
+use gc_types::{BlockMap, FxHashSet, ItemId, Trace};
+
+/// Minimal view of an online cache that an adaptive adversary needs.
+///
+/// `gc-sim` provides a blanket adapter from any `GcPolicy`; tests can use a
+/// hand-rolled cache. The adversary calls [`contains`](Self::contains) to
+/// find a missing item, then [`access`](Self::access) to feed the request.
+pub trait OnlineCacheProbe {
+    /// Whether the online cache currently holds `item`.
+    fn contains(&self, item: ItemId) -> bool;
+    /// Deliver one request to the online cache.
+    fn access(&mut self, item: ItemId);
+}
+
+/// Outcome of running an adaptive adversary against an online cache.
+#[derive(Clone, Debug)]
+pub struct AdversaryReport {
+    /// The full generated trace, including the warm-up prefix.
+    pub trace: Trace,
+    /// Length of the warm-up prefix (both caches miss there; it is excluded
+    /// from the miss counts below).
+    pub warmup_len: usize,
+    /// Misses the online cache actually suffered after warm-up (measured via
+    /// the probe before each access).
+    pub online_misses: u64,
+    /// Misses of the proof's feasible offline strategy after warm-up.
+    pub opt_misses: u64,
+    /// The block partition the trace was built against.
+    pub block_map: BlockMap,
+}
+
+impl AdversaryReport {
+    /// Measured-online over feasible-offline miss ratio.
+    ///
+    /// Since the offline strategy is feasible (not necessarily optimal),
+    /// this is a certified lower bound on the true competitive ratio for
+    /// this trace.
+    pub fn competitive_ratio(&self) -> f64 {
+        self.online_misses as f64 / (self.opt_misses.max(1)) as f64
+    }
+}
+
+/// Internal bookkeeping common to the §4 constructions.
+struct Round {
+    /// Items the model offline cache currently holds.
+    opt_content: FxHashSet<ItemId>,
+    /// Next fresh block id (fresh blocks have never been accessed).
+    next_block: u64,
+    trace: Trace,
+    online_misses: u64,
+    opt_misses: u64,
+}
+
+impl Round {
+    fn new() -> Self {
+        Round {
+            opt_content: FxHashSet::default(),
+            next_block: 0,
+            trace: Trace::new(),
+            online_misses: 0,
+            opt_misses: 0,
+        }
+    }
+
+    /// Access `item`, counting an online miss if the probe lacks it.
+    fn access<P: OnlineCacheProbe>(&mut self, probe: &mut P, item: ItemId, count: bool) {
+        if count && !probe.contains(item) {
+            self.online_misses += 1;
+        }
+        probe.access(item);
+        self.trace.push(item);
+    }
+}
+
+/// The Theorem 2 adversary against **Item Caches** with block size `B`.
+///
+/// Per round: access `k − h + 1` brand-new items *as whole blocks* (the
+/// online item cache misses every one; the offline cache loads each block
+/// once), then `h − B` times request an item the online cache lacks, drawn
+/// from the offline cache's content (offline hits every one).
+///
+/// The certified ratio approaches `B(k − B + 1)/(k − h + 1)` for large
+/// round counts (Theorem 2 states `B` times the fresh-item count over the
+/// block count; the per-round ratio is `(k − h + 1 + h − B)` online misses
+/// against `⌈(k − h + 1)/B⌉` offline misses).
+///
+/// # Panics
+/// Panics unless `k ≥ h > B ≥ 1`.
+pub fn item_cache<P: OnlineCacheProbe>(
+    probe: &mut P,
+    k: usize,
+    h: usize,
+    block_size: usize,
+    rounds: usize,
+) -> AdversaryReport {
+    assert!(block_size >= 1, "block size must be ≥ 1");
+    assert!(h > block_size, "need h > B so step 4 is nonempty");
+    assert!(k >= h, "online cache must be at least as large as offline");
+    let map = BlockMap::strided(block_size);
+    let b = block_size as u64;
+    let mut st = Round::new();
+
+    // Warm-up: fill the online cache with k fresh items (whole blocks) so
+    // the "both caches are full" precondition of step 1 holds. The model
+    // offline cache retains the most recent h of them.
+    let mut warm_items: Vec<ItemId> = Vec::with_capacity(k);
+    while warm_items.len() < k {
+        let block = st.next_block;
+        st.next_block += 1;
+        for off in 0..b {
+            if warm_items.len() >= k {
+                break;
+            }
+            let item = ItemId(block * b + off);
+            st.access(probe, item, false);
+            warm_items.push(item);
+        }
+    }
+    let warmup_len = st.trace.len();
+    st.opt_content.extend(warm_items.iter().rev().take(h).copied());
+
+    for _ in 0..rounds {
+        // Step 2: k − h + 1 fresh items, streamed block by block.
+        let mut step2: Vec<ItemId> = Vec::with_capacity(k - h + 1);
+        let mut fresh_blocks = 0u64;
+        while step2.len() < k - h + 1 {
+            let block = st.next_block;
+            st.next_block += 1;
+            fresh_blocks += 1;
+            for off in 0..b {
+                if step2.len() > k - h {
+                    break;
+                }
+                let item = ItemId(block * b + off);
+                st.access(probe, item, true);
+                step2.push(item);
+            }
+        }
+        // Offline loads each fresh block exactly once.
+        st.opt_misses += fresh_blocks;
+
+        // Step 3: candidate set = offline content at step 1 ∪ step-2 items
+        // (≥ k + 1 items, so one always evades the online cache).
+        let mut candidates: Vec<ItemId> = st.opt_content.iter().copied().collect();
+        candidates.extend_from_slice(&step2);
+
+        // Step 4: h − B requests the online cache misses; offline hits all
+        // (it kept them, which fits: B streaming + (h−B) retained = h).
+        let step4_len = h - block_size;
+        let mut step4: Vec<ItemId> = Vec::with_capacity(step4_len);
+        for _ in 0..step4_len {
+            let victim = candidates
+                .iter()
+                .copied()
+                .find(|&it| !probe.contains(it))
+                .expect("k+1 candidates cannot all fit in a k-sized online cache");
+            st.access(probe, victim, true);
+            step4.push(victim);
+        }
+
+        // Offline content entering the next round: the step-4 items plus
+        // arbitrary retained candidates up to h.
+        let mut next: FxHashSet<ItemId> = step4.iter().copied().collect();
+        for &c in candidates.iter().rev() {
+            if next.len() >= h {
+                break;
+            }
+            next.insert(c);
+        }
+        st.opt_content = next;
+    }
+
+    AdversaryReport {
+        trace: st.trace.named(format!("thm2-adversary(k={k},h={h},B={block_size})")),
+        warmup_len,
+        online_misses: st.online_misses,
+        opt_misses: st.opt_misses,
+        block_map: map,
+    }
+}
+
+/// The classic Sleator–Tarjan adversary for traditional caching.
+///
+/// Equivalent to [`item_cache`] with unit blocks, except step 4 runs
+/// `h − 1` times. The certified ratio approaches `k/(k − h + 1)`.
+pub fn sleator_tarjan<P: OnlineCacheProbe>(
+    probe: &mut P,
+    k: usize,
+    h: usize,
+    rounds: usize,
+) -> AdversaryReport {
+    assert!(h >= 2, "need h ≥ 2 so step 4 is nonempty");
+    assert!(k >= h);
+    let map = BlockMap::singleton();
+    let mut st = Round::new();
+
+    for i in 0..k as u64 {
+        st.access(probe, ItemId(i), false);
+    }
+    st.next_block = k as u64;
+    let warmup_len = st.trace.len();
+    st.opt_content
+        .extend(((k - h) as u64..k as u64).map(ItemId));
+
+    for _ in 0..rounds {
+        let mut step2 = Vec::with_capacity(k - h + 1);
+        for _ in 0..k - h + 1 {
+            let item = ItemId(st.next_block);
+            st.next_block += 1;
+            st.access(probe, item, true);
+            step2.push(item);
+        }
+        st.opt_misses += step2.len() as u64;
+
+        let mut candidates: Vec<ItemId> = st.opt_content.iter().copied().collect();
+        candidates.extend_from_slice(&step2);
+
+        let mut step4 = Vec::with_capacity(h - 1);
+        for _ in 0..h - 1 {
+            let victim = candidates
+                .iter()
+                .copied()
+                .find(|&it| !probe.contains(it))
+                .expect("k+1 candidates cannot all fit in a k-sized online cache");
+            st.access(probe, victim, true);
+            step4.push(victim);
+        }
+
+        let mut next: FxHashSet<ItemId> = step4.iter().copied().collect();
+        for &c in candidates.iter().rev() {
+            if next.len() >= h {
+                break;
+            }
+            next.insert(c);
+        }
+        st.opt_content = next;
+    }
+
+    AdversaryReport {
+        trace: st.trace.named(format!("sleator-tarjan(k={k},h={h})")),
+        warmup_len,
+        online_misses: st.online_misses,
+        opt_misses: st.opt_misses,
+        block_map: map,
+    }
+}
+
+/// The Theorem 3 adversary against **Block Caches** with block size `B`.
+///
+/// Every item used lives in its own block (so loading a block wastes
+/// `B − 1` lines of the online block cache, shrinking it to `⌈k/B⌉`
+/// effective entries). Per round: access one item from each of
+/// `⌈k/B⌉ − h + 1` fresh blocks, then `h − 1` requests the online cache
+/// misses. The certified ratio approaches `k/(k − B(h−1))` (infinite when
+/// `k ≤ B(h−1)`, which the assertion below excludes).
+///
+/// # Panics
+/// Panics unless `⌈k/B⌉ ≥ h ≥ 2`.
+pub fn block_cache<P: OnlineCacheProbe>(
+    probe: &mut P,
+    k: usize,
+    h: usize,
+    block_size: usize,
+    rounds: usize,
+) -> AdversaryReport {
+    assert!(block_size >= 1);
+    assert!(h >= 2, "need h ≥ 2 so step 4 is nonempty");
+    let effective = k.div_ceil(block_size);
+    assert!(
+        effective >= h,
+        "need ⌈k/B⌉ ≥ h, otherwise the online block cache cannot even hold the candidate set"
+    );
+    let map = BlockMap::strided(block_size);
+    let b = block_size as u64;
+    let mut st = Round::new();
+
+    // Warm-up: one item from each of ⌈k/B⌉ fresh blocks fills the block
+    // cache. (An item cache would be only partly full — the bound targets
+    // block caches, and the probe decides what "full" means for it.)
+    for _ in 0..effective {
+        let item = ItemId(st.next_block * b);
+        st.next_block += 1;
+        st.access(probe, item, false);
+    }
+    let warmup_len = st.trace.len();
+    st.opt_content.extend(
+        (effective as u64 - h as u64..effective as u64).map(|blk| ItemId(blk * b)),
+    );
+
+    for _ in 0..rounds {
+        // Step 2: one item from each of ⌈k/B⌉ − h + 1 fresh blocks.
+        let mut step2 = Vec::with_capacity(effective - h + 1);
+        for _ in 0..effective - h + 1 {
+            let item = ItemId(st.next_block * b);
+            st.next_block += 1;
+            st.access(probe, item, true);
+            step2.push(item);
+        }
+        st.opt_misses += step2.len() as u64;
+
+        let mut candidates: Vec<ItemId> = st.opt_content.iter().copied().collect();
+        candidates.extend_from_slice(&step2);
+
+        // Step 4: h − 1 requests the online cache misses; the offline item
+        // cache kept them all.
+        let mut step4 = Vec::with_capacity(h - 1);
+        for _ in 0..h - 1 {
+            let victim = candidates
+                .iter()
+                .copied()
+                .find(|&it| !probe.contains(it))
+                .expect("⌈k/B⌉+1 single-item blocks cannot all fit in the online block cache");
+            st.access(probe, victim, true);
+            step4.push(victim);
+        }
+
+        let mut next: FxHashSet<ItemId> = step4.iter().copied().collect();
+        for &c in candidates.iter().rev() {
+            if next.len() >= h {
+                break;
+            }
+            next.insert(c);
+        }
+        st.opt_content = next;
+    }
+
+    AdversaryReport {
+        trace: st.trace.named(format!("thm3-adversary(k={k},h={h},B={block_size})")),
+        warmup_len,
+        online_misses: st.online_misses,
+        opt_misses: st.opt_misses,
+        block_map: map,
+    }
+}
+
+/// The Theorem 4 adversary against an arbitrary deterministic policy.
+///
+/// Per fresh block, the adversary keeps requesting items of the block that
+/// the online cache does not currently hold, until the whole block is
+/// resident (or `B` requests have been made — a safeguard for policies that
+/// evict co-loaded items immediately). The number of requests needed is the
+/// policy's `a` parameter, observed rather than assumed. Step 4 then issues
+/// `h − a_max` evading requests, where `a_max` is the largest per-block
+/// count observed this round.
+///
+/// The certified ratio approaches
+/// `(a(k−h+1) + B(h−a)) / (k−h+1)` (Theorem 4) when the policy uses a
+/// consistent `a`.
+///
+/// # Panics
+/// Panics unless `k ≥ h > B ≥ 1`.
+pub fn general<P: OnlineCacheProbe>(
+    probe: &mut P,
+    k: usize,
+    h: usize,
+    block_size: usize,
+    rounds: usize,
+) -> AdversaryReport {
+    assert!(block_size >= 1);
+    assert!(h > block_size, "need h > B so step 4 can be nonempty");
+    assert!(k >= h);
+    let map = BlockMap::strided(block_size);
+    let b = block_size as u64;
+    let mut st = Round::new();
+
+    // Warm-up as in Theorem 2.
+    let mut warm_items: Vec<ItemId> = Vec::with_capacity(k);
+    while warm_items.len() < k {
+        let block = st.next_block;
+        st.next_block += 1;
+        for off in 0..b {
+            if warm_items.len() >= k {
+                break;
+            }
+            let item = ItemId(block * b + off);
+            st.access(probe, item, false);
+            warm_items.push(item);
+        }
+    }
+    let warmup_len = st.trace.len();
+    st.opt_content.extend(warm_items.iter().rev().take(h).copied());
+
+    for _ in 0..rounds {
+        // Step 2: for ⌈(k−h+1)/B⌉ fresh blocks, request items of the block
+        // that the online cache lacks until the block is fully resident.
+        let num_blocks = (k - h + 1).div_ceil(block_size);
+        let mut step2: Vec<ItemId> = Vec::new();
+        let mut a_max = 1usize;
+        for _ in 0..num_blocks {
+            let block = st.next_block;
+            st.next_block += 1;
+            let mut per_block = 0usize;
+            loop {
+                let missing = (0..b)
+                    .map(|off| ItemId(block * b + off))
+                    .find(|&it| !probe.contains(it));
+                match missing {
+                    Some(item) if per_block < block_size => {
+                        st.access(probe, item, true);
+                        step2.push(item);
+                        per_block += 1;
+                    }
+                    _ => break,
+                }
+            }
+            a_max = a_max.max(per_block);
+        }
+        // Offline loads each fresh block's accessed items in one unit.
+        st.opt_misses += num_blocks as u64;
+
+        let mut candidates: Vec<ItemId> = st.opt_content.iter().copied().collect();
+        candidates.extend_from_slice(&step2);
+
+        // Step 4: h − a_max evading requests (the offline cache spent a_max
+        // lines on the streamed block, leaving h − a_max for retention).
+        let step4_len = h.saturating_sub(a_max);
+        let mut step4 = Vec::with_capacity(step4_len);
+        for _ in 0..step4_len {
+            // The candidate set can be smaller than k + 1 when the policy
+            // co-loads aggressively (a < B); an evading item may not exist.
+            let Some(victim) = candidates.iter().copied().find(|&it| !probe.contains(it)) else {
+                break;
+            };
+            st.access(probe, victim, true);
+            step4.push(victim);
+        }
+
+        let mut next: FxHashSet<ItemId> = step4.iter().copied().collect();
+        for &c in candidates.iter().rev() {
+            if next.len() >= h {
+                break;
+            }
+            next.insert(c);
+        }
+        st.opt_content = next;
+    }
+
+    AdversaryReport {
+        trace: st.trace.named(format!("thm4-adversary(k={k},h={h},B={block_size})")),
+        warmup_len,
+        online_misses: st.online_misses,
+        opt_misses: st.opt_misses,
+        block_map: map,
+    }
+}
+
+/// Parameters for the Theorem 8 locality-family generator.
+#[derive(Clone, Debug)]
+pub struct LocalityFamilyConfig {
+    /// Online cache size `k`; the trace uses `k + 1` distinct items.
+    pub cache_size: usize,
+    /// Block size `B` for the strided partition of the `k + 1` items.
+    pub block_size: usize,
+    /// Phase length `p = f⁻¹(k+1) − 2` in accesses.
+    pub phase_len: usize,
+    /// Number of distinct blocks the trace may touch per phase-sized
+    /// window, `g(p)` — the "new block" budget of the proof.
+    pub blocks_per_phase: usize,
+    /// Number of phases to generate.
+    pub phases: usize,
+}
+
+/// The Theorem 8 trace family: `k + 1` items, phases of `phase_len`
+/// accesses, each phase built from repetitions of single items chosen to
+/// evade the online cache whenever the block budget `g(p)` permits.
+///
+/// Returns the report plus the number of *forced* repetitions per phase
+/// (those guaranteed to miss), from which the fault-rate lower bound
+/// `g(f⁻¹(k+1)−2) / (f⁻¹(k+1)−2)` of Theorem 8 can be checked.
+pub fn locality_family<P: OnlineCacheProbe>(
+    probe: &mut P,
+    cfg: &LocalityFamilyConfig,
+) -> AdversaryReport {
+    let k = cfg.cache_size;
+    assert!(k >= 2, "cache must hold at least 2 items");
+    assert!(cfg.block_size >= 1);
+    assert!(cfg.phase_len >= 1);
+    assert!(cfg.blocks_per_phase >= 1);
+    let map = BlockMap::strided(cfg.block_size);
+    let universe: Vec<ItemId> = (0..=k as u64).map(ItemId).collect();
+    let mut st = Round::new();
+
+    // Warm-up: touch every universe item once so the online cache is full.
+    for &item in &universe {
+        st.access(probe, item, false);
+    }
+    let warmup_len = st.trace.len();
+
+    for _ in 0..cfg.phases {
+        let mut accessed_this_phase: FxHashSet<ItemId> = FxHashSet::default();
+        let mut blocks_this_phase: FxHashSet<_> = FxHashSet::default();
+        let mut emitted = 0usize;
+        // k − 1 repetitions per phase, spread over phase_len accesses.
+        let reps = (k - 1).min(cfg.phase_len);
+        for rep in 0..reps {
+            // Accesses [rep·p/(k−1), (rep+1)·p/(k−1)) belong to this
+            // repetition (an even spread standing in for the paper's
+            // f⁻¹-spaced schedule, which is what the bound needs).
+            let end = (rep + 1) * cfg.phase_len / reps;
+            let run = end.saturating_sub(emitted);
+            if run == 0 {
+                continue;
+            }
+            // Choose the repetition's item: prefer one the online cache
+            // lacks, if the block budget allows touching its block.
+            let pick = universe
+                .iter()
+                .copied()
+                .filter(|it| !accessed_this_phase.contains(it))
+                .find(|&it| {
+                    let blk = map.block_of(it);
+                    let new_block = !blocks_this_phase.contains(&blk);
+                    !probe.contains(it)
+                        && (!new_block || blocks_this_phase.len() < cfg.blocks_per_phase)
+                })
+                .or_else(|| {
+                    // Budget exhausted or everything resident: take any
+                    // unaccessed item from an already-touched block, else
+                    // any unaccessed item at all.
+                    universe
+                        .iter()
+                        .copied()
+                        .filter(|it| !accessed_this_phase.contains(it))
+                        .find(|&it| blocks_this_phase.contains(&map.block_of(it)))
+                        .or_else(|| {
+                            universe
+                                .iter()
+                                .copied()
+                                .find(|it| !accessed_this_phase.contains(it))
+                        })
+                });
+            let Some(item) = pick else { break };
+            accessed_this_phase.insert(item);
+            blocks_this_phase.insert(map.block_of(item));
+            for _ in 0..run {
+                st.access(probe, item, true);
+                emitted += 1;
+            }
+        }
+        // The offline comparator in the fault-rate model is the bound
+        // itself; per phase it faults at most once per distinct block.
+        st.opt_misses += blocks_this_phase.len() as u64;
+    }
+
+    AdversaryReport {
+        trace: st.trace.named(format!(
+            "thm8-family(k={},B={},p={})",
+            k, cfg.block_size, cfg.phase_len
+        )),
+        warmup_len,
+        online_misses: st.online_misses,
+        opt_misses: st.opt_misses,
+        block_map: map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_types::FxHashMap;
+
+    /// A minimal item-granular LRU cache used as the probe in unit tests.
+    /// (The real policies live in `gc-policies`; a local double avoids a
+    /// dev-dependency cycle.)
+    struct TestLru {
+        capacity: usize,
+        clock: u64,
+        stamp: FxHashMap<ItemId, u64>,
+    }
+
+    impl TestLru {
+        fn new(capacity: usize) -> Self {
+            TestLru { capacity, clock: 0, stamp: FxHashMap::default() }
+        }
+    }
+
+    impl OnlineCacheProbe for TestLru {
+        fn contains(&self, item: ItemId) -> bool {
+            self.stamp.contains_key(&item)
+        }
+
+        fn access(&mut self, item: ItemId) {
+            self.clock += 1;
+            self.stamp.insert(item, self.clock);
+            if self.stamp.len() > self.capacity {
+                let (&victim, _) = self.stamp.iter().min_by_key(|(_, &s)| s).unwrap();
+                self.stamp.remove(&victim);
+            }
+        }
+    }
+
+    /// A block cache double: loads/evicts whole strided blocks, LRU order.
+    struct TestBlockLru {
+        capacity_blocks: usize,
+        block_size: u64,
+        clock: u64,
+        stamp: FxHashMap<u64, u64>,
+    }
+
+    impl OnlineCacheProbe for TestBlockLru {
+        fn contains(&self, item: ItemId) -> bool {
+            self.stamp.contains_key(&(item.0 / self.block_size))
+        }
+
+        fn access(&mut self, item: ItemId) {
+            self.clock += 1;
+            self.stamp.insert(item.0 / self.block_size, self.clock);
+            if self.stamp.len() > self.capacity_blocks {
+                let (&victim, _) = self.stamp.iter().min_by_key(|(_, &s)| s).unwrap();
+                self.stamp.remove(&victim);
+            }
+        }
+    }
+
+    #[test]
+    fn sleator_tarjan_online_misses_everything() {
+        let (k, h, rounds) = (16, 8, 20);
+        let mut lru = TestLru::new(k);
+        let rep = sleator_tarjan(&mut lru, k, h, rounds);
+        // Every post-warmup access misses: (k-h+1) + (h-1) = k per round.
+        assert_eq!(rep.online_misses, (rounds * k) as u64);
+        assert_eq!(rep.opt_misses, (rounds * (k - h + 1)) as u64);
+        let expected = k as f64 / (k - h + 1) as f64;
+        assert!((rep.competitive_ratio() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleator_tarjan_trace_len_accounting() {
+        let (k, h, rounds) = (10, 4, 3);
+        let mut lru = TestLru::new(k);
+        let rep = sleator_tarjan(&mut lru, k, h, rounds);
+        assert_eq!(rep.warmup_len, k);
+        assert_eq!(rep.trace.len(), k + rounds * ((k - h + 1) + (h - 1)));
+    }
+
+    #[test]
+    fn thm2_adversary_hits_the_bound_against_item_lru() {
+        let (k, h, b, rounds) = (64, 16, 8, 30);
+        let mut lru = TestLru::new(k);
+        let rep = item_cache(&mut lru, k, h, b, rounds);
+        // Online misses every access: (k−h+1) + (h−B) per round.
+        let per_round_online = (k - h + 1) + (h - b);
+        assert_eq!(rep.online_misses, (rounds * per_round_online) as u64);
+        // Offline misses ⌈(k−h+1)/B⌉ per round.
+        let per_round_opt = (k - h + 1).div_ceil(b);
+        assert_eq!(rep.opt_misses, (rounds * per_round_opt) as u64);
+        // The certified ratio must beat the Sleator–Tarjan ratio by nearly B.
+        let st_ratio = k as f64 / (k - h + 1) as f64;
+        assert!(rep.competitive_ratio() > 4.0 * st_ratio);
+    }
+
+    #[test]
+    fn thm2_requires_h_above_block_size() {
+        let result = std::panic::catch_unwind(|| {
+            let mut lru = TestLru::new(8);
+            item_cache(&mut lru, 8, 4, 4, 1)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn thm3_adversary_starves_block_cache() {
+        let (k, h, b, rounds) = (64, 4, 8, 25);
+        let mut cache = TestBlockLru {
+            capacity_blocks: k / b,
+            block_size: b as u64,
+            clock: 0,
+            stamp: FxHashMap::default(),
+        };
+        let rep = block_cache(&mut cache, k, h, b, rounds);
+        let eff = k / b; // 8 effective entries
+        let per_round_online = (eff - h + 1) + (h - 1);
+        assert_eq!(rep.online_misses, (rounds * per_round_online) as u64);
+        assert_eq!(rep.opt_misses, (rounds * (eff - h + 1)) as u64);
+        // Theorem 3 bound: k/(k − B(h−1)) = 64/(64−24) = 1.6; the executed
+        // construction certifies eff/(eff−h+1) = 8/5 = 1.6 as well.
+        let expected = eff as f64 / (eff - h + 1) as f64;
+        assert!((rep.competitive_ratio() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thm4_adversary_observes_a_equal_one_for_item_lru() {
+        // An item LRU has a = B (it never co-loads, so the adversary must
+        // request every item of the block individually).
+        let (k, h, b, rounds) = (32, 12, 4, 10);
+        let mut lru = TestLru::new(k);
+        let rep = general(&mut lru, k, h, b, rounds);
+        // For an item cache the while-loop runs B times per block, so step 2
+        // emits B·⌈(k−h+1)/B⌉ accesses and a_max = B ⇒ step 4 has h − B.
+        let blocks = (k - h + 1).div_ceil(b);
+        let per_round_online = blocks * b + (h - b);
+        assert_eq!(rep.online_misses, (rounds * per_round_online) as u64);
+        assert_eq!(rep.opt_misses, (rounds * blocks) as u64);
+    }
+
+    #[test]
+    fn thm4_adversary_with_coloading_block_cache() {
+        // A block cache has a = 1: one access makes the block resident, so
+        // each fresh block costs the online cache exactly 1 miss too — but
+        // cache pollution then ruins it in step 4 (covered by thm3); here we
+        // only check the generator terminates and accounts correctly.
+        let (k, h, b) = (64, 12, 8);
+        let mut cache = TestBlockLru {
+            capacity_blocks: k / b,
+            block_size: b as u64,
+            clock: 0,
+            stamp: FxHashMap::default(),
+        };
+        let rep = general(&mut cache, k, h, b, 5);
+        assert!(rep.online_misses > 0);
+        assert!(rep.opt_misses > 0);
+        assert!(rep.trace.len() > rep.warmup_len);
+    }
+
+    #[test]
+    fn locality_family_respects_universe_and_fault_floor() {
+        let cfg = LocalityFamilyConfig {
+            cache_size: 16,
+            block_size: 4,
+            phase_len: 60,
+            blocks_per_phase: 3,
+            phases: 10,
+        };
+        let mut lru = TestLru::new(cfg.cache_size);
+        let rep = locality_family(&mut lru, &cfg);
+        // Universe is k+1 items.
+        assert!(rep.trace.iter().all(|i| i.0 <= cfg.cache_size as u64));
+        assert_eq!(rep.trace.len(), rep.warmup_len + cfg.phases * cfg.phase_len);
+        // The online cache must fault at least once per evading repetition;
+        // with budget 3 blocks/phase it faults ≥ phases (weak sanity floor).
+        assert!(rep.online_misses >= cfg.phases as u64);
+    }
+
+    #[test]
+    fn reports_expose_block_map() {
+        let mut lru = TestLru::new(16);
+        let rep = item_cache(&mut lru, 16, 8, 4, 2);
+        assert_eq!(rep.block_map.max_block_size(), 4);
+        assert!(rep.competitive_ratio() > 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Trace file I/O.
+//!
+//! Two formats:
+//!
+//! * **JSON** — the full `(Trace, BlockMap)` pair via serde; lossless and
+//!   self-describing, used by the CLI's `--save`/`--load`.
+//! * **Plain text** — one item id per line, `#` comments; the least common
+//!   denominator for interoperating with other simulators.
+
+use gc_types::{BlockMap, GcError, ItemId, Trace};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A trace bundled with the block partition it was generated against.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceFile {
+    /// The request trace.
+    pub trace: Trace,
+    /// The block partition.
+    pub block_map: BlockMap,
+}
+
+/// Serialize a trace + map to pretty JSON.
+pub fn to_json(trace: &Trace, block_map: &BlockMap) -> String {
+    serde_json::to_string_pretty(&TraceFile {
+        trace: trace.clone(),
+        block_map: block_map.clone(),
+    })
+    .expect("trace serialization cannot fail")
+}
+
+/// Parse a JSON trace file produced by [`to_json`].
+pub fn from_json(json: &str) -> Result<TraceFile, GcError> {
+    serde_json::from_str(json).map_err(|e| GcError::ParseError(e.to_string()))
+}
+
+/// Write a trace in plain-text format: a header comment, then one decimal
+/// item id per line.
+pub fn write_text<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# gc-trace v1: {} requests, name={}", trace.len(), trace.name)?;
+    for item in trace {
+        writeln!(w, "{}", item.0)?;
+    }
+    Ok(())
+}
+
+/// Read a plain-text trace: one decimal item id per line, blank lines and
+/// `#` comments ignored.
+pub fn read_text<R: Read>(r: R) -> Result<Trace, GcError> {
+    let reader = BufReader::new(r);
+    let mut trace = Trace::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| GcError::ParseError(e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let id: u64 = line.parse().map_err(|_| {
+            GcError::ParseError(format!("line {}: expected item id, got {line:?}", lineno + 1))
+        })?;
+        trace.push(ItemId(id));
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Trace::from_ids([1, 2, 3]).named("demo");
+        let m = BlockMap::strided(4);
+        let json = to_json(&t, &m);
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.trace, t);
+        assert_eq!(back.block_map.max_block_size(), 4);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = Trace::from_ids([10, 20, 30]);
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+        let back = read_text(buf.as_slice()).unwrap();
+        assert_eq!(back.requests(), t.requests());
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let src = "# header\n\n5\n # another\n7\n";
+        let t = read_text(src.as_bytes()).unwrap();
+        assert_eq!(t.requests(), &[ItemId(5), ItemId(7)]);
+    }
+
+    #[test]
+    fn text_reports_bad_lines() {
+        let err = read_text("1\nbogus\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # gc-trace
+//!
+//! Workload substrate for the Granularity-Change Caching library.
+//!
+//! The paper under reproduction is pure theory: its "workloads" are proof
+//! constructions. This crate makes them executable, alongside the synthetic
+//! workloads a systems evaluation needs:
+//!
+//! * [`synthetic`] — parameterized generators (uniform, Zipfian, scans,
+//!   block-run workloads with a tunable spatial-locality knob, phased
+//!   mixes),
+//! * [`adversary`] — executable versions of the paper's lower-bound traces:
+//!   Sleator–Tarjan (traditional), Theorem 2 (vs item caches), Theorem 3
+//!   (vs block caches), Theorem 4 (vs any `a`-parameter policy), and the
+//!   Theorem 8 locality-model family,
+//! * [`working_set`] — empirical `f(n)`/`g(n)` extraction (max distinct
+//!   items/blocks per window), the measurement side of the §7 locality
+//!   model,
+//! * [`generators_ext`] — memory-system patterns (strides, random walks,
+//!   pointer chasing, hotspots) and a greedy affinity-based item-to-block
+//!   remapper (the data-placement angle the paper cites),
+//! * [`stats`] — reuse-distance, block-run-length, and block-utilization
+//!   histograms,
+//! * [`transforms`] — concatenation, interleaving, repetition, remapping,
+//! * [`io`] — JSON and plain-text trace files.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adversary;
+pub mod generators_ext;
+pub mod io;
+pub mod stats;
+pub mod synthetic;
+pub mod transforms;
+pub mod working_set;
+
+pub use adversary::{AdversaryReport, OnlineCacheProbe};
+pub use working_set::WorkingSetProfile;

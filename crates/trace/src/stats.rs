@@ -1,0 +1,286 @@
+//! Trace-analysis statistics: reuse distances, block run lengths, and
+//! per-block utilization.
+//!
+//! These are the standard diagnostics for deciding whether a workload has
+//! the temporal/spatial structure a granularity-change cache can exploit:
+//!
+//! * the **reuse-distance histogram** (stack distances) determines every
+//!   LRU cache's hit rate and the empirical `f(n)` shape;
+//! * the **block run-length histogram** (consecutive accesses within one
+//!   block) measures raw spatial locality — the `a`-parameter a policy
+//!   would observe;
+//! * **block utilization** (distinct items touched per block before it is
+//!   abandoned) predicts how much of a co-load is useful, i.e. whether a
+//!   Block Cache pollutes.
+
+use gc_types::{BlockMap, FxHashMap, ItemId, Trace};
+
+/// Histogram over `0..=max` with an overflow bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// `counts[v]` = samples with value exactly `v`.
+    pub counts: Vec<u64>,
+    /// Samples above `counts.len() - 1`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    fn new(max: usize) -> Self {
+        Histogram { counts: vec![0; max + 1], overflow: 0 }
+    }
+
+    fn record(&mut self, value: usize) {
+        match self.counts.get_mut(value) {
+            Some(slot) => *slot += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Fraction of samples at value ≤ `v`.
+    pub fn cdf(&self, v: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let below: u64 = self.counts.iter().take(v + 1).sum();
+        below as f64 / total as f64
+    }
+
+    /// Mean value, counting each overflow sample as `counts.len()`.
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum::<u64>()
+            + self.overflow * self.counts.len() as u64;
+        sum as f64 / total as f64
+    }
+}
+
+/// Reuse- (stack-) distance histogram: for each non-cold access, the number
+/// of distinct items touched since the same item's previous access.
+/// Bucket `d` feeds LRU caches of size > `d`; cold accesses are not
+/// recorded (they miss at every size).
+pub fn reuse_distance_histogram(trace: &Trace, max: usize) -> Histogram {
+    let mut hist = Histogram::new(max);
+    // O(T · d) sliding recomputation would be quadratic; reuse the same
+    // Fenwick trick as the MRC module, kept local to avoid a dependency.
+    let mut tree = vec![0i64; trace.len() + 2];
+    let add = |tree: &mut Vec<i64>, mut i: usize, delta: i64| {
+        i += 1;
+        while i < tree.len() {
+            tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    };
+    let prefix = |tree: &[i64], mut i: usize| -> i64 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    };
+    let mut last: FxHashMap<ItemId, usize> = FxHashMap::default();
+    for (pos, item) in trace.iter().enumerate() {
+        if let Some(prev) = last.insert(item, pos) {
+            let between = prefix(&tree, pos) - prefix(&tree, prev);
+            hist.record(between as usize);
+            add(&mut tree, prev, -1);
+        }
+        add(&mut tree, pos, 1);
+    }
+    hist
+}
+
+/// Block run-length histogram: lengths of maximal runs of consecutive
+/// accesses that stay within one block.
+pub fn block_run_histogram(trace: &Trace, map: &BlockMap, max: usize) -> Histogram {
+    let mut hist = Histogram::new(max);
+    let mut current: Option<(u64, usize)> = None;
+    for item in trace.iter() {
+        let block = map.block_of(item).0;
+        match current {
+            Some((blk, len)) if blk == block => current = Some((blk, len + 1)),
+            Some((_, len)) => {
+                hist.record(len);
+                current = Some((block, 1));
+            }
+            None => current = Some((block, 1)),
+        }
+    }
+    if let Some((_, len)) = current {
+        hist.record(len);
+    }
+    hist
+}
+
+/// Per-block utilization: for each *episode* of a block (from its first
+/// access until `gap` consecutive non-block accesses pass), how many
+/// distinct items of the block were touched. A co-loading cache benefits
+/// exactly when utilization is high.
+pub fn block_utilization_histogram(
+    trace: &Trace,
+    map: &BlockMap,
+    gap: usize,
+) -> Histogram {
+    let b = map.max_block_size();
+    let mut hist = Histogram::new(b);
+    // Active episodes: block → (distinct items, last-seen position).
+    let mut active: FxHashMap<u64, (gc_types::FxHashSet<ItemId>, usize)> = FxHashMap::default();
+    for (pos, item) in trace.iter().enumerate() {
+        let block = map.block_of(item).0;
+        // Close expired episodes.
+        let expired: Vec<u64> = active
+            .iter()
+            .filter(|(&blk, &(_, last))| blk != block && pos - last > gap)
+            .map(|(&blk, _)| blk)
+            .collect();
+        for blk in expired {
+            let (items, _) = active.remove(&blk).expect("just found");
+            hist.record(items.len());
+        }
+        let entry = active.entry(block).or_insert_with(|| (Default::default(), pos));
+        entry.0.insert(item);
+        entry.1 = pos;
+    }
+    for (_, (items, _)) in active {
+        hist.record(items.len());
+    }
+    hist
+}
+
+/// A compact textual summary of a trace's locality structure.
+pub fn summarize(trace: &Trace, map: &BlockMap) -> String {
+    let b = map.max_block_size();
+    let runs = block_run_histogram(trace, map, 4 * b);
+    let util = block_utilization_histogram(trace, map, 64);
+    let reuse = reuse_distance_histogram(trace, map.max_block_size() * 1024);
+    format!(
+        "requests {}, items {}, blocks {} (B = {b})\n\
+         mean block run {:.2}, mean episode utilization {:.2}/{b}\n\
+         reuse ≤64: {:.1}%, ≤1Ki: {:.1}%, cold/far: {:.1}%",
+        trace.len(),
+        trace.distinct_items(),
+        trace.distinct_blocks(map),
+        runs.mean(),
+        util.mean(),
+        100.0 * reuse.cdf(64),
+        100.0 * reuse.cdf(1024),
+        100.0 * (1.0 - reuse.total() as f64 / trace.len().max(1) as f64)
+            + 100.0 * (reuse.overflow as f64 / trace.len().max(1) as f64),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_distances_simple() {
+        // 1 2 1: distance of the second 1 is 1 (item 2 in between).
+        let t = Trace::from_ids([1, 2, 1]);
+        let h = reuse_distance_histogram(&t, 8);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.total(), 1, "cold accesses unrecorded");
+    }
+
+    #[test]
+    fn reuse_distance_zero_for_immediate_repeat() {
+        let t = Trace::from_ids([5, 5, 5]);
+        let h = reuse_distance_histogram(&t, 4);
+        assert_eq!(h.counts[0], 2);
+    }
+
+    #[test]
+    fn reuse_overflow_bucket() {
+        let mut ids: Vec<u64> = (0..100).collect();
+        ids.push(0); // distance 99
+        let t = Trace::from_ids(ids);
+        let h = reuse_distance_histogram(&t, 10);
+        assert_eq!(h.overflow, 1);
+    }
+
+    #[test]
+    fn block_runs_detected() {
+        // B=4: blocks: [0,1]=b0, [4,5]=b1: runs 2, 2, 1.
+        let t = Trace::from_ids([0, 1, 4, 5, 0]);
+        let map = BlockMap::strided(4);
+        let h = block_run_histogram(&t, &map, 8);
+        assert_eq!(h.counts[2], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn run_histogram_scan_is_one_run_per_block() {
+        let t = Trace::from_ids(0..32u64);
+        let map = BlockMap::strided(8);
+        let h = block_run_histogram(&t, &map, 16);
+        assert_eq!(h.counts[8], 4);
+    }
+
+    #[test]
+    fn utilization_full_for_scans() {
+        let t = Trace::from_ids(0..32u64);
+        let map = BlockMap::strided(8);
+        let h = block_utilization_histogram(&t, &map, 8);
+        assert_eq!(h.counts[8], 4, "every block fully utilized");
+    }
+
+    #[test]
+    fn utilization_sparse_for_single_items() {
+        let t = Trace::from_ids([0u64, 8, 16, 24].repeat(5));
+        let map = BlockMap::strided(8);
+        let h = block_utilization_histogram(&t, &map, 100);
+        // Episodes never expire (gap 100): 4 episodes of utilization 1.
+        assert_eq!(h.counts[1], 4);
+    }
+
+    #[test]
+    fn utilization_episode_expiry() {
+        // Block 0 touched, then a long foreign stretch, then touched again:
+        // two episodes.
+        let mut ids = vec![0u64];
+        ids.extend(100..120u64);
+        ids.push(1);
+        let t = Trace::from_ids(ids);
+        let map = BlockMap::strided(8);
+        let h = block_utilization_histogram(&t, &map, 4);
+        assert_eq!(h.counts[1].max(1), h.counts[1], "{h:?}");
+        assert!(h.total() >= 2);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new(4);
+        h.record(1);
+        h.record(1);
+        h.record(3);
+        h.record(99); // overflow
+        assert_eq!(h.total(), 4);
+        assert!((h.cdf(1) - 0.5).abs() < 1e-12);
+        assert!(h.mean() > 1.0);
+    }
+
+    #[test]
+    fn summarize_mentions_shape() {
+        let t = Trace::from_ids(0..256u64);
+        let map = BlockMap::strided(16);
+        let s = summarize(&t, &map);
+        assert!(s.contains("B = 16"));
+        assert!(s.contains("mean block run 16.00"));
+    }
+}

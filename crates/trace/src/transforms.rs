@@ -1,0 +1,143 @@
+//! Trace transforms: concatenation, interleaving, repetition, remapping.
+//!
+//! These are the plumbing for building composite workloads (e.g. two tenants
+//! interleaved in one cache, or a workload repeated until steady state).
+
+use gc_types::{FxHashMap, ItemId, Trace};
+
+/// Concatenate traces in order.
+pub fn concat<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Trace {
+    let mut out = Trace::new().named("concat");
+    for t in traces {
+        out.extend_from(t);
+    }
+    out
+}
+
+/// Repeat a trace `times` times back to back.
+pub fn repeat(trace: &Trace, times: usize) -> Trace {
+    let mut out = Trace::new().named(format!("repeat({}×)", times));
+    out.reserve(trace.len() * times);
+    for _ in 0..times {
+        out.extend_from(trace);
+    }
+    out
+}
+
+/// Round-robin interleave: one request from each trace in turn, skipping
+/// exhausted traces, until all inputs are drained.
+pub fn interleave(traces: &[&Trace]) -> Trace {
+    let mut out = Trace::new().named("interleave");
+    out.reserve(traces.iter().map(|t| t.len()).sum());
+    let mut cursors = vec![0usize; traces.len()];
+    loop {
+        let mut progressed = false;
+        for (t, cur) in traces.iter().zip(cursors.iter_mut()) {
+            if *cur < t.len() {
+                out.push(t.requests()[*cur]);
+                *cur += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    out
+}
+
+/// Add a constant offset to every item id (disjoint-universe embedding).
+pub fn offset(trace: &Trace, delta: u64) -> Trace {
+    let mut out = Trace::new().named(format!("{}+{}", trace.name, delta));
+    out.reserve(trace.len());
+    for item in trace {
+        out.push(ItemId(item.0 + delta));
+    }
+    out
+}
+
+/// Renumber items to a dense `0..d` range in order of first appearance.
+///
+/// Returns the renumbered trace and the mapping (old → new). Useful before
+/// feeding traces whose ids are sparse into dense-array data structures.
+pub fn densify(trace: &Trace) -> (Trace, FxHashMap<ItemId, ItemId>) {
+    let mut mapping: FxHashMap<ItemId, ItemId> = FxHashMap::default();
+    let mut out = Trace::new().named(format!("{}~dense", trace.name));
+    out.reserve(trace.len());
+    for item in trace {
+        let next = ItemId(mapping.len() as u64);
+        let new = *mapping.entry(item).or_insert(next);
+        out.push(new);
+    }
+    (out, mapping)
+}
+
+/// Keep only requests whose item satisfies the predicate.
+pub fn filter(trace: &Trace, mut keep: impl FnMut(ItemId) -> bool) -> Trace {
+    let mut out = Trace::new().named(format!("{}~filtered", trace.name));
+    for item in trace {
+        if keep(item) {
+            out.push(item);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = Trace::from_ids([1, 2]);
+        let b = Trace::from_ids([3]);
+        let c = concat([&a, &b]);
+        assert_eq!(c.requests(), &[ItemId(1), ItemId(2), ItemId(3)]);
+    }
+
+    #[test]
+    fn repeat_multiplies_length() {
+        let a = Trace::from_ids([1, 2]);
+        let r = repeat(&a, 3);
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.requests()[4], ItemId(1));
+    }
+
+    #[test]
+    fn repeat_zero_is_empty() {
+        assert!(repeat(&Trace::from_ids([1]), 0).is_empty());
+    }
+
+    #[test]
+    fn interleave_round_robin() {
+        let a = Trace::from_ids([1, 2, 3]);
+        let b = Trace::from_ids([10]);
+        let out = interleave(&[&a, &b]);
+        let ids: Vec<u64> = out.iter().map(|i| i.0).collect();
+        assert_eq!(ids, vec![1, 10, 2, 3]);
+    }
+
+    #[test]
+    fn offset_shifts_ids() {
+        let a = Trace::from_ids([0, 5]);
+        let out = offset(&a, 100);
+        assert_eq!(out.requests(), &[ItemId(100), ItemId(105)]);
+    }
+
+    #[test]
+    fn densify_first_appearance_order() {
+        let a = Trace::from_ids([50, 10, 50, 99]);
+        let (dense, mapping) = densify(&a);
+        let ids: Vec<u64> = dense.iter().map(|i| i.0).collect();
+        assert_eq!(ids, vec![0, 1, 0, 2]);
+        assert_eq!(mapping[&ItemId(50)], ItemId(0));
+        assert_eq!(mapping[&ItemId(99)], ItemId(2));
+    }
+
+    #[test]
+    fn filter_drops_requests() {
+        let a = Trace::from_ids([1, 2, 3, 4]);
+        let out = filter(&a, |i| i.0 % 2 == 0);
+        assert_eq!(out.requests(), &[ItemId(2), ItemId(4)]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Empirical working-set analysis: the measurement side of the §7
+//! locality-of-reference model.
+//!
+//! Albers, Favrholdt and Giel characterize a trace by `f(n)` — the maximum
+//! number of distinct *items* in any window of `n` consecutive accesses.
+//! The paper extends this with `g(n)`, the maximum number of distinct
+//! *blocks* per window; `f(n)/g(n)` measures how much spatial locality the
+//! trace has (from `1` = none up to `B` = maximal).
+//!
+//! This module computes exact `f`/`g` values for given window sizes with a
+//! single O(T) sliding-window pass per size.
+
+use gc_types::{BlockMap, FxHashMap, Trace};
+
+/// Exact maximum number of distinct items over all windows of `n` accesses.
+///
+/// Windows shorter than `n` at the trace edges are not considered (matching
+/// the model's definition); if the trace itself is shorter than `n`, the
+/// whole trace counts as one window.
+pub fn max_distinct_items_in_window(trace: &Trace, n: usize) -> usize {
+    assert!(n > 0, "window must be positive");
+    sliding_max(trace.requests().iter().map(|i| i.0), n)
+}
+
+/// Exact maximum number of distinct blocks over all windows of `n` accesses.
+pub fn max_distinct_blocks_in_window(trace: &Trace, map: &BlockMap, n: usize) -> usize {
+    assert!(n > 0, "window must be positive");
+    sliding_max(trace.requests().iter().map(|&i| map.block_of(i).0), n)
+}
+
+fn sliding_max(ids: impl Iterator<Item = u64> + Clone, n: usize) -> usize {
+    let ids: Vec<u64> = ids.collect();
+    if ids.is_empty() {
+        return 0;
+    }
+    let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut best = 0usize;
+    for (right, &id) in ids.iter().enumerate() {
+        *counts.entry(id).or_insert(0) += 1;
+        if right >= n {
+            let left_id = ids[right - n];
+            let c = counts.get_mut(&left_id).expect("left element must be counted");
+            *c -= 1;
+            if *c == 0 {
+                counts.remove(&left_id);
+            }
+        }
+        if right + 1 >= n.min(ids.len()) {
+            best = best.max(counts.len());
+        }
+    }
+    best
+}
+
+/// Empirical `f(n)` and `g(n)` sampled at chosen window sizes.
+#[derive(Clone, Debug)]
+pub struct WorkingSetProfile {
+    /// Window sizes, ascending.
+    pub window_sizes: Vec<usize>,
+    /// `f(n)`: max distinct items per window, aligned with `window_sizes`.
+    pub f: Vec<usize>,
+    /// `g(n)`: max distinct blocks per window, aligned with `window_sizes`.
+    pub g: Vec<usize>,
+}
+
+impl WorkingSetProfile {
+    /// Compute the profile of `trace` under `map` at `window_sizes`.
+    ///
+    /// # Panics
+    /// Panics if `window_sizes` is empty, unsorted, or contains zero.
+    pub fn compute(trace: &Trace, map: &BlockMap, window_sizes: &[usize]) -> Self {
+        assert!(!window_sizes.is_empty(), "need at least one window size");
+        assert!(
+            window_sizes.windows(2).all(|w| w[0] < w[1]),
+            "window sizes must be strictly ascending"
+        );
+        let f = window_sizes
+            .iter()
+            .map(|&n| max_distinct_items_in_window(trace, n))
+            .collect();
+        let g = window_sizes
+            .iter()
+            .map(|&n| max_distinct_blocks_in_window(trace, map, n))
+            .collect();
+        WorkingSetProfile {
+            window_sizes: window_sizes.to_vec(),
+            f,
+            g,
+        }
+    }
+
+    /// A geometric ladder of window sizes `1, 2, 4, …` up to the trace
+    /// length — the usual sampling for plots.
+    pub fn geometric_windows(trace_len: usize) -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut n = 1usize;
+        while n < trace_len {
+            v.push(n);
+            n *= 2;
+        }
+        if v.last() != Some(&trace_len) && trace_len > 0 {
+            v.push(trace_len);
+        }
+        v
+    }
+
+    /// The spatial-locality ratio `f(n)/g(n)` at each sampled window.
+    pub fn fg_ratio(&self) -> Vec<f64> {
+        self.f
+            .iter()
+            .zip(&self.g)
+            .map(|(&f, &g)| f as f64 / g.max(1) as f64)
+            .collect()
+    }
+
+    /// Smallest sampled window `n` with `f(n) ≥ target`, if any — a cheap
+    /// empirical stand-in for `f⁻¹(target)`.
+    pub fn f_inverse(&self, target: usize) -> Option<usize> {
+        self.window_sizes
+            .iter()
+            .zip(&self.f)
+            .find(|(_, &f)| f >= target)
+            .map(|(&n, _)| n)
+    }
+
+    /// Verifies the structural properties the model requires: `f` and `g`
+    /// nondecreasing, `f(n) ≥ g(n)`, `f(n) ≤ n`, and `g(n) ≥ f(n)/B`.
+    pub fn check_consistency(&self, max_block_size: usize) -> Result<(), String> {
+        for w in self.f.windows(2) {
+            if w[0] > w[1] {
+                return Err(format!("f not monotone: {} then {}", w[0], w[1]));
+            }
+        }
+        for w in self.g.windows(2) {
+            if w[0] > w[1] {
+                return Err(format!("g not monotone: {} then {}", w[0], w[1]));
+            }
+        }
+        for ((&n, &f), &g) in self.window_sizes.iter().zip(&self.f).zip(&self.g) {
+            if f > n {
+                return Err(format!("f({n}) = {f} exceeds window size"));
+            }
+            if g > f {
+                return Err(format!("g({n}) = {g} exceeds f({n}) = {f}"));
+            }
+            if g * max_block_size < f {
+                return Err(format!("g({n}) = {g} below f({n})/B = {f}/{max_block_size}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+    use gc_types::Trace;
+
+    #[test]
+    fn distinct_items_simple() {
+        let t = Trace::from_ids([1, 2, 1, 3, 1, 2]);
+        assert_eq!(max_distinct_items_in_window(&t, 1), 1);
+        assert_eq!(max_distinct_items_in_window(&t, 2), 2);
+        assert_eq!(max_distinct_items_in_window(&t, 4), 3);
+        assert_eq!(max_distinct_items_in_window(&t, 6), 3);
+        // Window larger than the trace: whole trace counts.
+        assert_eq!(max_distinct_items_in_window(&t, 100), 3);
+    }
+
+    #[test]
+    fn distinct_blocks_simple() {
+        // Items 0,1 in block 0; 2,3 in block 1 (B = 2).
+        let t = Trace::from_ids([0, 1, 2, 3, 0]);
+        let map = gc_types::BlockMap::strided(2);
+        assert_eq!(max_distinct_blocks_in_window(&t, &map, 2), 2);
+        assert_eq!(max_distinct_blocks_in_window(&t, &map, 5), 2);
+        assert_eq!(max_distinct_blocks_in_window(&t, &map, 1), 1);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let t = Trace::new();
+        assert_eq!(max_distinct_items_in_window(&t, 4), 0);
+    }
+
+    #[test]
+    fn scan_has_f_equal_window() {
+        // A scan over a large universe touches n distinct items per window.
+        let t = synthetic::scan(1000, 500);
+        assert_eq!(max_distinct_items_in_window(&t, 10), 10);
+        assert_eq!(max_distinct_items_in_window(&t, 100), 100);
+    }
+
+    #[test]
+    fn single_item_trace_has_f_one() {
+        let t = Trace::from_ids(std::iter::repeat(7).take(50));
+        assert_eq!(max_distinct_items_in_window(&t, 10), 1);
+    }
+
+    #[test]
+    fn profile_is_consistent_for_block_runs() {
+        let cfg = synthetic::BlockRunConfig {
+            num_blocks: 64,
+            block_size: 8,
+            block_theta: 0.6,
+            spatial_locality: 0.7,
+            len: 5000,
+            seed: 11,
+        };
+        let t = synthetic::block_runs(&cfg);
+        let map = synthetic::block_runs_map(&cfg);
+        let windows = WorkingSetProfile::geometric_windows(t.len());
+        let p = WorkingSetProfile::compute(&t, &map, &windows);
+        p.check_consistency(cfg.block_size).unwrap();
+        // Spatial locality 0.7 must push f/g above 1 at large windows.
+        let ratios = p.fg_ratio();
+        assert!(*ratios.last().unwrap() > 1.5, "ratios {ratios:?}");
+    }
+
+    #[test]
+    fn scan_maximizes_spatial_ratio() {
+        // Whole-block streaming: f(n)/g(n) ≈ B at windows ≥ B.
+        let t = synthetic::scan(256, 2000);
+        let map = gc_types::BlockMap::strided(8);
+        let p = WorkingSetProfile::compute(&t, &map, &[64, 256]);
+        let r = p.fg_ratio();
+        assert!(r.iter().all(|&x| x > 6.0), "{r:?}");
+        p.check_consistency(8).unwrap();
+    }
+
+    #[test]
+    fn f_inverse_finds_first_window() {
+        let t = synthetic::scan(1000, 512);
+        let windows = WorkingSetProfile::geometric_windows(t.len());
+        let p = WorkingSetProfile::compute(&t, &gc_types::BlockMap::singleton(), &windows);
+        // f(n) = n for a scan, so f⁻¹(target) is the first window ≥ target.
+        assert_eq!(p.f_inverse(100), Some(128));
+        assert_eq!(p.f_inverse(10_000), None);
+    }
+
+    #[test]
+    fn geometric_windows_cover_trace() {
+        let w = WorkingSetProfile::geometric_windows(100);
+        assert_eq!(w.first(), Some(&1));
+        assert_eq!(w.last(), Some(&100));
+        assert!(w.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn consistency_catches_violation() {
+        let p = WorkingSetProfile {
+            window_sizes: vec![1, 2],
+            f: vec![1, 2],
+            g: vec![1, 3], // g > f: impossible
+        };
+        assert!(p.check_consistency(4).is_err());
+    }
+}

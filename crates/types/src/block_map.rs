@@ -1,0 +1,313 @@
+//! The item→block partition at the heart of the GC Caching model.
+//!
+//! A [`BlockMap`] records how the item universe is partitioned into disjoint
+//! blocks of at most `B` items (Definition 1 in the paper). Two
+//! representations are provided:
+//!
+//! * **Strided** — item `i` belongs to block `i / B`. This is how real
+//!   memory systems map lines to pages and costs zero memory; it is the
+//!   right choice for synthetic workloads.
+//! * **Explicit** — an arbitrary disjoint grouping, needed by the
+//!   NP-completeness reduction (Theorem 1) where blocks have heterogeneous
+//!   *active set* sizes.
+
+use crate::{BlockId, FxHashMap, GcError, ItemId};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Partition of the item universe into blocks of at most `B` items.
+///
+/// Cloning is cheap: the explicit representation is behind an [`Arc`].
+///
+/// ```
+/// use gc_types::{BlockMap, ItemId, BlockId};
+///
+/// // Like 64 B lines on a 512 B row: 8 items per block.
+/// let map = BlockMap::strided(8);
+/// assert_eq!(map.block_of(ItemId(19)), BlockId(2));
+/// assert_eq!(map.items_of(BlockId(2)).count(), 8);
+/// assert!(map.same_block(ItemId(16), ItemId(23)));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BlockMap {
+    repr: Repr,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Repr {
+    /// Item `i` → block `i / block_size`.
+    Strided { block_size: u64 },
+    /// Arbitrary explicit grouping.
+    Explicit(Arc<Explicit>),
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Explicit {
+    item_to_block: FxHashMap<ItemId, BlockId>,
+    blocks: Vec<Vec<ItemId>>,
+    max_block_size: usize,
+}
+
+impl BlockMap {
+    /// The strided partition: item `i` belongs to block `i / block_size`,
+    /// and every block holds exactly `block_size` consecutive items.
+    ///
+    /// # Panics
+    /// Panics if `block_size == 0`.
+    pub fn strided(block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        BlockMap {
+            repr: Repr::Strided {
+                block_size: block_size as u64,
+            },
+        }
+    }
+
+    /// The trivial partition where every item is its own block.
+    ///
+    /// Under this map the GC Caching Problem is exactly traditional caching.
+    pub fn singleton() -> Self {
+        Self::strided(1)
+    }
+
+    /// Build an explicit partition from disjoint groups of items.
+    ///
+    /// Block `j` is `groups[j]`. Returns an error if any item appears twice
+    /// or any group is empty.
+    pub fn from_groups(groups: Vec<Vec<ItemId>>) -> Result<Self, GcError> {
+        let mut item_to_block = FxHashMap::default();
+        let mut max_block_size = 0usize;
+        for (j, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                return Err(GcError::EmptyBlock { block: j });
+            }
+            max_block_size = max_block_size.max(group.len());
+            for &item in group {
+                if item_to_block.insert(item, BlockId(j as u64)).is_some() {
+                    return Err(GcError::DuplicateItem { item });
+                }
+            }
+        }
+        Ok(BlockMap {
+            repr: Repr::Explicit(Arc::new(Explicit {
+                item_to_block,
+                blocks: groups,
+                max_block_size,
+            })),
+        })
+    }
+
+    /// The block containing `item`, or `None` if the item is unknown to an
+    /// explicit map. Strided maps know every item.
+    #[inline]
+    pub fn try_block_of(&self, item: ItemId) -> Option<BlockId> {
+        match &self.repr {
+            Repr::Strided { block_size } => Some(BlockId(item.0 / block_size)),
+            Repr::Explicit(e) => e.item_to_block.get(&item).copied(),
+        }
+    }
+
+    /// The block containing `item`.
+    ///
+    /// # Panics
+    /// Panics if `item` is not covered by an explicit map — that means the
+    /// trace and the map were built against different universes.
+    #[inline]
+    pub fn block_of(&self, item: ItemId) -> BlockId {
+        self.try_block_of(item)
+            .unwrap_or_else(|| panic!("item {item} is not in any block of this BlockMap"))
+    }
+
+    /// Iterator over the items of `block` (empty if the block is unknown).
+    #[inline]
+    pub fn items_of(&self, block: BlockId) -> BlockItems<'_> {
+        match &self.repr {
+            Repr::Strided { block_size } => {
+                let start = block.0 * block_size;
+                BlockItems::Strided(start..start + block_size)
+            }
+            Repr::Explicit(e) => match e.blocks.get(block.as_usize()) {
+                Some(items) => BlockItems::Explicit(items.iter()),
+                None => BlockItems::Strided(0..0),
+            },
+        }
+    }
+
+    /// Number of items in `block` (0 if unknown).
+    #[inline]
+    pub fn block_len(&self, block: BlockId) -> usize {
+        match &self.repr {
+            Repr::Strided { block_size } => *block_size as usize,
+            Repr::Explicit(e) => e.blocks.get(block.as_usize()).map_or(0, Vec::len),
+        }
+    }
+
+    /// The maximum block size `B` of the partition.
+    #[inline]
+    pub fn max_block_size(&self) -> usize {
+        match &self.repr {
+            Repr::Strided { block_size } => *block_size as usize,
+            Repr::Explicit(e) => e.max_block_size,
+        }
+    }
+
+    /// Whether two items belong to the same block.
+    #[inline]
+    pub fn same_block(&self, a: ItemId, b: ItemId) -> bool {
+        self.try_block_of(a).is_some() && self.try_block_of(a) == self.try_block_of(b)
+    }
+
+    /// Number of blocks in an explicit map; `None` for strided maps (whose
+    /// universe is unbounded).
+    pub fn num_blocks(&self) -> Option<usize> {
+        match &self.repr {
+            Repr::Strided { .. } => None,
+            Repr::Explicit(e) => Some(e.blocks.len()),
+        }
+    }
+
+    /// Whether this is the trivial single-item-per-block partition.
+    pub fn is_traditional(&self) -> bool {
+        self.max_block_size() == 1
+    }
+}
+
+/// Iterator over the items of one block. See [`BlockMap::items_of`].
+#[derive(Clone, Debug)]
+pub enum BlockItems<'a> {
+    /// Items of a strided block: a contiguous id range.
+    Strided(Range<u64>),
+    /// Items of an explicit block.
+    Explicit(std::slice::Iter<'a, ItemId>),
+}
+
+impl Iterator for BlockItems<'_> {
+    type Item = ItemId;
+
+    #[inline]
+    fn next(&mut self) -> Option<ItemId> {
+        match self {
+            BlockItems::Strided(r) => r.next().map(ItemId),
+            BlockItems::Explicit(it) => it.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            BlockItems::Strided(r) => r.size_hint(),
+            BlockItems::Explicit(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for BlockItems<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_maps_items_to_blocks() {
+        let m = BlockMap::strided(4);
+        assert_eq!(m.block_of(ItemId(0)), BlockId(0));
+        assert_eq!(m.block_of(ItemId(3)), BlockId(0));
+        assert_eq!(m.block_of(ItemId(4)), BlockId(1));
+        assert_eq!(m.max_block_size(), 4);
+        assert_eq!(m.block_len(BlockId(9)), 4);
+        assert!(m.num_blocks().is_none());
+    }
+
+    #[test]
+    fn strided_block_items_are_contiguous() {
+        let m = BlockMap::strided(3);
+        let items: Vec<_> = m.items_of(BlockId(2)).collect();
+        assert_eq!(items, vec![ItemId(6), ItemId(7), ItemId(8)]);
+        assert_eq!(m.items_of(BlockId(2)).len(), 3);
+    }
+
+    #[test]
+    fn singleton_is_traditional() {
+        let m = BlockMap::singleton();
+        assert!(m.is_traditional());
+        assert_eq!(m.block_of(ItemId(17)), BlockId(17));
+        assert_eq!(m.items_of(BlockId(17)).collect::<Vec<_>>(), vec![ItemId(17)]);
+    }
+
+    #[test]
+    fn explicit_groups() {
+        let m = BlockMap::from_groups(vec![
+            vec![ItemId(10), ItemId(20)],
+            vec![ItemId(30)],
+            vec![ItemId(1), ItemId(2), ItemId(3)],
+        ])
+        .unwrap();
+        assert_eq!(m.block_of(ItemId(20)), BlockId(0));
+        assert_eq!(m.block_of(ItemId(30)), BlockId(1));
+        assert_eq!(m.block_of(ItemId(2)), BlockId(2));
+        assert_eq!(m.max_block_size(), 3);
+        assert_eq!(m.num_blocks(), Some(3));
+        assert_eq!(m.block_len(BlockId(0)), 2);
+        assert!(m.same_block(ItemId(10), ItemId(20)));
+        assert!(!m.same_block(ItemId(10), ItemId(30)));
+        assert_eq!(m.try_block_of(ItemId(999)), None);
+    }
+
+    #[test]
+    fn explicit_rejects_duplicates() {
+        let err = BlockMap::from_groups(vec![vec![ItemId(1)], vec![ItemId(1)]]).unwrap_err();
+        assert!(matches!(err, GcError::DuplicateItem { item } if item == ItemId(1)));
+    }
+
+    #[test]
+    fn explicit_rejects_empty_blocks() {
+        let err = BlockMap::from_groups(vec![vec![ItemId(1)], vec![]]).unwrap_err();
+        assert!(matches!(err, GcError::EmptyBlock { block: 1 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in any block")]
+    fn block_of_panics_on_unknown_item() {
+        let m = BlockMap::from_groups(vec![vec![ItemId(1)]]).unwrap();
+        let _ = m.block_of(ItemId(2));
+    }
+
+    #[test]
+    fn unknown_block_is_empty_in_explicit_map() {
+        let m = BlockMap::from_groups(vec![vec![ItemId(1)]]).unwrap();
+        assert_eq!(m.items_of(BlockId(5)).count(), 0);
+        assert_eq!(m.block_len(BlockId(5)), 0);
+    }
+
+    #[test]
+    fn same_block_is_false_for_unknown_items() {
+        let m = BlockMap::from_groups(vec![vec![ItemId(1), ItemId(2)]]).unwrap();
+        assert!(!m.same_block(ItemId(99), ItemId(98)));
+        assert!(!m.same_block(ItemId(1), ItemId(99)));
+    }
+
+    #[test]
+    fn clone_is_cheap_and_shares_explicit_repr() {
+        let m = BlockMap::from_groups(vec![vec![ItemId(1), ItemId(2)]]).unwrap();
+        let m2 = m.clone();
+        assert_eq!(m2.block_of(ItemId(2)), BlockId(0));
+    }
+
+    #[test]
+    fn serde_roundtrip_strided() {
+        let m = BlockMap::strided(8);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: BlockMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.block_of(ItemId(9)), BlockId(1));
+        assert_eq!(back.max_block_size(), 8);
+    }
+
+    #[test]
+    fn serde_roundtrip_explicit() {
+        let m = BlockMap::from_groups(vec![vec![ItemId(5), ItemId(6)], vec![ItemId(7)]]).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: BlockMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.block_of(ItemId(6)), BlockId(0));
+        assert_eq!(back.block_of(ItemId(7)), BlockId(1));
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared across the `gc-*` crates.
+
+use crate::ItemId;
+use std::fmt;
+
+/// Errors produced while constructing or validating GC caching instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GcError {
+    /// An item was assigned to more than one block.
+    DuplicateItem {
+        /// The offending item.
+        item: ItemId,
+    },
+    /// A block in an explicit partition had no items.
+    EmptyBlock {
+        /// Index of the empty group.
+        block: usize,
+    },
+    /// A cache was configured with zero capacity.
+    ZeroCapacity,
+    /// A cache capacity was too small for the policy's requirements
+    /// (e.g. a block cache needs `k >= B`).
+    CapacityTooSmall {
+        /// Configured capacity.
+        capacity: usize,
+        /// Minimum the policy needs.
+        required: usize,
+    },
+    /// Invalid parameter for a generator or bound (message explains).
+    InvalidParameter(String),
+    /// A trace file could not be parsed.
+    ParseError(String),
+}
+
+impl fmt::Display for GcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcError::DuplicateItem { item } => {
+                write!(f, "item {item} appears in more than one block")
+            }
+            GcError::EmptyBlock { block } => write!(f, "block group {block} is empty"),
+            GcError::ZeroCapacity => write!(f, "cache capacity must be positive"),
+            GcError::CapacityTooSmall { capacity, required } => write!(
+                f,
+                "cache capacity {capacity} is below the policy minimum {required}"
+            ),
+            GcError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GcError::ParseError(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GcError::DuplicateItem { item: ItemId(3) }.to_string(),
+            "item i3 appears in more than one block"
+        );
+        assert_eq!(GcError::EmptyBlock { block: 2 }.to_string(), "block group 2 is empty");
+        assert_eq!(GcError::ZeroCapacity.to_string(), "cache capacity must be positive");
+        assert!(GcError::CapacityTooSmall { capacity: 4, required: 64 }
+            .to_string()
+            .contains("below the policy minimum"));
+        assert!(GcError::InvalidParameter("x".into()).to_string().contains("x"));
+        assert!(GcError::ParseError("bad line".into()).to_string().contains("bad line"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GcError>();
+    }
+}

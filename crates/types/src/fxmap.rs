@@ -1,0 +1,158 @@
+//! A fast, dependency-free hasher for dense integer keys.
+//!
+//! The hot maps in a cache simulator are keyed by [`ItemId`]/[`BlockId`]
+//! values that are small dense integers. SipHash (the std default) is
+//! needlessly slow for these; the Fx multiply-xor hash used by rustc is both
+//! tiny and fast, so we implement it here rather than pulling in a crate.
+//!
+//! [`ItemId`]: crate::ItemId
+//! [`BlockId`]: crate::BlockId
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hash constant: `2^64 / golden_ratio`, forced odd.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-rotate hasher (as used by the Rust compiler).
+///
+/// Not HashDoS-resistant — fine here because keys are internal dense ids,
+/// never attacker-controlled strings.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time; the tail is zero-padded.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the Fx hash — the default map type throughout `gc-*`.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the Fx hash.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockId, ItemId};
+
+    #[test]
+    fn map_basic_ops() {
+        let mut m: FxHashMap<ItemId, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(ItemId(i), (i * 3) as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m[&ItemId(i)], (i * 3) as u32);
+        }
+        m.remove(&ItemId(500));
+        assert!(!m.contains_key(&ItemId(500)));
+        assert_eq!(m.len(), 999);
+    }
+
+    #[test]
+    fn set_basic_ops() {
+        let mut s: FxHashSet<BlockId> = FxHashSet::default();
+        assert!(s.insert(BlockId(1)));
+        assert!(!s.insert(BlockId(1)));
+        assert!(s.contains(&BlockId(1)));
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let hash = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash(12345), hash(12345));
+        assert_ne!(hash(12345), hash(12346));
+    }
+
+    #[test]
+    fn byte_stream_matches_tail_padding() {
+        // 9 bytes exercises both the chunk path and the remainder path.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn dense_keys_spread() {
+        // Sanity-check distribution: dense keys should not collide in the
+        // low bits catastrophically (HashMap uses the low bits).
+        let mut buckets = [0u32; 64];
+        for i in 0..4096u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            buckets[(h.finish() & 63) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        let min = *buckets.iter().min().unwrap();
+        // Perfect balance is 64 per bucket; allow generous slack.
+        assert!(max < 160, "max bucket {max}");
+        assert!(min > 10, "min bucket {min}");
+    }
+}

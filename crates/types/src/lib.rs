@@ -1,0 +1,35 @@
+//! # gc-types
+//!
+//! Shared vocabulary for the Granularity-Change (GC) Caching library.
+//!
+//! This crate defines the core model objects from *"Spatial Locality and
+//! Granularity Change in Caching"* (Beckmann, Gibbons, McGuffey; SPAA 2022):
+//!
+//! * [`ItemId`] / [`BlockId`] — strongly typed identifiers for the two data
+//!   granularities,
+//! * [`BlockMap`] — the partition of the item universe into blocks of at
+//!   most `B` items,
+//! * [`Trace`] — a sequence of item requests,
+//! * [`AccessResult`] / [`HitKind`] — the per-access outcome vocabulary
+//!   shared between policies and the simulator,
+//! * [`fxmap`] — a fast, dependency-free hash map for dense integer keys.
+//!
+//! Everything heavier (policies, simulation, bounds) lives in downstream
+//! crates; this crate has no dependencies beyond `serde`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod block_map;
+pub mod error;
+pub mod fxmap;
+pub mod id;
+pub mod outcome;
+pub mod trace;
+
+pub use block_map::BlockMap;
+pub use error::GcError;
+pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use id::{BlockId, ItemId};
+pub use outcome::{AccessResult, HitKind};
+pub use trace::Trace;

