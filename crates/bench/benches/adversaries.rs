@@ -50,8 +50,7 @@ fn bench_thm4_family(c: &mut Criterion) {
     for a in [1usize, 4, 8] {
         group.bench_function(format!("a={a}"), |b| {
             b.iter(|| {
-                let mut probe =
-                    ProbeAdapter::new(ThresholdLoad::new(k, a, BlockMap::strided(bsz)));
+                let mut probe = ProbeAdapter::new(ThresholdLoad::new(k, a, BlockMap::strided(bsz)));
                 adversary::general(&mut probe, k, h, bsz, rounds).online_misses
             })
         });
@@ -59,5 +58,11 @@ fn bench_thm4_family(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sleator_tarjan, bench_thm2, bench_thm3, bench_thm4_family);
+criterion_group!(
+    benches,
+    bench_sleator_tarjan,
+    bench_thm2,
+    bench_thm3,
+    bench_thm4_family
+);
 criterion_main!(benches);

@@ -25,12 +25,16 @@ fn bench_policies(c: &mut Criterion) {
         PolicyKind::WTinyLfu,
         PolicyKind::AdaptiveIblp,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
-            b.iter(|| {
-                let mut policy = kind.build(4096, &map);
-                gc_cache::gc_sim::simulate(&mut policy, &trace)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let mut policy = kind.build(4096, &map);
+                    gc_cache::gc_sim::simulate(&mut policy, &trace)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -64,9 +68,8 @@ fn bench_working_set(c: &mut Criterion) {
     c.bench_function("working_set/f_and_g_at_4096", |b| {
         b.iter(|| {
             let f = gc_cache::gc_trace::working_set::max_distinct_items_in_window(&trace, 4096);
-            let g = gc_cache::gc_trace::working_set::max_distinct_blocks_in_window(
-                &trace, &map, 4096,
-            );
+            let g =
+                gc_cache::gc_trace::working_set::max_distinct_blocks_in_window(&trace, &map, 4096);
             (f, g)
         })
     });

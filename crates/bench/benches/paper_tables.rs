@@ -4,8 +4,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gc_bench::{PAPER_B, PAPER_K};
 use gc_cache::gc_bounds::figures::{figure3, figure6, geometric_h_values};
-use gc_cache::gc_bounds::table1::table1;
 use gc_cache::gc_bounds::iblp_optimal_split;
+use gc_cache::gc_bounds::table1::table1;
 use gc_cache::gc_locality::table2::table2_paper;
 use gc_cache::gc_offline::{optimal_gc_cost, reduce_varsize_to_gc, VarSizeInstance};
 

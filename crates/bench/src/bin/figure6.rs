@@ -16,7 +16,11 @@ fn main() {
     let design_points = [PAPER_K / 1024, PAPER_K / 64, PAPER_K / 8];
     let fixed: Vec<usize> = design_points
         .iter()
-        .map(|&h| iblp_optimal_split(PAPER_K, h, PAPER_B).expect("valid design point").0)
+        .map(|&h| {
+            iblp_optimal_split(PAPER_K, h, PAPER_B)
+                .expect("valid design point")
+                .0
+        })
         .collect();
 
     let hs = geometric_h_values(2 * PAPER_B, PAPER_K / 2, 8);

@@ -1,0 +1,116 @@
+//! Steady-state simulator throughput report — the tracked perf trajectory.
+//!
+//! Measures requests/second of `gc_sim::simulate` for a fixed
+//! policy × trace matrix and writes the results to `BENCH_engine.json`
+//! (override the path with the first CLI argument). Run it from the repo
+//! root so successive PRs overwrite the same tracked file:
+//!
+//! ```sh
+//! cargo run --release -p gc-bench --bin perf_report
+//! ```
+//!
+//! The matrix deliberately includes miss-heavy workloads (`scan` misses on
+//! every request for item-granular policies; `uniform` thrashes any cache
+//! much smaller than its universe) because the miss path is where the
+//! engine's allocation discipline matters: a hit touches one map and one
+//! list, while a miss reports loads/evictions and updates spatial
+//! candidacy.
+
+use gc_bench::standard_workload;
+use gc_cache::gc_trace::synthetic;
+use gc_cache::prelude::*;
+use std::time::Instant;
+
+/// Cache capacity (lines) for every cell of the matrix.
+const CAPACITY: usize = 4096;
+/// Requests per trace.
+const TRACE_LEN: usize = 200_000;
+/// Timed repetitions per cell (the report keeps the best, i.e. the run
+/// least disturbed by the OS).
+const REPS: usize = 3;
+
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::ItemLru,
+        PolicyKind::ItemFifo,
+        PolicyKind::ItemClock,
+        PolicyKind::ItemLfu,
+        PolicyKind::BlockLru,
+        PolicyKind::IblpBalanced,
+        PolicyKind::Gcm { seed: 1 },
+        PolicyKind::ThresholdLoad { a: 1 },
+        PolicyKind::TwoQ,
+        PolicyKind::Slru,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::WTinyLfu,
+        PolicyKind::AdaptiveIblp,
+    ]
+}
+
+fn traces() -> Vec<(&'static str, Trace, BlockMap)> {
+    let (mixed, mixed_map) = standard_workload(TRACE_LEN, 5);
+    // Pure streaming: every request is a first touch of its item, so item
+    // policies miss on 100% of requests — the worst case for the miss path.
+    let scan = synthetic::scan(TRACE_LEN as u64, TRACE_LEN);
+    let scan_map = BlockMap::strided(16);
+    // Uniform over 16× the cache: ~94% fault rate with negligible reuse.
+    let uniform = synthetic::uniform((CAPACITY * 16) as u64, TRACE_LEN, 7);
+    let uniform_map = BlockMap::strided(16);
+    vec![
+        ("mixed", mixed, mixed_map),
+        ("scan", scan, scan_map),
+        ("uniform", uniform, uniform_map),
+    ]
+}
+
+/// Best-of-`REPS` steady-state throughput for one cell, after one untimed
+/// warm-up pass (page faults, lazy growth, branch history).
+fn measure(kind: &PolicyKind, trace: &Trace, map: &BlockMap) -> (f64, SimStats) {
+    let mut warm = kind.build(CAPACITY, map);
+    let stats = simulate(&mut warm, trace);
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let mut policy = kind.build(CAPACITY, map);
+        let t0 = Instant::now();
+        let s = simulate(&mut policy, trace);
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(s, stats, "throughput runs must replay identically");
+        best = best.max(trace.len() as f64 / dt);
+    }
+    (best, stats)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut cells = Vec::new();
+    for (trace_name, trace, map) in &traces() {
+        for kind in policies() {
+            let (rps, stats) = measure(&kind, trace, map);
+            println!(
+                "{trace_name:>8} {:<14} {:>12.0} req/s  fault {:.3}",
+                kind.label(),
+                rps,
+                stats.fault_rate()
+            );
+            cells.push(serde_json::json!({
+                "trace": trace_name,
+                "policy": kind.label(),
+                "requests_per_sec": rps,
+                "misses": stats.misses,
+                "fault_rate": stats.fault_rate(),
+            }));
+        }
+    }
+    let report = serde_json::json!({
+        "schema": "gc-bench/perf_report/v1",
+        "trace_len": TRACE_LEN,
+        "capacity": CAPACITY,
+        "reps": REPS,
+        "results": cells,
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, rendered + "\n").expect("write report");
+    println!("wrote {out_path}");
+}

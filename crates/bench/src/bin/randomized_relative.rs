@@ -24,14 +24,7 @@ struct Member {
     mark: bool,
 }
 
-fn ratio(
-    trace: &Trace,
-    map: &BlockMap,
-    k: usize,
-    h: usize,
-    member: Member,
-    warmup: usize,
-) -> f64 {
+fn ratio(trace: &Trace, map: &BlockMap, k: usize, h: usize, member: Member, warmup: usize) -> f64 {
     let mut policy = Gcm::with_options(k, map.clone(), 0xCAFE, member.coload, member.mark);
     let online = simulate_with_warmup(&mut policy, trace, warmup).misses;
     let offline = gc_belady_heuristic(trace, map, h).max(1);
@@ -42,9 +35,21 @@ fn main() {
     let (k, block) = (256usize, 16usize);
     let map = BlockMap::strided(block);
     let family = [
-        Member { label: "classic-marking (j=0)", coload: 0, mark: false },
-        Member { label: "GCM (j=B-1, unmarked)", coload: block - 1, mark: false },
-        Member { label: "mark-all (j=B-1, marked)", coload: block - 1, mark: true },
+        Member {
+            label: "classic-marking (j=0)",
+            coload: 0,
+            mark: false,
+        },
+        Member {
+            label: "GCM (j=B-1, unmarked)",
+            coload: block - 1,
+            mark: false,
+        },
+        Member {
+            label: "mark-all (j=B-1, marked)",
+            coload: block - 1,
+            mark: true,
+        },
     ];
 
     // Regime S (spatial): stream 3000 fresh blocks; offline h = 32.
@@ -53,8 +58,7 @@ fn main() {
 
     // Regime T (temporal): cycle over 240 sparse single-item blocks (fits
     // the cache only if no marked garbage accumulates); offline h = 240.
-    let sparse_items: Vec<u64> =
-        (0..240u64).map(|i| 1_000_000 + i * block as u64).collect();
+    let sparse_items: Vec<u64> = (0..240u64).map(|i| 1_000_000 + i * block as u64).collect();
     let sparse = Trace::from_ids(sparse_items.iter().cycle().copied().take(80_000));
     let h_large = 240usize;
 

@@ -13,7 +13,14 @@ fn main() {
     println!("Table 2 (B = {b}, i = b = h = {h}; rows 1-3: p = 2, rows 4-6: p = {p_general}):\n");
     println!(
         "{:<12} {:<26} {:>13} {:>13} {:>13}  |  {:>13} {:>13} {:>13}",
-        "f(n)", "g(n)", "LB (asym)", "item UB", "block UB", "LB (exact)", "item (exact)", "block (exact)"
+        "f(n)",
+        "g(n)",
+        "LB (asym)",
+        "item UB",
+        "block UB",
+        "LB (exact)",
+        "item (exact)",
+        "block (exact)"
     );
     for row in table2_paper(p_general, b, h) {
         println!(

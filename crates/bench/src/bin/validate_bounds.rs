@@ -34,7 +34,12 @@ fn main() {
         "{:>6} {:>6} {:>4} {:>12} {:>12} {:>12}",
         "k", "h", "B", "measured", "thm2", "ST(for ref)"
     );
-    for (k, h, b) in [(256usize, 64usize, 8usize), (512, 64, 16), (1024, 128, 32), (2048, 512, 64)] {
+    for (k, h, b) in [
+        (256usize, 64usize, 8usize),
+        (512, 64, 16),
+        (1024, 128, 32),
+        (2048, 512, 64),
+    ] {
         let mut probe = ProbeAdapter::new(ItemLru::new(k));
         let rep = adversary::item_cache(&mut probe, k, h, b, rounds);
         println!(
@@ -49,7 +54,10 @@ fn main() {
     }
 
     println!("\n== V-LB-block: Theorem 3 vs BlockLRU ==");
-    println!("{:>6} {:>6} {:>4} {:>12} {:>12}", "k", "h", "B", "measured", "thm3");
+    println!(
+        "{:>6} {:>6} {:>4} {:>12} {:>12}",
+        "k", "h", "B", "measured", "thm3"
+    );
     for (k, h, b) in [(256usize, 4usize, 16usize), (512, 8, 32), (2048, 16, 64)] {
         let mut probe = ProbeAdapter::new(BlockLru::new(k, BlockMap::strided(b)));
         let rep = adversary::block_cache(&mut probe, k, h, b, rounds);

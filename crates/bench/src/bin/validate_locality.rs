@@ -16,7 +16,10 @@ use gc_cache::prelude::*;
 
 fn main() {
     println!("== V-locality (a): empirical f/g across the spatial knob ==");
-    println!("{:>8} {:>10} {:>10} {:>8}", "spatial", "f(4096)", "g(4096)", "f/g");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8}",
+        "spatial", "f(4096)", "g(4096)", "f/g"
+    );
     for &s in &[0.0, 0.3, 0.6, 0.9, 0.99] {
         let cfg = BlockRunConfig {
             num_blocks: 512,
@@ -96,8 +99,7 @@ fn main() {
         let f_inv = lo;
         let bound = ((i as f64 - 1.0) / (f_inv as f64 - 2.0)).min(1.0);
         let mut lru = ItemLru::new(i);
-        let rate =
-            gc_cache::gc_sim::simulate_with_warmup(&mut lru, &trace, 4 * i).fault_rate();
+        let rate = gc_cache::gc_sim::simulate_with_warmup(&mut lru, &trace, 4 * i).fault_rate();
         assert!(rate <= bound + 1e-9, "Albers bound violated at i={i}");
         println!("{i:>6} {rate:>14.4} {bound:>14.4}");
     }

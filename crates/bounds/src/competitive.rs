@@ -92,7 +92,10 @@ mod tests {
         let (k, h, b) = (1 << 20, 1 << 16, 64);
         let st = sleator_tarjan(k, h).unwrap();
         let t2 = thm2_item_cache_lower(k, h, b).unwrap();
-        assert!((t2 / (st * b as f64) - 1.0).abs() < 0.001, "t2={t2} st={st}");
+        assert!(
+            (t2 / (st * b as f64) - 1.0).abs() < 0.001,
+            "t2={t2} st={st}"
+        );
     }
 
     #[test]
@@ -178,7 +181,10 @@ mod tests {
         let k = (x * h as f64) as usize;
         let lb = gc_lower_bound(k, h, b).unwrap();
         let augmentation = k as f64 / h as f64;
-        assert!((lb / augmentation - 1.0).abs() < 0.02, "lb={lb} aug={augmentation}");
+        assert!(
+            (lb / augmentation - 1.0).abs() < 0.02,
+            "lb={lb} aug={augmentation}"
+        );
         assert!((augmentation / (b as f64).sqrt() - 1.0).abs() < 0.15);
     }
 }

@@ -71,7 +71,9 @@ pub fn figure6(
     fixed_item_sizes: &[usize],
 ) -> Vec<Figure6Point> {
     assert!(
-        fixed_item_sizes.iter().all(|&i| i > 0 && i + block_size <= k),
+        fixed_item_sizes
+            .iter()
+            .all(|&i| i > 0 && i + block_size <= k),
         "fixed splits must leave room for one block"
     );
     h_values
@@ -161,19 +163,14 @@ mod tests {
         let hs = [1 << 10, 1 << 12, (small_h_split * 3) / 4];
         let series = figure6(K, B, &hs, &[small_h_split]);
         let last = series.last().unwrap();
-        let (fixed, optimal) = (
-            last.fixed_splits[0].unwrap(),
-            last.optimal_split.unwrap(),
-        );
+        let (fixed, optimal) = (last.fixed_splits[0].unwrap(), last.optimal_split.unwrap());
         assert!(
             fixed > 1.5 * optimal,
             "fixed {fixed} should degrade vs optimal {optimal}"
         );
         // And at its own design point the fixed split matches the optimum.
         let first = &series[0];
-        assert!(
-            (first.fixed_splits[0].unwrap() / first.optimal_split.unwrap() - 1.0).abs() < 0.05
-        );
+        assert!((first.fixed_splits[0].unwrap() / first.optimal_split.unwrap() - 1.0).abs() < 0.05);
     }
 
     #[test]

@@ -82,14 +82,12 @@ pub fn iblp_optimal_split(k: usize, h: usize, block_size: usize) -> Option<(usiz
     let (fk, fh, bb) = (k as f64, h as f64, block_size as f64);
     let threshold = (3.0 * bb * fh - fh - bb * bb - bb) / (bb - 1.0);
     if fk >= threshold {
-        let i_num = fk * fk + 4.0 * bb * fh * fk - fh * fk + 4.0 * bb * bb * fh
-            - 3.0 * bb * fh
-            - bb * bb;
+        let i_num =
+            fk * fk + 4.0 * bb * fh * fk - fh * fk + 4.0 * bb * bb * fh - 3.0 * bb * fh - bb * bb;
         let i_den = 2.0 * bb * fk + fk + 2.0 * bb * fh - fh + 2.0 * bb * bb - 3.0 * bb;
         let i = (i_num / i_den).round().max(fh + 1.0) as usize;
         let i = i.min(k.saturating_sub(block_size)).max(h + 1);
-        let ratio =
-            (fk + bb - 1.0) * (fk - fh + bb * (2.0 * fh - 1.0)) / (fk - fh + bb).powi(2);
+        let ratio = (fk + bb - 1.0) * (fk - fh + bb * (2.0 * fh - 1.0)) / (fk - fh + bb).powi(2);
         Some((i, ratio))
     } else {
         let ratio = (2.0 * bb * fk - bb * bb - bb) / (2.0 * (fk - fh));
@@ -206,7 +204,10 @@ mod tests {
         let brk = (2 * bb * b - b + 2 * bb * bb + bb) / (2 * bb);
         let below = thm7_iblp(brk, b, h, bb).unwrap();
         let above = thm7_iblp(brk + 1, b, h, bb).unwrap();
-        assert!((below / above - 1.0).abs() < 0.01, "below {below} above {above}");
+        assert!(
+            (below / above - 1.0).abs() < 0.01,
+            "below {below} above {above}"
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ fn crossing(h: usize, mut ratio_at: impl FnMut(usize) -> Option<f64>) -> Table1C
     }
 }
 
-fn ratio_target(h: usize, target: f64, mut ratio_at: impl FnMut(usize) -> Option<f64>) -> Table1Cell {
+fn ratio_target(
+    h: usize,
+    target: f64,
+    mut ratio_at: impl FnMut(usize) -> Option<f64>,
+) -> Table1Cell {
     // Find the smallest k with ratio(k) ≤ target (ratio decreasing in k).
     let (mut lo, mut hi) = (h + 1, h.saturating_mul(10_000));
     for _ in 0..200 {
@@ -198,7 +202,11 @@ mod tests {
     fn penalty_product_is_theta_b() {
         // Table 1's headline: GC adds Θ(B) to ratio × augmentation.
         let t = table1(H, B);
-        for cells in [&t.constant_augmentation, &t.ratio_equals_augmentation, &t.constant_ratio] {
+        for cells in [
+            &t.constant_augmentation,
+            &t.ratio_equals_augmentation,
+            &t.constant_ratio,
+        ] {
             let st = cells[0].ratio * cells[0].augmentation;
             let lb = cells[1].ratio * cells[1].augmentation;
             let penalty = lb / st;

@@ -25,7 +25,8 @@ impl Args {
                 }
                 match iter.peek() {
                     Some(next) if !next.starts_with("--") => {
-                        args.flags.insert(key.to_string(), iter.next().unwrap().clone());
+                        args.flags
+                            .insert(key.to_string(), iter.next().unwrap().clone());
                     }
                     _ => args.switches.push(key.to_string()),
                 }
@@ -49,7 +50,9 @@ impl Args {
     pub fn get_or<T: FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| format!("invalid value for --{key}")),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}")),
         }
     }
 

@@ -94,12 +94,19 @@ fn workload(args: &Args) -> Result<Workload, String> {
         if path.ends_with(".json") {
             let file = gc_cache::gc_trace::io::from_json(&raw).map_err(|e| e.to_string())?;
             let block_size = file.block_map.max_block_size();
-            return Ok(Workload { trace: file.trace, map: file.block_map, block_size });
+            return Ok(Workload {
+                trace: file.trace,
+                map: file.block_map,
+                block_size,
+            });
         }
-        let trace = gc_cache::gc_trace::io::read_text(raw.as_bytes())
-            .map_err(|e| e.to_string())?;
+        let trace = gc_cache::gc_trace::io::read_text(raw.as_bytes()).map_err(|e| e.to_string())?;
         let block_size: usize = args.get_or("block-size", 16usize)?;
-        return Ok(Workload { trace, map: BlockMap::strided(block_size), block_size });
+        return Ok(Workload {
+            trace,
+            map: BlockMap::strided(block_size),
+            block_size,
+        });
     }
     let block_size: usize = args.get_or("block-size", 16usize)?;
     let len: usize = args.get_or("len", 200_000usize)?;
@@ -122,12 +129,9 @@ fn workload(args: &Args) -> Result<Workload, String> {
             block_runs(&cfg)
         }
         "scan" => gc_cache::gc_trace::synthetic::scan(items, len),
-        "zipf" => gc_cache::gc_trace::synthetic::zipfian(
-            items,
-            args.get_or("theta", 0.9f64)?,
-            len,
-            seed,
-        ),
+        "zipf" => {
+            gc_cache::gc_trace::synthetic::zipfian(items, args.get_or("theta", 0.9f64)?, len, seed)
+        }
         "chase" => gc_cache::gc_trace::generators_ext::pointer_chase(items, len, seed),
         "walk" => gc_cache::gc_trace::generators_ext::random_walk(
             items,
@@ -149,7 +153,11 @@ fn workload(args: &Args) -> Result<Workload, String> {
         ),
         other => return Err(format!("unknown workload {other:?}")),
     };
-    Ok(Workload { trace, map, block_size })
+    Ok(Workload {
+        trace,
+        map,
+        block_size,
+    })
 }
 
 fn simulate_cmd(args: &Args) -> Result<(), String> {
@@ -188,9 +196,11 @@ fn sweep_cmd(args: &Args) -> Result<(), String> {
     let jobs: Vec<SweepJob> = capacities
         .iter()
         .flat_map(|&capacity| {
-            kinds
-                .iter()
-                .map(move |kind| SweepJob { kind: kind.clone(), capacity, warmup })
+            kinds.iter().map(move |kind| SweepJob {
+                kind: kind.clone(),
+                capacity,
+                warmup,
+            })
         })
         .collect();
     let results = run_sweep(&jobs, &trace, &map, args.get_or("threads", 0usize)?);
@@ -233,10 +243,18 @@ fn adversary_cmd(args: &Args) -> Result<(), String> {
         }
         other => return Err(format!("unknown adversary {other:?} (st|thm2|thm3|thm4)")),
     };
-    println!("trace: {} ({} requests, warmup {})", rep.trace.name, rep.trace.len(), rep.warmup_len);
+    println!(
+        "trace: {} ({} requests, warmup {})",
+        rep.trace.name,
+        rep.trace.len(),
+        rep.warmup_len
+    );
     println!("online misses  {}", rep.online_misses);
     println!("offline misses {}", rep.opt_misses);
-    println!("certified competitive ratio ≥ {:.3}", rep.competitive_ratio());
+    println!(
+        "certified competitive ratio ≥ {:.3}",
+        rep.competitive_ratio()
+    );
     Ok(())
 }
 
@@ -298,7 +316,9 @@ fn table2_cmd(args: &Args) -> Result<(), String> {
     }
     let b: usize = args.get_or("block-size", 64usize)?;
     let h: usize = args.get_or("h", 1usize << 20)?;
-    println!("Table 2 (f(n) = n^(1/p), i = b = h = {h}, B = {b}; rows 1-3: p = 2, rows 4-6: p = {p}):");
+    println!(
+        "Table 2 (f(n) = n^(1/p), i = b = h = {h}, B = {b}; rows 1-3: p = 2, rows 4-6: p = {p}):"
+    );
     println!(
         "{:<12} {:<22} {:>14} {:>14} {:>14}",
         "f(n)", "g(n)", "lower bound", "item-layer UB", "block-layer UB"
@@ -315,7 +335,11 @@ fn table2_cmd(args: &Args) -> Result<(), String> {
 fn mrc_cmd(args: &Args) -> Result<(), String> {
     use gc_cache::gc_sim::mrc::{block_mrc, iblp_split_grid, item_mrc};
     let capacity: usize = args.require("capacity")?;
-    let Workload { trace, map, block_size } = workload(args)?;
+    let Workload {
+        trace,
+        map,
+        block_size,
+    } = workload(args)?;
     let item = item_mrc(&trace, capacity);
     let blocks = block_mrc(&trace, &map, capacity / block_size);
     println!("size,item_miss_ratio,block_slots,block_miss_ratio");
@@ -367,8 +391,7 @@ fn generate_cmd(args: &Args) -> Result<(), String> {
         }
         "text" => {
             let mut buf = Vec::new();
-            gc_cache::gc_trace::io::write_text(&trace, &mut buf)
-                .map_err(|e| e.to_string())?;
+            gc_cache::gc_trace::io::write_text(&trace, &mut buf).map_err(|e| e.to_string())?;
             std::fs::write(&out, buf).map_err(|e| format!("{out}: {e}"))?;
         }
         other => return Err(format!("unknown format {other:?} (json|text)")),
@@ -384,7 +407,11 @@ fn stats_cmd(args: &Args) -> Result<(), String> {
 }
 
 fn fg_cmd(args: &Args) -> Result<(), String> {
-    let Workload { trace, map, block_size } = workload(args)?;
+    let Workload {
+        trace,
+        map,
+        block_size,
+    } = workload(args)?;
     let windows = WorkingSetProfile::geometric_windows(trace.len().min(1 << 16));
     let profile = WorkingSetProfile::compute(&trace, &map, &windows);
     profile

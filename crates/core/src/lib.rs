@@ -73,12 +73,14 @@ pub use gc_types;
 /// The most common imports, for examples and applications.
 pub mod prelude {
     pub use gc_policies::{
-        AdaptiveIblp, BlockFifo, BlockLru, GcPolicy, Gcm, Iblp, IblpConfig, IblpVariant,
-        ItemClock, ItemFifo, ItemLfu, ItemLru, ItemMarking, ItemRandom, LruK, PolicyKind, Slru,
-        ThresholdLoad, TwoQ, WTinyLfu,
+        AdaptiveIblp, BlockFifo, BlockLru, GcPolicy, Gcm, Iblp, IblpConfig, IblpVariant, ItemClock,
+        ItemFifo, ItemLfu, ItemLru, ItemMarking, ItemRandom, LruK, PolicyKind, Slru, ThresholdLoad,
+        TwoQ, WTinyLfu,
     };
-    pub use gc_sim::{simulate, simulate_with_warmup, ProbeAdapter, SimStats};
-    pub use gc_types::{AccessResult, BlockId, BlockMap, GcError, HitKind, ItemId, Trace};
+    pub use gc_sim::{simulate, simulate_with_warmup, ProbeAdapter, SimStats, SpatialSet};
+    pub use gc_types::{
+        AccessKind, AccessResult, AccessScratch, BlockId, BlockMap, GcError, HitKind, ItemId, Trace,
+    };
 }
 
 #[cfg(test)]

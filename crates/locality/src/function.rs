@@ -108,7 +108,11 @@ impl GcLocality {
             (1.0..=block_size * (1.0 + 1e-9)).contains(&r),
             "spatial ratio {r} outside [1, B={block_size}]"
         );
-        GcLocality { f, block_size, ratio: r }
+        GcLocality {
+            f,
+            block_size,
+            ratio: r,
+        }
     }
 
     /// The spatial ratio `R = f/g`.
@@ -231,7 +235,10 @@ mod tests {
     fn fit_recovers_exact_polynomial() {
         let truth = PolyLocality::new(2.0, 1.0);
         let windows: Vec<usize> = (1..=12).map(|i| i * i).collect();
-        let distinct: Vec<usize> = windows.iter().map(|&n| truth.f(n as f64).round() as usize).collect();
+        let distinct: Vec<usize> = windows
+            .iter()
+            .map(|&n| truth.f(n as f64).round() as usize)
+            .collect();
         let fit = fit_polynomial(&windows, &distinct).unwrap();
         assert!((fit.p - 2.0).abs() < 0.05, "fit {fit:?}");
         assert!((fit.c - 1.0).abs() < 0.2, "fit {fit:?}");

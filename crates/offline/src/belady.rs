@@ -140,11 +140,7 @@ pub fn gc_belady_heuristic(trace: &Trace, map: &BlockMap, capacity: usize) -> u6
 /// A resident-set snapshotting variant used by tests and the validation
 /// binaries: returns `(misses, spatial_saves)` where `spatial_saves` counts
 /// accesses served only because a sibling's miss co-loaded the item.
-pub fn gc_belady_heuristic_detailed(
-    trace: &Trace,
-    map: &BlockMap,
-    capacity: usize,
-) -> (u64, u64) {
+pub fn gc_belady_heuristic_detailed(trace: &Trace, map: &BlockMap, capacity: usize) -> (u64, u64) {
     // Re-run, tracking which residents were co-loads never yet requested.
     assert!(capacity >= map.max_block_size());
     let requests = trace.requests();

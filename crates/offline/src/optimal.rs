@@ -181,7 +181,10 @@ mod tests {
             for k in [3usize, 4, 6] {
                 let opt = optimal_gc_cost(&t, &map, k);
                 let heur = gc_belady_heuristic(&t, &map, k);
-                assert!(opt <= heur, "trial {trial} k {k}: opt {opt} > heuristic {heur}");
+                assert!(
+                    opt <= heur,
+                    "trial {trial} k {k}: opt {opt} > heuristic {heur}"
+                );
             }
         }
     }
@@ -196,11 +199,9 @@ mod tests {
 
     #[test]
     fn explicit_ragged_blocks() {
-        let map = BlockMap::from_groups(vec![
-            vec![ItemId(1), ItemId(2), ItemId(3)],
-            vec![ItemId(9)],
-        ])
-        .unwrap();
+        let map =
+            BlockMap::from_groups(vec![vec![ItemId(1), ItemId(2), ItemId(3)], vec![ItemId(9)]])
+                .unwrap();
         let t = Trace::from_ids([1, 9, 2, 9, 3, 9]);
         // k=4 holds everything: load block0 (1 unit, co-loading 2,3) + 9.
         assert_eq!(optimal_gc_cost(&t, &map, 4), 2);

@@ -140,7 +140,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid variable-size instance")]
     fn rejects_invalid_instances() {
-        let inst = VarSizeInstance { sizes: vec![5], trace: vec![0], capacity: 2 };
+        let inst = VarSizeInstance {
+            sizes: vec![5],
+            trace: vec![0],
+            capacity: 2,
+        };
         let _ = reduce_varsize_to_gc(&inst);
     }
 }

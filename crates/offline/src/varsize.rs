@@ -127,8 +127,14 @@ impl VarSizeInstance {
         // Capacity between the largest item and the sum (exclusive) keeps
         // the instance nontrivial.
         let capacity = max_item + next() % (total - max_item + 1);
-        let trace: Vec<usize> = (0..trace_len).map(|_| (next() % num_items as u64) as usize).collect();
-        VarSizeInstance { sizes, trace, capacity }
+        let trace: Vec<usize> = (0..trace_len)
+            .map(|_| (next() % num_items as u64) as usize)
+            .collect();
+        VarSizeInstance {
+            sizes,
+            trace,
+            capacity,
+        }
     }
 }
 
@@ -175,24 +181,44 @@ mod tests {
 
     #[test]
     fn empty_trace_is_free() {
-        let inst = VarSizeInstance { sizes: vec![1], trace: vec![], capacity: 1 };
+        let inst = VarSizeInstance {
+            sizes: vec![1],
+            trace: vec![],
+            capacity: 1,
+        };
         assert_eq!(inst.optimal_cost(), 0);
     }
 
     #[test]
     fn validation_catches_errors() {
-        assert!(VarSizeInstance { sizes: vec![0], trace: vec![0], capacity: 2 }
-            .validate()
-            .is_err());
-        assert!(VarSizeInstance { sizes: vec![3], trace: vec![0], capacity: 2 }
-            .validate()
-            .is_err());
-        assert!(VarSizeInstance { sizes: vec![1], trace: vec![1], capacity: 2 }
-            .validate()
-            .is_err());
-        assert!(VarSizeInstance { sizes: vec![1], trace: vec![0], capacity: 0 }
-            .validate()
-            .is_err());
+        assert!(VarSizeInstance {
+            sizes: vec![0],
+            trace: vec![0],
+            capacity: 2
+        }
+        .validate()
+        .is_err());
+        assert!(VarSizeInstance {
+            sizes: vec![3],
+            trace: vec![0],
+            capacity: 2
+        }
+        .validate()
+        .is_err());
+        assert!(VarSizeInstance {
+            sizes: vec![1],
+            trace: vec![1],
+            capacity: 2
+        }
+        .validate()
+        .is_err());
+        assert!(VarSizeInstance {
+            sizes: vec![1],
+            trace: vec![0],
+            capacity: 0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -223,7 +249,11 @@ mod tests {
         };
         let mut prev = u64::MAX;
         for capacity in 3..=8 {
-            let cost = VarSizeInstance { capacity, ..inst.clone() }.optimal_cost();
+            let cost = VarSizeInstance {
+                capacity,
+                ..inst.clone()
+            }
+            .optimal_cost();
             assert!(cost <= prev);
             prev = cost;
         }

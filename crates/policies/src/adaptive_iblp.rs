@@ -15,7 +15,7 @@
 
 use crate::lru_list::LruList;
 use crate::GcPolicy;
-use gc_types::{AccessResult, BlockId, BlockMap, ItemId};
+use gc_types::{AccessKind, AccessScratch, BlockId, BlockMap, ItemId};
 
 /// IBLP with epoch-based ghost-list adaptation of the layer split.
 #[derive(Clone, Debug)]
@@ -112,8 +112,7 @@ impl AdaptiveIblp {
             return;
         }
         let b = self.map.max_block_size();
-        if self.grow_item_votes > self.grow_block_votes && self.item_size + b <= self.capacity - b
-        {
+        if self.grow_item_votes > self.grow_block_votes && self.item_size + b <= self.capacity - b {
             self.item_size += b;
         } else if self.grow_block_votes > self.grow_item_votes && self.item_size >= 2 * b {
             self.item_size -= b;
@@ -156,25 +155,27 @@ impl GcPolicy for AdaptiveIblp {
                 .is_some_and(|b| self.block_layer.contains(b.0))
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         let block = self.map.block_of(item);
-        let mut epoch_evictions = Vec::new();
-        self.maybe_adapt(&mut epoch_evictions);
+        // Epoch-boundary evictions accumulate in the policy-owned `pending`
+        // buffer (taken and restored, so its allocation is reused) and are
+        // folded into the next miss's report.
+        let mut pending = std::mem::take(&mut self.pending);
+        self.maybe_adapt(&mut pending);
 
         if self.item_layer.contains(item.0) {
             self.item_layer.touch(item.0);
             // Epoch evictions that coincide with a hit are folded into the
             // next miss's report (the access itself is still a hit).
-            self.pending_evictions(epoch_evictions);
-            return AccessResult::Hit;
+            self.pending = pending;
+            return AccessKind::Hit;
         }
         if self.block_layer.contains(block.0) {
             self.block_layer.touch(block.0);
             self.item_layer.touch(item.0);
-            let mut evicted = epoch_evictions;
-            self.enforce_item_overflow(&mut evicted);
-            self.pending_evictions(evicted);
-            return AccessResult::Hit;
+            self.enforce_item_overflow(&mut pending);
+            self.pending = pending;
+            return AccessKind::Hit;
         }
 
         // Overall miss: ghost votes first.
@@ -187,31 +188,33 @@ impl GcPolicy for AdaptiveIblp {
             self.grow_block_votes += 1;
         }
 
-        let loaded: Vec<ItemId> = self
-            .map
-            .items_of(block)
-            .filter(|z| !self.item_layer.contains(z.0))
-            .collect();
-        let mut evicted = epoch_evictions;
-        evicted.extend(self.take_pending());
+        out.clear();
+        for z in self.map.items_of(block) {
+            if !self.item_layer.contains(z.0) {
+                out.loaded.push(z);
+            }
+        }
+        out.evicted.append(&mut pending);
+        self.pending = pending;
         self.block_layer.touch(block.0);
         if self.block_layer.len() > self.block_slots() {
             let victim = BlockId(self.block_layer.evict_lru().expect("nonempty"));
             self.block_ghost.touch(victim.0);
             for z in self.map.items_of(victim) {
                 if !self.item_layer.contains(z.0) {
-                    evicted.push(z);
+                    out.evicted.push(z);
                 }
             }
         }
         self.item_layer.touch(item.0);
-        self.enforce_item_overflow(&mut evicted);
+        self.enforce_item_overflow(&mut out.evicted);
         // Epoch-boundary evictions may have been undone by this access
         // reloading the same block; report only what is really gone, once.
-        evicted.sort_unstable();
-        evicted.dedup();
-        evicted.retain(|e| !self.contains(*e));
-        AccessResult::Miss { loaded, evicted }
+        out.evicted.sort_unstable();
+        out.evicted.dedup();
+        let this: &Self = self;
+        out.evicted.retain(|e| !this.contains(*e));
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -239,14 +242,6 @@ impl AdaptiveIblp {
         while self.item_ghost.len() > self.ghost_cap {
             self.item_ghost.evict_lru();
         }
-    }
-
-    fn pending_evictions(&mut self, evictions: Vec<ItemId>) {
-        self.pending.extend(evictions);
-    }
-
-    fn take_pending(&mut self) -> Vec<ItemId> {
-        std::mem::take(&mut self.pending)
     }
 }
 

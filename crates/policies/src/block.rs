@@ -8,7 +8,7 @@
 
 use crate::lru_list::LruList;
 use crate::GcPolicy;
-use gc_types::{AccessResult, BlockId, BlockMap, FxHashSet, ItemId};
+use gc_types::{AccessKind, AccessScratch, BlockId, BlockMap, FxHashSet, ItemId};
 use std::collections::VecDeque;
 
 fn block_slots(capacity: usize, map: &BlockMap) -> usize {
@@ -56,7 +56,11 @@ impl BlockLru {
 
 impl GcPolicy for BlockLru {
     fn name(&self) -> String {
-        format!("BlockLRU(k={},B={})", self.capacity, self.map.max_block_size())
+        format!(
+            "BlockLRU(k={},B={})",
+            self.capacity,
+            self.map.max_block_size()
+        )
     }
 
     fn capacity(&self) -> usize {
@@ -76,20 +80,18 @@ impl GcPolicy for BlockLru {
             .is_some_and(|b| self.list.contains(b.0))
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         let block = self.map.block_of(item);
         if !self.list.touch(block.0) {
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
-        let mut evicted = Vec::new();
+        out.clear();
         if self.list.len() > self.slots {
             let victim = self.list.evict_lru().expect("nonempty after insert");
-            evict_block_items(&self.map, BlockId(victim), &mut evicted);
+            evict_block_items(&self.map, BlockId(victim), &mut out.evicted);
         }
-        AccessResult::Miss {
-            loaded: self.map.items_of(block).collect(),
-            evicted,
-        }
+        out.loaded.extend(self.map.items_of(block));
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -124,7 +126,11 @@ impl BlockFifo {
 
 impl GcPolicy for BlockFifo {
     fn name(&self) -> String {
-        format!("BlockFIFO(k={},B={})", self.capacity, self.map.max_block_size())
+        format!(
+            "BlockFIFO(k={},B={})",
+            self.capacity,
+            self.map.max_block_size()
+        )
     }
 
     fn capacity(&self) -> usize {
@@ -132,10 +138,7 @@ impl GcPolicy for BlockFifo {
     }
 
     fn len(&self) -> usize {
-        self.present
-            .iter()
-            .map(|&b| self.map.block_len(b))
-            .sum()
+        self.present.iter().map(|&b| self.map.block_len(b)).sum()
     }
 
     fn contains(&self, item: ItemId) -> bool {
@@ -144,23 +147,21 @@ impl GcPolicy for BlockFifo {
             .is_some_and(|b| self.present.contains(&b))
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         let block = self.map.block_of(item);
         if self.present.contains(&block) {
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
-        let mut evicted = Vec::new();
+        out.clear();
         if self.present.len() == self.slots {
             let victim = self.queue.pop_front().expect("queue tracks presence");
             self.present.remove(&victim);
-            evict_block_items(&self.map, victim, &mut evicted);
+            evict_block_items(&self.map, victim, &mut out.evicted);
         }
         self.queue.push_back(block);
         self.present.insert(block);
-        AccessResult::Miss {
-            loaded: self.map.items_of(block).collect(),
-            evicted,
-        }
+        out.loaded.extend(self.map.items_of(block));
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -223,10 +224,9 @@ mod tests {
         let mut misses = 0;
         for round in 0..30 {
             for blk in 0..3u64 {
-                if c.access(ItemId(blk * 4)).is_miss()
-                    && round > 0 {
-                        misses += 1;
-                    }
+                if c.access(ItemId(blk * 4)).is_miss() && round > 0 {
+                    misses += 1;
+                }
             }
         }
         assert!(misses > 50, "expected thrashing, got {misses} misses");

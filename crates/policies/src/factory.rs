@@ -2,10 +2,11 @@
 //! harness, and the benchmarks.
 
 use crate::{
-    AdaptiveIblp, BlockFifo, BlockLru, GcPolicy, Gcm, Iblp, ItemClock, ItemFifo, ItemLfu,
-    ItemLru, ItemMarking, ItemRandom, LruK, Slru, ThresholdLoad, TwoQ, WTinyLfu,
+    AdaptiveIblp, BlockFifo, BlockLru, GcPolicy, Gcm, Iblp, ItemClock, ItemFifo, ItemLfu, ItemLru,
+    ItemMarking, ItemRandom, LruK, Slru, ThresholdLoad, TwoQ, WTinyLfu,
 };
 use gc_types::{BlockMap, GcError};
+use std::fmt;
 
 /// A buildable policy description.
 ///
@@ -113,30 +114,14 @@ impl PolicyKind {
     }
 
     /// Short stable label (used in CSV headers and CLI output).
+    ///
+    /// Prefer the [`Display`](std::fmt::Display) impl when writing into an
+    /// existing buffer — it formats the same label without allocating.
     pub fn label(&self) -> String {
-        match self {
-            PolicyKind::ItemLru => "item-lru".into(),
-            PolicyKind::ItemFifo => "item-fifo".into(),
-            PolicyKind::ItemClock => "item-clock".into(),
-            PolicyKind::ItemLfu => "item-lfu".into(),
-            PolicyKind::ItemRandom { .. } => "item-random".into(),
-            PolicyKind::ItemMarking { .. } => "item-marking".into(),
-            PolicyKind::BlockLru => "block-lru".into(),
-            PolicyKind::BlockFifo => "block-fifo".into(),
-            PolicyKind::IblpBalanced => "iblp".into(),
-            PolicyKind::Iblp { item_lines } => format!("iblp:i={item_lines}"),
-            PolicyKind::Gcm { .. } => "gcm".into(),
-            PolicyKind::ThresholdLoad { a } => format!("loadk:a={a}"),
-            PolicyKind::TwoQ => "2q".into(),
-            PolicyKind::Slru => "slru".into(),
-            PolicyKind::LruK { k } => format!("lru-k:k={k}"),
-            PolicyKind::WTinyLfu => "tinylfu".into(),
-            PolicyKind::AdaptiveIblp => "adaptive-iblp".into(),
-            PolicyKind::PartialGcm { coload, .. } => format!("gcm-partial:j={coload}"),
-        }
+        self.to_string()
     }
 
-    /// Parse a label produced by [`label`](Self::label) (plus `seed=`
+    /// Parse a label produced by [`label`](Self::label) / `Display` (plus `seed=`
     /// parameters for the randomized policies), e.g. `item-lru`,
     /// `iblp:i=4096`, `loadk:a=2`, `gcm:seed=7`.
     pub fn parse(s: &str) -> Result<Self, GcError> {
@@ -162,8 +147,12 @@ impl PolicyKind {
             "item-fifo" => Ok(PolicyKind::ItemFifo),
             "item-clock" => Ok(PolicyKind::ItemClock),
             "item-lfu" => Ok(PolicyKind::ItemLfu),
-            "item-random" => Ok(PolicyKind::ItemRandom { seed: parse_u64(args, "seed", 0)? }),
-            "item-marking" => Ok(PolicyKind::ItemMarking { seed: parse_u64(args, "seed", 0)? }),
+            "item-random" => Ok(PolicyKind::ItemRandom {
+                seed: parse_u64(args, "seed", 0)?,
+            }),
+            "item-marking" => Ok(PolicyKind::ItemMarking {
+                seed: parse_u64(args, "seed", 0)?,
+            }),
             "block-lru" => Ok(PolicyKind::BlockLru),
             "block-fifo" => Ok(PolicyKind::BlockFifo),
             "iblp" => match args {
@@ -172,13 +161,17 @@ impl PolicyKind {
                     item_lines: parse_u64(args, "i", 0)? as usize,
                 }),
             },
-            "gcm" => Ok(PolicyKind::Gcm { seed: parse_u64(args, "seed", 0)? }),
+            "gcm" => Ok(PolicyKind::Gcm {
+                seed: parse_u64(args, "seed", 0)?,
+            }),
             "loadk" => Ok(PolicyKind::ThresholdLoad {
                 a: parse_u64(args, "a", 1)? as usize,
             }),
             "2q" => Ok(PolicyKind::TwoQ),
             "slru" => Ok(PolicyKind::Slru),
-            "lru-k" => Ok(PolicyKind::LruK { k: parse_u64(args, "k", 2)? as usize }),
+            "lru-k" => Ok(PolicyKind::LruK {
+                k: parse_u64(args, "k", 2)? as usize,
+            }),
             "tinylfu" => Ok(PolicyKind::WTinyLfu),
             "adaptive-iblp" => Ok(PolicyKind::AdaptiveIblp),
             "gcm-partial" => Ok(PolicyKind::PartialGcm {
@@ -217,6 +210,34 @@ impl PolicyKind {
             PolicyKind::AdaptiveIblp,
         ]);
         roster
+    }
+}
+
+/// Writes the same short stable label as [`PolicyKind::label`], directly
+/// into the formatter — no intermediate `String`, so hot CSV/report writers
+/// can emit rows without per-row allocation.
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyKind::ItemLru => f.write_str("item-lru"),
+            PolicyKind::ItemFifo => f.write_str("item-fifo"),
+            PolicyKind::ItemClock => f.write_str("item-clock"),
+            PolicyKind::ItemLfu => f.write_str("item-lfu"),
+            PolicyKind::ItemRandom { .. } => f.write_str("item-random"),
+            PolicyKind::ItemMarking { .. } => f.write_str("item-marking"),
+            PolicyKind::BlockLru => f.write_str("block-lru"),
+            PolicyKind::BlockFifo => f.write_str("block-fifo"),
+            PolicyKind::IblpBalanced => f.write_str("iblp"),
+            PolicyKind::Iblp { item_lines } => write!(f, "iblp:i={item_lines}"),
+            PolicyKind::Gcm { .. } => f.write_str("gcm"),
+            PolicyKind::ThresholdLoad { a } => write!(f, "loadk:a={a}"),
+            PolicyKind::TwoQ => f.write_str("2q"),
+            PolicyKind::Slru => f.write_str("slru"),
+            PolicyKind::LruK { k } => write!(f, "lru-k:k={k}"),
+            PolicyKind::WTinyLfu => f.write_str("tinylfu"),
+            PolicyKind::AdaptiveIblp => f.write_str("adaptive-iblp"),
+            PolicyKind::PartialGcm { coload, .. } => write!(f, "gcm-partial:j={coload}"),
+        }
     }
 }
 

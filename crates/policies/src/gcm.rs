@@ -14,7 +14,7 @@
 //!   *replaced by* randomly chosen items of the accessed block.
 
 use crate::GcPolicy;
-use gc_types::{AccessResult, BlockMap, FxHashMap, FxHashSet, ItemId};
+use gc_types::{AccessKind, AccessScratch, BlockMap, FxHashMap, FxHashSet, ItemId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -39,6 +39,10 @@ pub struct Gcm {
     unmarked: Vec<ItemId>,
     unmarked_pos: FxHashMap<ItemId, usize>,
     rng: SmallRng,
+    /// Reusable buffer for the per-miss co-load candidate snapshot.
+    co_buf: Vec<ItemId>,
+    /// Reusable buffer for draining marks at a phase change.
+    phase_buf: Vec<ItemId>,
 }
 
 impl Gcm {
@@ -82,6 +86,8 @@ impl Gcm {
             unmarked: Vec::new(),
             unmarked_pos: FxHashMap::default(),
             rng: SmallRng::seed_from_u64(seed),
+            co_buf: Vec::new(),
+            phase_buf: Vec::new(),
         }
     }
 
@@ -125,11 +131,15 @@ impl Gcm {
     /// Evict one random unmarked item, starting a new phase if none exist.
     fn evict_one(&mut self) -> ItemId {
         if self.unmarked.is_empty() {
-            // Phase change: all marks are cleared.
-            let drained: Vec<ItemId> = self.marked.drain().collect();
-            for item in drained {
+            // Phase change: all marks are cleared. The drain buffer is
+            // policy-owned so repeated phase changes reuse its allocation.
+            let mut drained = std::mem::take(&mut self.phase_buf);
+            drained.extend(self.marked.drain());
+            for &item in &drained {
                 self.push_unmarked(item);
             }
+            drained.clear();
+            self.phase_buf = drained;
         }
         let pos = self.rng.gen_range(0..self.unmarked.len());
         self.remove_unmarked_at(pos)
@@ -158,34 +168,38 @@ impl GcPolicy for Gcm {
         self.resident(item)
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         // Resident: mark (promote out of the unmarked pool) and hit.
         if self.marked.contains(&item) {
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
         if self.take_unmarked(item) {
             self.marked.insert(item);
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
 
         // Snapshot the block's absent items *before* any eviction, so an
         // item evicted to make room is never re-loaded in the same access
-        // (which would corrupt the load/evict accounting).
+        // (which would corrupt the load/evict accounting). The snapshot
+        // lives in a policy-owned buffer; steady state never reallocates.
         let block = self.map.block_of(item);
-        let mut co: Vec<ItemId> = self
-            .map
-            .items_of(block)
-            .filter(|&z| z != item && !self.resident(z))
-            .collect();
+        let mut co = std::mem::take(&mut self.co_buf);
+        co.clear();
+        co.extend(
+            self.map
+                .items_of(block)
+                .filter(|&z| z != item && !self.resident(z)),
+        );
         co.shuffle(&mut self.rng);
 
         // Miss: make room for the requested item, insert it marked.
-        let mut evicted = Vec::new();
+        out.clear();
         if self.len() == self.capacity {
-            evicted.push(self.evict_one());
+            let victim = self.evict_one();
+            out.evicted.push(victim);
         }
         self.marked.insert(item);
-        let mut loaded = vec![item];
+        out.loaded.push(item);
 
         // Co-load the rest of the block unmarked, replacing existing
         // unmarked lines when no free space remains. Evictions happen
@@ -198,7 +212,8 @@ impl GcPolicy for Gcm {
         let need_evictions = take.saturating_sub(free);
         for _ in 0..need_evictions {
             let pos = self.rng.gen_range(0..self.unmarked.len());
-            evicted.push(self.remove_unmarked_at(pos));
+            let victim = self.remove_unmarked_at(pos);
+            out.evicted.push(victim);
         }
         for &z in &co[..take] {
             if self.mark_coloads {
@@ -206,15 +221,18 @@ impl GcPolicy for Gcm {
             } else {
                 self.push_unmarked(z);
             }
-            loaded.push(z);
+            out.loaded.push(z);
         }
-        AccessResult::Miss { loaded, evicted }
+        self.co_buf = co;
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
         self.marked.clear();
         self.unmarked.clear();
         self.unmarked_pos.clear();
+        self.co_buf.clear();
+        self.phase_buf.clear();
     }
 }
 
@@ -247,7 +265,7 @@ mod tests {
         c.access(ItemId(0)); // marks 0, co-loads 3 guests from block 0
         assert!(c.access(ItemId(1)).is_hit()); // marks 1
         assert!(c.access(ItemId(2)).is_hit()); // marks 2
-        // marked {0,1,2}, one unmarked guest (item 3).
+                                               // marked {0,1,2}, one unmarked guest (item 3).
         let r = c.access(ItemId(4));
         assert!(r.is_miss());
         // Item 4 replaced the guest; zero free lines and zero unmarked left

@@ -22,7 +22,7 @@
 
 use crate::lru_list::LruList;
 use crate::GcPolicy;
-use gc_types::{AccessResult, BlockId, BlockMap, ItemId};
+use gc_types::{AccessKind, AccessScratch, BlockId, BlockMap, ItemId};
 
 /// The IBLP policy. See the module docs for semantics.
 ///
@@ -140,11 +140,11 @@ impl GcPolicy for Iblp {
                 .is_some_and(|b| self.block_layer.contains(b.0))
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         // Item-layer hit: serve without disturbing the block layer (§5.1).
         if self.item_layer.contains(item.0) {
             self.item_layer.touch(item.0);
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
 
         let block = self.map.block_of(item);
@@ -153,34 +153,34 @@ impl GcPolicy for Iblp {
         if self.block_layer.contains(block.0) {
             self.block_layer.touch(block.0);
             let _ = self.promote(item);
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
 
         // Overall miss: load the whole block into the block layer.
         // Items of the block already held by the item layer were resident
         // before, so they are not part of `loaded`.
-        let loaded: Vec<ItemId> = self
-            .map
-            .items_of(block)
-            .filter(|z| !self.item_layer.contains(z.0))
-            .collect();
-        debug_assert!(loaded.contains(&item));
+        out.clear();
+        for z in self.map.items_of(block) {
+            if !self.item_layer.contains(z.0) {
+                out.loaded.push(z);
+            }
+        }
+        debug_assert!(out.loaded.contains(&item));
 
-        let mut evicted = Vec::new();
         self.block_layer.touch(block.0);
         if self.block_layer.len() > self.block_slots {
             let victim = BlockId(self.block_layer.evict_lru().expect("nonempty"));
             debug_assert_ne!(victim, block, "just-loaded block cannot be LRU");
             for z in self.map.items_of(victim) {
                 if !self.item_layer.contains(z.0) {
-                    evicted.push(z);
+                    out.evicted.push(z);
                 }
             }
         }
         if let Some(victim) = self.promote(item) {
-            evicted.push(victim);
+            out.evicted.push(victim);
         }
-        AccessResult::Miss { loaded, evicted }
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -247,7 +247,7 @@ mod tests {
         let mut c = Iblp::new(2, 4, map4()); // 1 block slot
         c.access(ItemId(0)); // block 0; item layer [0]
         c.access(ItemId(4)); // block 1 replaces block 0; item layer [4,0]
-        // Now item 0 is only in the item layer. Two more promotions push it out.
+                             // Now item 0 is only in the item layer. Two more promotions push it out.
         let r1 = c.access(ItemId(5)); // hit via block layer; item layer [5,4], 0 evicted
         assert!(r1.is_hit());
         assert!(!c.contains(ItemId(0)), "item 0 fully evicted");
@@ -258,7 +258,7 @@ mod tests {
         let mut c = Iblp::new(4, 4, map4()); // 1 block slot
         c.access(ItemId(0)); // block 0
         let r = c.access(ItemId(4)); // block 1 evicts block 0
-        // Items 1,2,3 leave (not in item layer); item 0 survives in item layer.
+                                     // Items 1,2,3 leave (not in item layer); item 0 survives in item layer.
         assert_eq!(r.evicted(), &[ItemId(1), ItemId(2), ItemId(3)]);
         assert!(c.contains(ItemId(0)));
         assert!(r.loaded().contains(&ItemId(4)));

@@ -16,7 +16,7 @@
 
 use crate::lru_list::LruList;
 use crate::GcPolicy;
-use gc_types::{AccessResult, BlockId, BlockMap, ItemId};
+use gc_types::{AccessKind, AccessScratch, BlockId, BlockMap, ItemId};
 
 /// Design-choice switches for [`IblpVariant`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,17 +32,26 @@ pub struct IblpConfig {
 impl IblpConfig {
     /// The paper's design (equivalent to [`crate::Iblp`]).
     pub fn paper() -> Self {
-        IblpConfig { touch_block_on_item_hit: false, promote_on_block_hit: true }
+        IblpConfig {
+            touch_block_on_item_hit: false,
+            promote_on_block_hit: true,
+        }
     }
 
     /// Ablation 1: item hits refresh block recency.
     pub fn block_touching() -> Self {
-        IblpConfig { touch_block_on_item_hit: true, ..Self::paper() }
+        IblpConfig {
+            touch_block_on_item_hit: true,
+            ..Self::paper()
+        }
     }
 
     /// Ablation 2: no promotion on block-layer hits.
     pub fn no_promotion() -> Self {
-        IblpConfig { promote_on_block_hit: false, ..Self::paper() }
+        IblpConfig {
+            promote_on_block_hit: false,
+            ..Self::paper()
+        }
     }
 }
 
@@ -60,7 +69,12 @@ pub struct IblpVariant {
 
 impl IblpVariant {
     /// Build a variant with layer sizes `(item_size, block_size_lines)`.
-    pub fn new(item_size: usize, block_size_lines: usize, map: BlockMap, config: IblpConfig) -> Self {
+    pub fn new(
+        item_size: usize,
+        block_size_lines: usize,
+        map: BlockMap,
+        config: IblpConfig,
+    ) -> Self {
         assert!(item_size > 0, "item layer must hold at least one item");
         let b = map.max_block_size();
         assert!(block_size_lines >= b, "block layer cannot hold a block");
@@ -119,41 +133,41 @@ impl GcPolicy for IblpVariant {
                 .is_some_and(|b| self.block_layer.contains(b.0))
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         let block = self.map.block_of(item);
         if self.item_layer.contains(item.0) {
             self.item_layer.touch(item.0);
             if self.config.touch_block_on_item_hit && self.block_layer.contains(block.0) {
                 self.block_layer.touch(block.0);
             }
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
         if self.block_layer.contains(block.0) {
             self.block_layer.touch(block.0);
             if self.config.promote_on_block_hit {
                 let _ = self.promote(item);
             }
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
-        let loaded: Vec<ItemId> = self
-            .map
-            .items_of(block)
-            .filter(|z| !self.item_layer.contains(z.0))
-            .collect();
-        let mut evicted = Vec::new();
+        out.clear();
+        for z in self.map.items_of(block) {
+            if !self.item_layer.contains(z.0) {
+                out.loaded.push(z);
+            }
+        }
         self.block_layer.touch(block.0);
         if self.block_layer.len() > self.block_slots {
             let victim = BlockId(self.block_layer.evict_lru().expect("nonempty"));
             for z in self.map.items_of(victim) {
                 if !self.item_layer.contains(z.0) {
-                    evicted.push(z);
+                    out.evicted.push(z);
                 }
             }
         }
         if let Some(victim) = self.promote(item) {
-            evicted.push(victim);
+            out.evicted.push(victim);
         }
-        AccessResult::Miss { loaded, evicted }
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -231,11 +245,11 @@ mod tests {
         // slots, item layer of 8:
         let map = BlockMap::strided(4);
         let trace = Trace::from_ids([
-            1,  // miss: loads block 0, promotes item 1
-            0,  // BLOCK-LAYER hit on a co-load — the config decision point
-            4,  // miss: block 1
-            8,  // miss: block 2 — evicts block 0 from the block layer
-            0,  // promoted ⇒ item-layer hit; unpromoted ⇒ miss
+            1, // miss: loads block 0, promotes item 1
+            0, // BLOCK-LAYER hit on a co-load — the config decision point
+            4, // miss: block 1
+            8, // miss: block 2 — evicts block 0 from the block layer
+            0, // promoted ⇒ item-layer hit; unpromoted ⇒ miss
         ]);
         let mut paper = IblpVariant::new(8, 8, map.clone(), IblpConfig::paper());
         let mut spoiled = IblpVariant::new(8, 8, map, IblpConfig::no_promotion());
@@ -271,7 +285,11 @@ mod tests {
 
     #[test]
     fn invariants_hold_for_all_configs() {
-        for config in [IblpConfig::paper(), IblpConfig::block_touching(), IblpConfig::no_promotion()] {
+        for config in [
+            IblpConfig::paper(),
+            IblpConfig::block_touching(),
+            IblpConfig::no_promotion(),
+        ] {
             let map = BlockMap::strided(4);
             let mut c = IblpVariant::new(6, 8, map, config);
             let mut x = 11u64;

@@ -8,7 +8,7 @@
 
 use crate::lru_list::LruList;
 use crate::GcPolicy;
-use gc_types::{AccessResult, FxHashMap, FxHashSet, ItemId};
+use gc_types::{AccessKind, AccessScratch, FxHashMap, FxHashSet, ItemId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeSet, VecDeque};
@@ -53,16 +53,17 @@ impl GcPolicy for ItemLru {
         self.list.contains(item.0)
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         if !self.list.touch(item.0) {
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
-        let mut evicted = Vec::new();
+        out.clear();
+        out.loaded.push(item);
         if self.list.len() > self.capacity {
             let victim = self.list.evict_lru().expect("nonempty after insert");
-            evicted.push(ItemId(victim));
+            out.evicted.push(ItemId(victim));
         }
-        AccessResult::Miss { loaded: vec![item], evicted }
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -107,19 +108,20 @@ impl GcPolicy for ItemFifo {
         self.present.contains(&item)
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         if self.present.contains(&item) {
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
-        let mut evicted = Vec::new();
+        out.clear();
+        out.loaded.push(item);
         if self.present.len() == self.capacity {
             let victim = self.queue.pop_front().expect("queue tracks presence");
             self.present.remove(&victim);
-            evicted.push(victim);
+            out.evicted.push(victim);
         }
         self.queue.push_back(item);
         self.present.insert(item);
-        AccessResult::Miss { loaded: vec![item], evicted }
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -167,12 +169,13 @@ impl GcPolicy for ItemClock {
         self.index.contains_key(&item)
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         if let Some(&pos) = self.index.get(&item) {
             self.ring[pos].1 = true;
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
-        let mut evicted = Vec::new();
+        out.clear();
+        out.loaded.push(item);
         // New entries start with the reference bit clear; only a hit sets
         // it. That is what makes the hand's "second chance" meaningful.
         if self.ring.len() < self.capacity {
@@ -187,7 +190,7 @@ impl GcPolicy for ItemClock {
                     self.hand = (self.hand + 1) % self.capacity;
                 } else {
                     self.index.remove(&victim);
-                    evicted.push(victim);
+                    out.evicted.push(victim);
                     self.ring[self.hand] = (item, false);
                     self.index.insert(item, self.hand);
                     self.hand = (self.hand + 1) % self.capacity;
@@ -195,7 +198,7 @@ impl GcPolicy for ItemClock {
                 }
             }
         }
-        AccessResult::Miss { loaded: vec![item], evicted }
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -247,24 +250,25 @@ impl GcPolicy for ItemLfu {
         self.entries.contains_key(&item)
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         self.clock += 1;
         if let Some(&(freq, seq)) = self.entries.get(&item) {
             self.order.remove(&(freq, seq, item));
             self.order.insert((freq + 1, self.clock, item));
             self.entries.insert(item, (freq + 1, self.clock));
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
-        let mut evicted = Vec::new();
+        out.clear();
+        out.loaded.push(item);
         if self.entries.len() == self.capacity {
             let &(freq, seq, victim) = self.order.iter().next().expect("nonempty at capacity");
             self.order.remove(&(freq, seq, victim));
             self.entries.remove(&victim);
-            evicted.push(victim);
+            out.evicted.push(victim);
         }
         self.order.insert((1, self.clock, item));
         self.entries.insert(item, (1, self.clock));
-        AccessResult::Miss { loaded: vec![item], evicted }
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -312,11 +316,12 @@ impl GcPolicy for ItemRandom {
         self.index.contains_key(&item)
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         if self.index.contains_key(&item) {
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
-        let mut evicted = Vec::new();
+        out.clear();
+        out.loaded.push(item);
         if self.items.len() == self.capacity {
             let pos = self.rng.gen_range(0..self.items.len());
             let victim = self.items.swap_remove(pos);
@@ -324,11 +329,11 @@ impl GcPolicy for ItemRandom {
             if pos < self.items.len() {
                 self.index.insert(self.items[pos], pos);
             }
-            evicted.push(victim);
+            out.evicted.push(victim);
         }
         self.index.insert(item, self.items.len());
         self.items.push(item);
-        AccessResult::Miss { loaded: vec![item], evicted }
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -415,20 +420,22 @@ impl GcPolicy for ItemMarking {
         self.marked.contains(&item) || self.unmarked_pos.contains_key(&item)
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         if self.marked.contains(&item) {
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
         if self.remove_unmarked(item) {
             self.marked.insert(item);
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
-        let mut evicted = Vec::new();
+        out.clear();
+        out.loaded.push(item);
         if self.len() == self.capacity {
-            evicted.push(self.evict_one());
+            let victim = self.evict_one();
+            out.evicted.push(victim);
         }
         self.marked.insert(item);
-        AccessResult::Miss { loaded: vec![item], evicted }
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -441,6 +448,7 @@ impl GcPolicy for ItemMarking {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gc_types::AccessResult;
 
     fn drive(policy: &mut impl GcPolicy, ids: &[u64]) -> (u64, u64) {
         let mut hits = 0;
@@ -467,7 +475,10 @@ mod tests {
                     assert!(!policy.contains(*e), "evicted item still present");
                 }
             }
-            assert!(policy.contains(item), "requested item must be resident after access");
+            assert!(
+                policy.contains(item),
+                "requested item must be resident after access"
+            );
             assert!(policy.len() <= policy.capacity(), "capacity exceeded");
         }
     }
@@ -503,7 +514,11 @@ mod tests {
         c.access(ItemId(2));
         c.access(ItemId(1)); // hit: does NOT refresh
         let r = c.access(ItemId(3));
-        assert_eq!(r.evicted(), &[ItemId(1)], "FIFO evicts first-in despite the hit");
+        assert_eq!(
+            r.evicted(),
+            &[ItemId(1)],
+            "FIFO evicts first-in despite the hit"
+        );
     }
 
     #[test]
@@ -526,7 +541,11 @@ mod tests {
         c.access(ItemId(1));
         c.access(ItemId(2));
         let r = c.access(ItemId(3));
-        assert_eq!(r.evicted(), &[ItemId(2)], "the singleton loses to the hot item");
+        assert_eq!(
+            r.evicted(),
+            &[ItemId(2)],
+            "the singleton loses to the hot item"
+        );
     }
 
     #[test]
@@ -566,7 +585,7 @@ mod tests {
         c.access(ItemId(1)); // marked
         c.access(ItemId(2)); // marked
         c.access(ItemId(3)); // marked
-        // Phase reset on next miss, then re-mark 1.
+                             // Phase reset on next miss, then re-mark 1.
         c.access(ItemId(4));
         c.access(ItemId(1));
         // 1 and 4 are marked; eviction must take 2 or 3.

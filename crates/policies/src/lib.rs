@@ -74,15 +74,19 @@ pub use slru::Slru;
 pub use tinylfu::WTinyLfu;
 pub use twoq::TwoQ;
 
-use gc_types::{AccessResult, ItemId};
+use gc_types::{AccessKind, AccessResult, AccessScratch, ItemId};
 
 /// An online cache policy for the GC Caching Problem.
 ///
 /// Implementations own their [`BlockMap`](gc_types::BlockMap) (it is
 /// `Arc`-backed and cheap to clone) and their full replacement state. The
-/// simulator drives them one request at a time through [`access`].
+/// simulator drives them one request at a time through [`access_into`],
+/// reusing a single [`AccessScratch`] so the steady-state hot path never
+/// touches the heap. The allocating [`access`] wrapper remains for tests
+/// and one-off callers.
 ///
 /// [`access`]: GcPolicy::access
+/// [`access_into`]: GcPolicy::access_into
 pub trait GcPolicy {
     /// Human-readable policy name, including salient parameters.
     fn name(&self) -> String;
@@ -97,11 +101,28 @@ pub trait GcPolicy {
     /// would hit).
     fn contains(&self, item: ItemId) -> bool;
 
-    /// Serve one request, mutating the cache and reporting what happened.
+    /// Serve one request, mutating the cache and reporting what happened
+    /// through the caller-owned scratch buffers.
     ///
-    /// On a miss the result lists exactly which items were loaded (always
-    /// including `item`) and which were evicted from the cache as a whole.
-    fn access(&mut self, item: ItemId) -> AccessResult;
+    /// Contract: on a **miss** the policy clears `out` and fills
+    /// `out.loaded` with exactly the items loaded (always including
+    /// `item`) and `out.evicted` with the items evicted from the cache as
+    /// a whole. On a **hit** the scratch is left untouched (its contents
+    /// are stale and must not be read). Implementations must not allocate
+    /// per call beyond the scratch's own one-time growth.
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind;
+
+    /// Serve one request, reporting the outcome as an owned
+    /// [`AccessResult`] (allocating on misses).
+    ///
+    /// Convenience wrapper over [`access_into`](GcPolicy::access_into) for
+    /// tests and non-hot-path callers; simulation loops should hold an
+    /// [`AccessScratch`] and call `access_into` directly.
+    fn access(&mut self, item: ItemId) -> AccessResult {
+        let mut out = AccessScratch::new();
+        let kind = self.access_into(item, &mut out);
+        out.take_result(kind)
+    }
 
     /// Clear all cached state, returning to the post-construction state.
     fn reset(&mut self);
@@ -128,6 +149,10 @@ impl GcPolicy for Box<dyn GcPolicy> {
 
     fn contains(&self, item: ItemId) -> bool {
         (**self).contains(item)
+    }
+
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
+        (**self).access_into(item, out)
     }
 
     fn access(&mut self, item: ItemId) -> AccessResult {

@@ -14,7 +14,7 @@
 
 use crate::lru_list::LruList;
 use crate::GcPolicy;
-use gc_types::{AccessResult, BlockId, BlockMap, FxHashMap, FxHashSet, ItemId};
+use gc_types::{AccessKind, AccessScratch, BlockId, BlockMap, FxHashMap, FxHashSet, ItemId};
 
 /// Loads the full block once `a` distinct items of it have been requested
 /// (cumulatively since the block was last fully loaded); below the
@@ -90,9 +90,9 @@ impl GcPolicy for ThresholdLoad {
         self.items.contains(item.0)
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         if !self.items.touch(item.0) {
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
         // `touch` inserted the item; decide whether this miss crosses the
         // block's distinct-access threshold.
@@ -101,18 +101,18 @@ impl GcPolicy for ThresholdLoad {
         pending.insert(item);
         let full_load = pending.len() >= self.threshold;
 
-        let mut loaded = vec![item];
-        let mut evicted = Vec::new();
+        out.clear();
+        out.loaded.push(item);
         if full_load {
             self.pending.remove(&block);
             for z in self.map.items_of(block) {
                 if z != item && self.items.touch(z.0) {
-                    loaded.push(z);
+                    out.loaded.push(z);
                 }
             }
         }
-        self.evict_overflow(&mut evicted);
-        AccessResult::Miss { loaded, evicted }
+        self.evict_overflow(&mut out.evicted);
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {

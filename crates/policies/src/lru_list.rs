@@ -72,6 +72,7 @@ impl LruList {
     /// Mark `key` most-recently-used, inserting it if absent.
     ///
     /// Returns `true` if the key was newly inserted.
+    #[inline]
     pub fn touch(&mut self, key: u64) -> bool {
         if let Some(&slot) = self.map.get(&key) {
             self.unlink(slot);
@@ -99,6 +100,7 @@ impl LruList {
     }
 
     /// Remove and return the least-recently-used key.
+    #[inline]
     pub fn evict_lru(&mut self) -> Option<u64> {
         if self.tail == NIL {
             return None;
@@ -112,16 +114,19 @@ impl LruList {
     }
 
     /// The least-recently-used key, without removing it.
+    #[inline]
     pub fn peek_lru(&self) -> Option<u64> {
         (self.tail != NIL).then(|| self.slots[self.tail as usize].key)
     }
 
     /// The most-recently-used key.
+    #[inline]
     pub fn peek_mru(&self) -> Option<u64> {
         (self.head != NIL).then(|| self.slots[self.head as usize].key)
     }
 
     /// Remove a specific key. Returns `true` if it was present.
+    #[inline]
     pub fn remove(&mut self, key: u64) -> bool {
         if let Some(slot) = self.map.remove(&key) {
             self.unlink(slot);
@@ -143,28 +148,42 @@ impl LruList {
 
     /// Keys from most- to least-recently used.
     pub fn iter_mru(&self) -> IterMru<'_> {
-        IterMru { list: self, cursor: self.head }
+        IterMru {
+            list: self,
+            cursor: self.head,
+        }
     }
 
+    #[inline]
     fn alloc(&mut self, key: u64) -> u32 {
         if self.free != NIL {
             let slot = self.free;
             self.free = self.slots[slot as usize].next;
-            self.slots[slot as usize] = Slot { key, prev: NIL, next: NIL };
+            self.slots[slot as usize] = Slot {
+                key,
+                prev: NIL,
+                next: NIL,
+            };
             slot
         } else {
             let slot = self.slots.len() as u32;
             assert!(slot != NIL, "LruList slab overflow");
-            self.slots.push(Slot { key, prev: NIL, next: NIL });
+            self.slots.push(Slot {
+                key,
+                prev: NIL,
+                next: NIL,
+            });
             slot
         }
     }
 
+    #[inline]
     fn release(&mut self, slot: u32) {
         self.slots[slot as usize].next = self.free;
         self.free = slot;
     }
 
+    #[inline]
     fn unlink(&mut self, slot: u32) {
         let Slot { prev, next, .. } = self.slots[slot as usize];
         if prev != NIL {
@@ -181,6 +200,7 @@ impl LruList {
         self.slots[slot as usize].next = NIL;
     }
 
+    #[inline]
     fn push_front(&mut self, slot: u32) {
         self.slots[slot as usize].prev = NIL;
         self.slots[slot as usize].next = self.head;
@@ -193,6 +213,7 @@ impl LruList {
         }
     }
 
+    #[inline]
     fn push_back(&mut self, slot: u32) {
         self.slots[slot as usize].next = NIL;
         self.slots[slot as usize].prev = self.tail;

@@ -7,7 +7,7 @@
 //! reference). `K = 2` is the classic database-buffer setting.
 
 use crate::GcPolicy;
-use gc_types::{AccessResult, FxHashMap, ItemId};
+use gc_types::{AccessKind, AccessScratch, FxHashMap, ItemId};
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
 
@@ -81,7 +81,7 @@ impl GcPolicy for LruK {
         self.entries.contains_key(&item)
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         self.clock += 1;
         let k = self.k;
         if let Some(history) = self.entries.get_mut(&item) {
@@ -102,9 +102,10 @@ impl GcPolicy for LruK {
             }
             let new_key = key_of(history);
             self.order.insert((new_key.0, new_key.1, item));
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
-        let mut evicted = Vec::new();
+        out.clear();
+        out.loaded.push(item);
         if self.entries.len() == self.capacity {
             let &(kth, newest, victim) = self.order.iter().next().expect("full cache");
             self.order.remove(&(kth, newest, victim));
@@ -116,14 +117,16 @@ impl GcPolicy for LruK {
                 let stale = self.retained_order.evict_lru().expect("nonempty");
                 self.retained.remove(&ItemId(stale));
             }
-            evicted.push(victim);
+            out.evicted.push(victim);
         }
         // Resurrect retained history if we have it.
         let mut history = if let Some(old) = self.retained.remove(&item) {
             self.retained_order.remove(item.0);
             old
         } else {
-            History { times: VecDeque::with_capacity(self.k) }
+            History {
+                times: VecDeque::with_capacity(self.k),
+            }
         };
         history.times.push_back(self.clock);
         while history.times.len() > self.k {
@@ -132,7 +135,7 @@ impl GcPolicy for LruK {
         let key = self.key_of(&history, item);
         self.order.insert((key.0, key.1, item));
         self.entries.insert(item, history);
-        AccessResult::Miss { loaded: vec![item], evicted }
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {

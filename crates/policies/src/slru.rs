@@ -8,7 +8,7 @@
 
 use crate::lru_list::LruList;
 use crate::GcPolicy;
-use gc_types::{AccessResult, ItemId};
+use gc_types::{AccessKind, AccessScratch, ItemId};
 
 /// The SLRU replacement policy (item-granular).
 #[derive(Clone, Debug)]
@@ -51,7 +51,10 @@ impl Slru {
         }
         self.protected.touch(item.0);
         if self.protected.len() > self.protected_cap {
-            let demoted = self.protected.evict_lru().expect("overflow implies nonempty");
+            let demoted = self
+                .protected
+                .evict_lru()
+                .expect("overflow implies nonempty");
             self.probationary.touch(demoted);
         }
     }
@@ -74,17 +77,18 @@ impl GcPolicy for Slru {
         self.probationary.contains(item.0) || self.protected.contains(item.0)
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         if self.protected.contains(item.0) {
             self.protected.touch(item.0);
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
         if self.probationary.contains(item.0) {
             self.probationary.remove(item.0);
             self.promote(item);
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
-        let mut evicted = Vec::new();
+        out.clear();
+        out.loaded.push(item);
         if self.len() == self.capacity {
             // Probationary LRU is the victim; if probationary is empty
             // (all-protected corner), fall back to protected LRU.
@@ -93,10 +97,10 @@ impl GcPolicy for Slru {
                 .evict_lru()
                 .or_else(|| self.protected.evict_lru())
                 .expect("cache full implies nonempty");
-            evicted.push(ItemId(victim));
+            out.evicted.push(ItemId(victim));
         }
         self.probationary.touch(item.0);
-        AccessResult::Miss { loaded: vec![item], evicted }
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -114,7 +118,7 @@ mod tests {
         let mut c = Slru::with_protected(4, 2);
         c.access(ItemId(1));
         c.access(ItemId(1)); // promoted to protected
-        // Scan three one-shot items: probationary churns, 1 survives.
+                             // Scan three one-shot items: probationary churns, 1 survives.
         for id in [10u64, 11, 12, 13, 14] {
             c.access(ItemId(id));
         }
@@ -136,7 +140,10 @@ mod tests {
         c.access(ItemId(4)); // cache full: 1,2,3,4
         let r = c.access(ItemId(5));
         assert_eq!(r.evicted().len(), 1);
-        assert!(c.contains(ItemId(2)), "protected untouched by miss evictions");
+        assert!(
+            c.contains(ItemId(2)),
+            "protected untouched by miss evictions"
+        );
     }
 
     #[test]
@@ -164,6 +171,7 @@ mod tests {
 
     #[test]
     fn evicted_items_are_gone() {
+        use gc_types::AccessResult;
         let mut c = Slru::new(3);
         for id in 0..60u64 {
             if let AccessResult::Miss { evicted, .. } = c.access(ItemId(id % 9)) {

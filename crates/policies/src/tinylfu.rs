@@ -12,7 +12,7 @@
 use crate::lru_list::LruList;
 use crate::sketch::CountMinSketch;
 use crate::GcPolicy;
-use gc_types::{AccessResult, ItemId};
+use gc_types::{AccessKind, AccessScratch, ItemId};
 
 /// The W-TinyLFU replacement policy (item-granular).
 #[derive(Clone, Debug)]
@@ -56,7 +56,10 @@ impl WTinyLfu {
     fn promote(&mut self, item: ItemId) {
         self.protected.touch(item.0);
         if self.protected.len() > self.protected_cap {
-            let demoted = self.protected.evict_lru().expect("overflow implies nonempty");
+            let demoted = self
+                .protected
+                .evict_lru()
+                .expect("overflow implies nonempty");
             self.probationary.touch(demoted);
         }
     }
@@ -110,30 +113,31 @@ impl GcPolicy for WTinyLfu {
             || self.protected.contains(item.0)
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         self.sketch.increment(item);
         if self.window.contains(item.0) {
             self.window.touch(item.0);
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
         if self.protected.contains(item.0) {
             self.protected.touch(item.0);
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
         if self.probationary.contains(item.0) {
             self.probationary.remove(item.0);
             self.promote(item);
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
         // Miss: always admit into the window (no-bypass), then rebalance.
-        let mut evicted = Vec::new();
+        out.clear();
+        out.loaded.push(item);
         self.window.touch(item.0);
         if self.window.len() > self.window_cap {
             if let Some(gone) = self.spill_window() {
-                evicted.push(gone);
+                out.evicted.push(gone);
             }
         }
-        AccessResult::Miss { loaded: vec![item], evicted }
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -151,7 +155,7 @@ mod tests {
     #[test]
     fn frequency_guards_main_region_from_scans() {
         let mut c = WTinyLfu::new(16); // window 2, main 14
-        // Make items 1..=8 frequent and resident in the main region.
+                                       // Make items 1..=8 frequent and resident in the main region.
         for _ in 0..6 {
             for id in 1..=8u64 {
                 c.access(ItemId(id));

@@ -9,7 +9,7 @@
 
 use crate::lru_list::LruList;
 use crate::GcPolicy;
-use gc_types::{AccessResult, FxHashSet, ItemId};
+use gc_types::{AccessKind, AccessScratch, FxHashSet, ItemId};
 use std::collections::VecDeque;
 
 /// The 2Q replacement policy (item-granular).
@@ -68,7 +68,10 @@ impl TwoQ {
 
 impl GcPolicy for TwoQ {
     fn name(&self) -> String {
-        format!("2Q(k={},kin={},kout={})", self.capacity, self.kin, self.kout)
+        format!(
+            "2Q(k={},kin={},kout={})",
+            self.capacity, self.kin, self.kout
+        )
     }
 
     fn capacity(&self) -> usize {
@@ -83,20 +86,21 @@ impl GcPolicy for TwoQ {
         self.a1in_set.contains(&item) || self.am.contains(item.0)
     }
 
-    fn access(&mut self, item: ItemId) -> AccessResult {
+    fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         if self.am.contains(item.0) {
             self.am.touch(item.0);
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
         if self.a1in_set.contains(&item) {
             // 2Q leaves A1in hits in place (no reordering): correlated
             // references within a burst shouldn't look like reuse.
-            return AccessResult::Hit;
+            return AccessKind::Hit;
         }
         // The queues have hard bounds (as in the original paper): A1in
         // holds at most kin items and Am at most capacity − kin, so total
         // residency never exceeds capacity.
-        let mut evicted = Vec::new();
+        out.clear();
+        out.loaded.push(item);
         let ghost_hit = self.a1out_set.remove(&item);
         if ghost_hit {
             self.a1out.retain(|&g| g != item);
@@ -105,19 +109,20 @@ impl GcPolicy for TwoQ {
             // Ghost hit: this item has real reuse — promote to Am.
             if self.am.len() == self.am_cap() {
                 if let Some(victim) = self.am.evict_lru() {
-                    evicted.push(ItemId(victim));
+                    out.evicted.push(ItemId(victim));
                 }
             }
             self.am.touch(item.0);
         } else {
             if self.a1in.len() == self.kin {
                 // Spilling to the ghost removes the item from residency.
-                evicted.push(self.spill_a1in());
+                let victim = self.spill_a1in();
+                out.evicted.push(victim);
             }
             self.a1in.push_back(item);
             self.a1in_set.insert(item);
         }
-        AccessResult::Miss { loaded: vec![item], evicted }
+        AccessKind::Miss
     }
 
     fn reset(&mut self) {
@@ -136,8 +141,8 @@ mod tests {
     #[test]
     fn one_shot_scans_do_not_pollute_am() {
         let mut c = TwoQ::new(8); // kin = 2
-        // Establish a hot item with reuse: 1 enters A1in, spills to ghost,
-        // returns → Am.
+                                  // Establish a hot item with reuse: 1 enters A1in, spills to ghost,
+                                  // returns → Am.
         c.access(ItemId(1));
         c.access(ItemId(2));
         c.access(ItemId(3)); // spills 1 to ghost
@@ -159,7 +164,10 @@ mod tests {
         // Still in A1in: two more insertions spill it.
         c.access(ItemId(6));
         c.access(ItemId(7));
-        assert!(!c.contains(ItemId(5)), "burst reuse must not pin A1in items");
+        assert!(
+            !c.contains(ItemId(5)),
+            "burst reuse must not pin A1in items"
+        );
     }
 
     #[test]
@@ -190,6 +198,7 @@ mod tests {
 
     #[test]
     fn evictions_really_leave() {
+        use gc_types::AccessResult;
         let mut c = TwoQ::new(4);
         for id in 0..100u64 {
             if let AccessResult::Miss { evicted, .. } = c.access(ItemId(id)) {

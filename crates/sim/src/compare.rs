@@ -88,15 +88,17 @@ mod tests {
         }
         let map = BlockMap::strided(b as usize);
         let rows = compare_policies(
-            &[PolicyKind::ItemLru, PolicyKind::BlockLru, PolicyKind::IblpBalanced],
+            &[
+                PolicyKind::ItemLru,
+                PolicyKind::BlockLru,
+                PolicyKind::IblpBalanced,
+            ],
             256,
             &trace,
             &map,
             128,
         );
-        let misses = |label: &str| {
-            rows.iter().find(|r| r.label == label).unwrap().stats.misses
-        };
+        let misses = |label: &str| rows.iter().find(|r| r.label == label).unwrap().stats.misses;
         let iblp = misses("iblp");
         assert!(
             iblp < misses("item-lru"),
@@ -116,13 +118,18 @@ mod tests {
         let trace = synthetic::block_runs(&cfg);
         let map = synthetic::block_runs_map(&cfg);
         let rows = compare_policies(&PolicyKind::standard_roster(1), 256, &trace, &map, 0);
-        assert!(rows.windows(2).all(|w| w[0].stats.misses <= w[1].stats.misses));
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].stats.misses <= w[1].stats.misses));
         assert_eq!(rows.len(), PolicyKind::standard_roster(1).len());
     }
 
     #[test]
     fn table_renders_all_rows() {
-        let cfg = synthetic::BlockRunConfig { len: 2000, ..Default::default() };
+        let cfg = synthetic::BlockRunConfig {
+            len: 2000,
+            ..Default::default()
+        };
         let trace = synthetic::block_runs(&cfg);
         let map = synthetic::block_runs_map(&cfg);
         let rows = compare_policies(&[PolicyKind::ItemLru], 64, &trace, &map, 0);

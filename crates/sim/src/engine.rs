@@ -12,10 +12,96 @@
 //! items become *spatial candidates*. The first hit to a candidate is a
 //! spatial hit (and clears the candidacy); hits to non-candidates are
 //! temporal. Eviction or re-loading keeps candidacy in sync.
+//!
+//! ## Hot-path discipline
+//!
+//! The loop performs no per-access heap allocation: policies report into a
+//! single reused [`AccessScratch`], and candidacy lives in a
+//! [`SpatialSet`] — a dense bitmap indexed by `ItemId` (with a hash-set
+//! spillover for pathologically large ids) instead of a hash set per se.
+//! Both structures grow to their high-water mark once and are then reused
+//! for the rest of the simulation.
 
 use crate::stats::SimStats;
 use gc_policies::GcPolicy;
-use gc_types::{AccessResult, FxHashSet, ItemId, Trace};
+use gc_types::{AccessKind, AccessScratch, FxHashSet, ItemId, Trace};
+
+/// Ids below this bound live in the dense bitmap (`2^26` bits = 8 MiB at
+/// the very worst); anything larger spills into a hash set so sparse
+/// explicit block maps with huge ids cannot exhaust memory.
+const DENSE_LIMIT: u64 = 1 << 26;
+
+/// A set of [`ItemId`]s tuned for the simulator's spatial-candidate
+/// tracking: a grow-on-demand bitmap for small ids (the overwhelmingly
+/// common case — trace generators and block maps produce dense ids) plus
+/// an [`FxHashSet`] overflow for ids at or above 2²⁶.
+///
+/// Compared to a hash set, membership updates are a shift and a mask with
+/// no hashing and no probing, and the bitmap never reallocates once it has
+/// covered the largest id seen.
+#[derive(Clone, Debug, Default)]
+pub struct SpatialSet {
+    words: Vec<u64>,
+    overflow: FxHashSet<ItemId>,
+}
+
+impl SpatialSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        SpatialSet::default()
+    }
+
+    /// Add `item` to the set.
+    #[inline]
+    pub fn insert(&mut self, item: ItemId) {
+        let id = item.0;
+        if id < DENSE_LIMIT {
+            let word = (id / 64) as usize;
+            if word >= self.words.len() {
+                self.words.resize(word + 1, 0);
+            }
+            self.words[word] |= 1 << (id % 64);
+        } else {
+            self.overflow.insert(item);
+        }
+    }
+
+    /// Remove `item`, returning whether it was present.
+    #[inline]
+    pub fn remove(&mut self, item: ItemId) -> bool {
+        let id = item.0;
+        if id < DENSE_LIMIT {
+            let word = (id / 64) as usize;
+            if word >= self.words.len() {
+                return false;
+            }
+            let mask = 1u64 << (id % 64);
+            let present = self.words[word] & mask != 0;
+            self.words[word] &= !mask;
+            present
+        } else {
+            self.overflow.remove(&item)
+        }
+    }
+
+    /// Whether `item` is in the set.
+    #[inline]
+    pub fn contains(&self, item: ItemId) -> bool {
+        let id = item.0;
+        if id < DENSE_LIMIT {
+            let word = (id / 64) as usize;
+            word < self.words.len() && self.words[word] & (1 << (id % 64)) != 0
+        } else {
+            self.overflow.contains(&item)
+        }
+    }
+
+    /// Empty the set, keeping the bitmap's allocation.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.overflow.clear();
+    }
+}
 
 /// Run `policy` over the whole `trace`, returning aggregate statistics.
 ///
@@ -45,14 +131,15 @@ pub fn simulate_with_warmup<P: GcPolicy + ?Sized>(
     warmup: usize,
 ) -> SimStats {
     let mut stats = SimStats::default();
+    let mut scratch = AccessScratch::new();
     // Items resident only by virtue of a co-load, not yet re-requested.
-    let mut spatial_candidates: FxHashSet<ItemId> = FxHashSet::default();
+    let mut spatial_candidates = SpatialSet::new();
 
     for (idx, item) in trace.iter().enumerate() {
         let counted = idx >= warmup;
-        match policy.access(item) {
-            AccessResult::Hit => {
-                let spatial = spatial_candidates.remove(&item);
+        match policy.access_into(item, &mut scratch) {
+            AccessKind::Hit => {
+                let spatial = spatial_candidates.remove(item);
                 if counted {
                     stats.accesses += 1;
                     if spatial {
@@ -62,23 +149,23 @@ pub fn simulate_with_warmup<P: GcPolicy + ?Sized>(
                     }
                 }
             }
-            AccessResult::Miss { loaded, evicted } => {
-                debug_assert!(loaded.contains(&item), "miss must load the request");
-                for &z in &loaded {
+            AccessKind::Miss => {
+                debug_assert!(scratch.loaded.contains(&item), "miss must load the request");
+                for &z in &scratch.loaded {
                     if z != item {
                         spatial_candidates.insert(z);
                     }
                 }
                 // The requested item is resident on its own merits now.
-                spatial_candidates.remove(&item);
-                for z in &evicted {
+                spatial_candidates.remove(item);
+                for &z in &scratch.evicted {
                     spatial_candidates.remove(z);
                 }
                 if counted {
                     stats.accesses += 1;
                     stats.misses += 1;
-                    stats.items_loaded += loaded.len() as u64;
-                    stats.items_evicted += evicted.len() as u64;
+                    stats.items_loaded += scratch.loaded.len() as u64;
+                    stats.items_evicted += scratch.evicted.len() as u64;
                 }
             }
         }
@@ -95,14 +182,15 @@ mod tests {
 
     #[test]
     fn item_lru_on_repeat_trace() {
+        // LRU of capacity 2 over [1, 2, 1, 2, 3, 1]:
+        //   1 miss, 2 miss, 1 hit, 2 hit   (cache {1, 2}, MRU 2)
+        //   3 miss evicting 1, 1 miss evicting 2.
         let trace = Trace::from_ids([1, 2, 1, 2, 3, 1]);
         let mut lru = ItemLru::new(2);
         let s = simulate(&mut lru, &trace);
         assert_eq!(s.accesses, 6);
-        // Misses: 1, 2, 3, then 1 again (evicted by 3? capacity 2: after
-        // [1,2,1,2] cache = {1,2}; 3 evicts LRU=1... order: access 1,2 →
-        // {2,1}? Let's trust the policy tests; here check totals add up.
-        assert_eq!(s.hits() + s.misses, 6);
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.temporal_hits, 2, "the revisits of 1 and 2");
         assert_eq!(s.spatial_hits, 0, "item caches never co-load");
         assert_eq!(s.items_loaded, s.misses);
     }
@@ -175,5 +263,35 @@ mod tests {
         let s = simulate(&mut boxed, &Trace::from_ids([0, 1, 4, 5]));
         assert_eq!(s.misses, 2);
         assert_eq!(s.spatial_hits, 2);
+    }
+
+    #[test]
+    fn spatial_set_dense_and_overflow() {
+        let mut s = SpatialSet::new();
+        let small = ItemId(1000);
+        let edge = ItemId(DENSE_LIMIT - 1);
+        let huge = ItemId(u64::MAX - 3);
+        for id in [small, edge, huge] {
+            assert!(!s.contains(id));
+            s.insert(id);
+            assert!(s.contains(id));
+        }
+        assert!(s.remove(huge));
+        assert!(!s.remove(huge), "double remove reports absence");
+        assert!(s.remove(edge));
+        assert!(!s.contains(edge));
+        assert!(s.contains(small));
+        s.clear();
+        assert!(!s.contains(small));
+    }
+
+    #[test]
+    fn spatial_set_remove_beyond_bitmap_is_false() {
+        let mut s = SpatialSet::new();
+        s.insert(ItemId(3));
+        // An id whose word the bitmap never grew to must report absent
+        // without growing the bitmap.
+        assert!(!s.remove(ItemId(1_000_000)));
+        assert!(s.contains(ItemId(3)));
     }
 }

@@ -9,9 +9,10 @@
 //! per-level statistics, so the crossover between item/block/IBLP policies
 //! can be studied under realistic filtering.
 
+use crate::engine::SpatialSet;
 use crate::stats::SimStats;
 use gc_policies::GcPolicy;
-use gc_types::{AccessResult, FxHashSet, ItemId, Trace};
+use gc_types::{AccessKind, AccessScratch, Trace};
 
 /// Per-level results of a hierarchy simulation.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -62,42 +63,43 @@ where
     L2: GcPolicy + ?Sized,
 {
     let mut stats = HierarchyStats::default();
-    let mut l2_spatial: FxHashSet<ItemId> = FxHashSet::default();
+    let mut scratch = AccessScratch::new();
+    let mut l2_spatial = SpatialSet::new();
 
     for item in trace.iter() {
         stats.l1.accesses += 1;
-        match l1.access(item) {
-            AccessResult::Hit => {
+        match l1.access_into(item, &mut scratch) {
+            AccessKind::Hit => {
                 stats.l1.temporal_hits += 1;
                 continue;
             }
-            AccessResult::Miss { loaded, evicted } => {
+            AccessKind::Miss => {
                 stats.l1.misses += 1;
-                stats.l1.items_loaded += loaded.len() as u64;
-                stats.l1.items_evicted += evicted.len() as u64;
+                stats.l1.items_loaded += scratch.loaded.len() as u64;
+                stats.l1.items_evicted += scratch.evicted.len() as u64;
             }
         }
         // Forward the miss to L2.
         stats.l2.accesses += 1;
-        match l2.access(item) {
-            AccessResult::Hit => {
-                if l2_spatial.remove(&item) {
+        match l2.access_into(item, &mut scratch) {
+            AccessKind::Hit => {
+                if l2_spatial.remove(item) {
                     stats.l2.spatial_hits += 1;
                 } else {
                     stats.l2.temporal_hits += 1;
                 }
             }
-            AccessResult::Miss { loaded, evicted } => {
+            AccessKind::Miss => {
                 stats.l2.misses += 1;
-                stats.l2.items_loaded += loaded.len() as u64;
-                stats.l2.items_evicted += evicted.len() as u64;
-                for &z in &loaded {
+                stats.l2.items_loaded += scratch.loaded.len() as u64;
+                stats.l2.items_evicted += scratch.evicted.len() as u64;
+                for &z in &scratch.loaded {
                     if z != item {
                         l2_spatial.insert(z);
                     }
                 }
-                l2_spatial.remove(&item);
-                for z in &evicted {
+                l2_spatial.remove(item);
+                for &z in &scratch.evicted {
                     l2_spatial.remove(z);
                 }
             }
@@ -112,7 +114,7 @@ where
 mod tests {
     use super::*;
     use gc_policies::{BlockLru, Iblp, ItemLru};
-    use gc_types::BlockMap;
+    use gc_types::{BlockMap, ItemId};
 
     #[test]
     fn l1_absorbs_temporal_locality() {

@@ -34,7 +34,7 @@ pub mod stats;
 pub mod sweep;
 
 pub use compare::{compare_policies, ComparisonRow};
-pub use engine::{simulate, simulate_with_warmup};
+pub use engine::{simulate, simulate_with_warmup, SpatialSet};
 pub use hierarchy::{simulate_hierarchy, HierarchyStats};
 pub use mrc::{block_mrc, iblp_split_grid, item_mrc, MissRatioCurve};
 pub use probe::ProbeAdapter;

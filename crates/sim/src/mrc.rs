@@ -60,7 +60,9 @@ struct Fenwick {
 
 impl Fenwick {
     fn new(n: usize) -> Self {
-        Fenwick { tree: vec![0; n + 1] }
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
     }
 
     fn add(&mut self, mut i: usize, delta: i32) {
@@ -124,7 +126,10 @@ fn mrc_over_ids(ids: impl Iterator<Item = u64>, len: usize, max_size: usize) -> 
         // note: misses[k] currently counts distance ≥ k, which is exactly
         // the misses of a size-k cache (hit needs distance ≤ k−1).
     }
-    MissRatioCurve { accesses: len as u64, misses }
+    MissRatioCurve {
+        accesses: len as u64,
+        misses,
+    }
 }
 
 /// Item-granular LRU miss counts for every cache size `0..=max_size`, in
@@ -288,7 +293,11 @@ mod tests {
             .map(|_| {
                 x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
                 // Mix: hot sparse items + streams.
-                if x % 3 == 0 { (x % 64) * 8 } else { 4096 + x % 2048 }
+                if x % 3 == 0 {
+                    (x % 64) * 8
+                } else {
+                    4096 + x % 2048
+                }
             })
             .collect();
         let trace = Trace::from_ids(ids);

@@ -2,14 +2,16 @@
 
 use gc_policies::GcPolicy;
 use gc_trace::OnlineCacheProbe;
-use gc_types::ItemId;
+use gc_types::{AccessScratch, ItemId};
 
 /// Wraps any [`GcPolicy`] as an [`OnlineCacheProbe`] and counts the misses
 /// it suffers, so adversary reports can be cross-checked against the
-/// policy's own accounting.
+/// policy's own accounting. Accesses go through the zero-allocation
+/// [`GcPolicy::access_into`] path with an adapter-owned scratch.
 #[derive(Debug)]
 pub struct ProbeAdapter<P> {
     policy: P,
+    scratch: AccessScratch,
     misses: u64,
     accesses: u64,
 }
@@ -17,7 +19,12 @@ pub struct ProbeAdapter<P> {
 impl<P: GcPolicy> ProbeAdapter<P> {
     /// Wrap a policy.
     pub fn new(policy: P) -> Self {
-        ProbeAdapter { policy, misses: 0, accesses: 0 }
+        ProbeAdapter {
+            policy,
+            scratch: AccessScratch::new(),
+            misses: 0,
+            accesses: 0,
+        }
     }
 
     /// Misses observed so far (including any warm-up the adversary ran).
@@ -48,7 +55,7 @@ impl<P: GcPolicy> OnlineCacheProbe for ProbeAdapter<P> {
 
     fn access(&mut self, item: ItemId) {
         self.accesses += 1;
-        if self.policy.access(item).is_miss() {
+        if self.policy.access_into(item, &mut self.scratch).is_miss() {
             self.misses += 1;
         }
     }

@@ -17,7 +17,7 @@
 //! reproduction, measured.
 
 use gc_policies::GcPolicy;
-use gc_types::{AccessResult, BlockMap, Trace};
+use gc_types::{AccessResult, AccessScratch, BlockMap, ItemId, Trace};
 
 /// Cost parameters for the row-buffer model (defaults roughly mirror
 /// DDR4-class timing ratios: row activate ≈ 10× a column access, cache
@@ -35,7 +35,11 @@ pub struct RowBufferCosts {
 
 impl Default for RowBufferCosts {
     fn default() -> Self {
-        RowBufferCosts { row_miss_cost: 20, open_row_cost: 2, per_item_cost: 1 }
+        RowBufferCosts {
+            row_miss_cost: 20,
+            open_row_cost: 2,
+            per_item_cost: 1,
+        }
     }
 }
 
@@ -76,7 +80,12 @@ pub struct RowBufferMeter {
 impl RowBufferMeter {
     /// A meter with the given costs over the given block (row) partition.
     pub fn new(map: BlockMap, costs: RowBufferCosts) -> Self {
-        RowBufferMeter { costs, map, open_row: None, stats: RowBufferStats::default() }
+        RowBufferMeter {
+            costs,
+            map,
+            open_row: None,
+            stats: RowBufferStats::default(),
+        }
     }
 
     /// Account one access outcome. Hits are free (served from the cache);
@@ -86,6 +95,13 @@ impl RowBufferMeter {
         let AccessResult::Miss { loaded, .. } = result else {
             return;
         };
+        self.record_miss(loaded);
+    }
+
+    /// Account one miss given its loaded-items slice — the zero-allocation
+    /// entry point for scratch-based simulation loops. `loaded` must be
+    /// non-empty (a miss always loads at least the request).
+    pub fn record_miss(&mut self, loaded: &[ItemId]) {
         let row = self.map.block_of(loaded[0]).0;
         if self.open_row == Some(row) {
             self.stats.row_hits += 1;
@@ -116,12 +132,12 @@ pub fn simulate_with_row_buffer<P: GcPolicy + ?Sized>(
 ) -> (u64, RowBufferStats) {
     let mut meter = RowBufferMeter::new(map.clone(), costs);
     let mut misses = 0u64;
+    let mut scratch = AccessScratch::new();
     for item in trace.iter() {
-        let result = policy.access(item);
-        if result.is_miss() {
+        if policy.access_into(item, &mut scratch).is_miss() {
             misses += 1;
+            meter.record_miss(&scratch.loaded);
         }
-        meter.record(&result);
     }
     (misses, meter.stats)
 }
@@ -136,12 +152,8 @@ mod tests {
         let map = BlockMap::strided(4);
         let mut cache = BlockLru::new(16, map.clone());
         let trace = Trace::from_ids([0, 1, 2, 3, 0, 1]);
-        let (misses, stats) = simulate_with_row_buffer(
-            &mut cache,
-            &trace,
-            &map,
-            RowBufferCosts::default(),
-        );
+        let (misses, stats) =
+            simulate_with_row_buffer(&mut cache, &trace, &map, RowBufferCosts::default());
         assert_eq!(misses, 1);
         assert_eq!(stats.row_misses, 1);
         assert_eq!(stats.items_transferred, 4);
@@ -156,12 +168,8 @@ mod tests {
         let map = BlockMap::strided(8);
         let mut lru = ItemLru::new(4);
         let trace = Trace::from_ids(0..8u64);
-        let (misses, stats) = simulate_with_row_buffer(
-            &mut lru,
-            &trace,
-            &map,
-            RowBufferCosts::default(),
-        );
+        let (misses, stats) =
+            simulate_with_row_buffer(&mut lru, &trace, &map, RowBufferCosts::default());
         assert_eq!(misses, 8);
         assert_eq!(stats.row_misses, 1);
         assert_eq!(stats.row_hits, 7);
@@ -186,14 +194,14 @@ mod tests {
             }
         }
         let mut results = Vec::new();
-        for kind in [PolicyKind::ItemLru, PolicyKind::BlockLru, PolicyKind::IblpBalanced] {
+        for kind in [
+            PolicyKind::ItemLru,
+            PolicyKind::BlockLru,
+            PolicyKind::IblpBalanced,
+        ] {
             let mut policy = kind.build(256, &map);
-            let (misses, stats) = simulate_with_row_buffer(
-                &mut policy,
-                &trace,
-                &map,
-                RowBufferCosts::default(),
-            );
+            let (misses, stats) =
+                simulate_with_row_buffer(&mut policy, &trace, &map, RowBufferCosts::default());
             results.push((kind.label(), misses, stats.total_cost));
         }
         let mut by_misses = results.clone();

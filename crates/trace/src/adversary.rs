@@ -144,7 +144,8 @@ pub fn item_cache<P: OnlineCacheProbe>(
         }
     }
     let warmup_len = st.trace.len();
-    st.opt_content.extend(warm_items.iter().rev().take(h).copied());
+    st.opt_content
+        .extend(warm_items.iter().rev().take(h).copied());
 
     for _ in 0..rounds {
         // Step 2: k − h + 1 fresh items, streamed block by block.
@@ -198,7 +199,9 @@ pub fn item_cache<P: OnlineCacheProbe>(
     }
 
     AdversaryReport {
-        trace: st.trace.named(format!("thm2-adversary(k={k},h={h},B={block_size})")),
+        trace: st
+            .trace
+            .named(format!("thm2-adversary(k={k},h={h},B={block_size})")),
         warmup_len,
         online_misses: st.online_misses,
         opt_misses: st.opt_misses,
@@ -310,9 +313,8 @@ pub fn block_cache<P: OnlineCacheProbe>(
         st.access(probe, item, false);
     }
     let warmup_len = st.trace.len();
-    st.opt_content.extend(
-        (effective as u64 - h as u64..effective as u64).map(|blk| ItemId(blk * b)),
-    );
+    st.opt_content
+        .extend((effective as u64 - h as u64..effective as u64).map(|blk| ItemId(blk * b)));
 
     for _ in 0..rounds {
         // Step 2: one item from each of ⌈k/B⌉ − h + 1 fresh blocks.
@@ -352,7 +354,9 @@ pub fn block_cache<P: OnlineCacheProbe>(
     }
 
     AdversaryReport {
-        trace: st.trace.named(format!("thm3-adversary(k={k},h={h},B={block_size})")),
+        trace: st
+            .trace
+            .named(format!("thm3-adversary(k={k},h={h},B={block_size})")),
         warmup_len,
         online_misses: st.online_misses,
         opt_misses: st.opt_misses,
@@ -405,7 +409,8 @@ pub fn general<P: OnlineCacheProbe>(
         }
     }
     let warmup_len = st.trace.len();
-    st.opt_content.extend(warm_items.iter().rev().take(h).copied());
+    st.opt_content
+        .extend(warm_items.iter().rev().take(h).copied());
 
     for _ in 0..rounds {
         // Step 2: for ⌈(k−h+1)/B⌉ fresh blocks, request items of the block
@@ -463,7 +468,9 @@ pub fn general<P: OnlineCacheProbe>(
     }
 
     AdversaryReport {
-        trace: st.trace.named(format!("thm4-adversary(k={k},h={h},B={block_size})")),
+        trace: st
+            .trace
+            .named(format!("thm4-adversary(k={k},h={h},B={block_size})")),
         warmup_len,
         online_misses: st.online_misses,
         opt_misses: st.opt_misses,
@@ -597,7 +604,11 @@ mod tests {
 
     impl TestLru {
         fn new(capacity: usize) -> Self {
-            TestLru { capacity, clock: 0, stamp: FxHashMap::default() }
+            TestLru {
+                capacity,
+                clock: 0,
+                stamp: FxHashMap::default(),
+            }
         }
     }
 

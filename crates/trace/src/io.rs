@@ -37,7 +37,12 @@ pub fn from_json(json: &str) -> Result<TraceFile, GcError> {
 /// Write a trace in plain-text format: a header comment, then one decimal
 /// item id per line.
 pub fn write_text<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
-    writeln!(w, "# gc-trace v1: {} requests, name={}", trace.len(), trace.name)?;
+    writeln!(
+        w,
+        "# gc-trace v1: {} requests, name={}",
+        trace.len(),
+        trace.name
+    )?;
     for item in trace {
         writeln!(w, "{}", item.0)?;
     }
@@ -56,7 +61,10 @@ pub fn read_text<R: Read>(r: R) -> Result<Trace, GcError> {
             continue;
         }
         let id: u64 = line.parse().map_err(|_| {
-            GcError::ParseError(format!("line {}: expected item id, got {line:?}", lineno + 1))
+            GcError::ParseError(format!(
+                "line {}: expected item id, got {line:?}",
+                lineno + 1
+            ))
         })?;
         trace.push(ItemId(id));
     }

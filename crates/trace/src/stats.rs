@@ -26,7 +26,10 @@ pub struct Histogram {
 
 impl Histogram {
     fn new(max: usize) -> Self {
-        Histogram { counts: vec![0; max + 1], overflow: 0 }
+        Histogram {
+            counts: vec![0; max + 1],
+            overflow: 0,
+        }
     }
 
     fn record(&mut self, value: usize) {
@@ -131,11 +134,7 @@ pub fn block_run_histogram(trace: &Trace, map: &BlockMap, max: usize) -> Histogr
 /// access until `gap` consecutive non-block accesses pass), how many
 /// distinct items of the block were touched. A co-loading cache benefits
 /// exactly when utilization is high.
-pub fn block_utilization_histogram(
-    trace: &Trace,
-    map: &BlockMap,
-    gap: usize,
-) -> Histogram {
+pub fn block_utilization_histogram(trace: &Trace, map: &BlockMap, gap: usize) -> Histogram {
     let b = map.max_block_size();
     let mut hist = Histogram::new(b);
     // Active episodes: block → (distinct items, last-seen position).
@@ -152,7 +151,9 @@ pub fn block_utilization_histogram(
             let (items, _) = active.remove(&blk).expect("just found");
             hist.record(items.len());
         }
-        let entry = active.entry(block).or_insert_with(|| (Default::default(), pos));
+        let entry = active
+            .entry(block)
+            .or_insert_with(|| (Default::default(), pos));
         entry.0.insert(item);
         entry.1 = pos;
     }

@@ -216,15 +216,25 @@ pub enum Phase {
 pub fn phased(phases: &[Phase], seed: u64) -> Trace {
     let mut t = Trace::new().named("phased");
     for (idx, phase) in phases.iter().enumerate() {
-        let phase_seed = seed.wrapping_add(idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let phase_seed = seed
+            .wrapping_add(idx as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
         match phase {
-            Phase::Uniform { base, num_items, len } => {
+            Phase::Uniform {
+                base,
+                num_items,
+                len,
+            } => {
                 let sub = uniform(*num_items, *len, phase_seed);
                 for item in &sub {
                     t.push(ItemId(item.0 + base));
                 }
             }
-            Phase::Scan { base, num_items, len } => {
+            Phase::Scan {
+                base,
+                num_items,
+                len,
+            } => {
                 let sub = scan(*num_items, *len);
                 for item in &sub {
                     t.push(ItemId(item.0 + base));
@@ -253,13 +263,22 @@ mod tests {
         let t = uniform(10, 1000, 1);
         assert_eq!(t.len(), 1000);
         assert!(t.iter().all(|i| i.0 < 10));
-        assert!(t.distinct_items() > 5, "should touch most of a small universe");
+        assert!(
+            t.distinct_items() > 5,
+            "should touch most of a small universe"
+        );
     }
 
     #[test]
     fn uniform_is_deterministic_per_seed() {
-        assert_eq!(uniform(100, 50, 7).requests(), uniform(100, 50, 7).requests());
-        assert_ne!(uniform(100, 50, 7).requests(), uniform(100, 50, 8).requests());
+        assert_eq!(
+            uniform(100, 50, 7).requests(),
+            uniform(100, 50, 7).requests()
+        );
+        assert_ne!(
+            uniform(100, 50, 7).requests(),
+            uniform(100, 50, 8).requests()
+        );
     }
 
     #[test]
@@ -359,8 +378,16 @@ mod tests {
     fn phased_concatenates_and_offsets() {
         let t = phased(
             &[
-                Phase::Scan { base: 0, num_items: 4, len: 4 },
-                Phase::Uniform { base: 100, num_items: 5, len: 10 },
+                Phase::Scan {
+                    base: 0,
+                    num_items: 4,
+                    len: 4,
+                },
+                Phase::Uniform {
+                    base: 100,
+                    num_items: 5,
+                    len: 10,
+                },
             ],
             1,
         );
@@ -372,7 +399,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "spatial_locality")]
     fn block_runs_rejects_bad_knob() {
-        let cfg = BlockRunConfig { spatial_locality: 1.5, ..Default::default() };
+        let cfg = BlockRunConfig {
+            spatial_locality: 1.5,
+            ..Default::default()
+        };
         let _ = block_runs(&cfg);
     }
 

@@ -39,7 +39,9 @@ fn sliding_max(ids: impl Iterator<Item = u64> + Clone, n: usize) -> usize {
         *counts.entry(id).or_insert(0) += 1;
         if right >= n {
             let left_id = ids[right - n];
-            let c = counts.get_mut(&left_id).expect("left element must be counted");
+            let c = counts
+                .get_mut(&left_id)
+                .expect("left element must be counted");
             *c -= 1;
             if *c == 0 {
                 counts.remove(&left_id);
@@ -144,7 +146,9 @@ impl WorkingSetProfile {
                 return Err(format!("g({n}) = {g} exceeds f({n}) = {f}"));
             }
             if g * max_block_size < f {
-                return Err(format!("g({n}) = {g} below f({n})/B = {f}/{max_block_size}"));
+                return Err(format!(
+                    "g({n}) = {g} below f({n})/B = {f}/{max_block_size}"
+                ));
             }
         }
         Ok(())

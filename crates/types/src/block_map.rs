@@ -231,7 +231,10 @@ mod tests {
         let m = BlockMap::singleton();
         assert!(m.is_traditional());
         assert_eq!(m.block_of(ItemId(17)), BlockId(17));
-        assert_eq!(m.items_of(BlockId(17)).collect::<Vec<_>>(), vec![ItemId(17)]);
+        assert_eq!(
+            m.items_of(BlockId(17)).collect::<Vec<_>>(),
+            vec![ItemId(17)]
+        );
     }
 
     #[test]

@@ -63,13 +63,26 @@ mod tests {
             GcError::DuplicateItem { item: ItemId(3) }.to_string(),
             "item i3 appears in more than one block"
         );
-        assert_eq!(GcError::EmptyBlock { block: 2 }.to_string(), "block group 2 is empty");
-        assert_eq!(GcError::ZeroCapacity.to_string(), "cache capacity must be positive");
-        assert!(GcError::CapacityTooSmall { capacity: 4, required: 64 }
+        assert_eq!(
+            GcError::EmptyBlock { block: 2 }.to_string(),
+            "block group 2 is empty"
+        );
+        assert_eq!(
+            GcError::ZeroCapacity.to_string(),
+            "cache capacity must be positive"
+        );
+        assert!(GcError::CapacityTooSmall {
+            capacity: 4,
+            required: 64
+        }
+        .to_string()
+        .contains("below the policy minimum"));
+        assert!(GcError::InvalidParameter("x".into())
             .to_string()
-            .contains("below the policy minimum"));
-        assert!(GcError::InvalidParameter("x".into()).to_string().contains("x"));
-        assert!(GcError::ParseError("bad line".into()).to_string().contains("bad line"));
+            .contains("x"));
+        assert!(GcError::ParseError("bad line".into())
+            .to_string()
+            .contains("bad line"));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub struct FxHasher {
 }
 
 impl FxHasher {
-    #[inline]
+    #[inline(always)]
     fn add_to_hash(&mut self, word: u64) {
         self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
     }

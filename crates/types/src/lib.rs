@@ -11,7 +11,8 @@
 //!   most `B` items,
 //! * [`Trace`] — a sequence of item requests,
 //! * [`AccessResult`] / [`HitKind`] — the per-access outcome vocabulary
-//!   shared between policies and the simulator,
+//!   shared between policies and the simulator, plus the zero-allocation
+//!   [`AccessKind`] / [`AccessScratch`] pair used by the hot path,
 //! * [`fxmap`] — a fast, dependency-free hash map for dense integer keys.
 //!
 //! Everything heavier (policies, simulation, bounds) lives in downstream
@@ -31,5 +32,5 @@ pub use block_map::BlockMap;
 pub use error::GcError;
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use id::{BlockId, ItemId};
-pub use outcome::{AccessResult, HitKind};
+pub use outcome::{AccessKind, AccessResult, AccessScratch, HitKind};
 pub use trace::Trace;

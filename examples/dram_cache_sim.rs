@@ -31,18 +31,29 @@ fn workload() -> Trace {
     // rows — poison for block caches). Ids 0, 32, 64, ...
     let oltp_raw = zipfian(4096, 1.1, 120_000, 11);
     let oltp = Trace::from_requests(
-        oltp_raw.iter().map(|i| ItemId(i.0 * BLOCK as u64)).collect(),
+        oltp_raw
+            .iter()
+            .map(|i| ItemId(i.0 * BLOCK as u64))
+            .collect(),
     );
 
     // Analytics tenant: repeated scans over a 2 Mi-line table (whole rows).
     let analytics = gc_cache::gc_trace::synthetic::phased(
-        &[Phase::Scan { base: 1 << 24, num_items: 1 << 21, len: 120_000 }],
+        &[Phase::Scan {
+            base: 1 << 24,
+            num_items: 1 << 21,
+            len: 120_000,
+        }],
         3,
     );
 
     // Logger: streaming appends, never re-read.
     let logger = gc_cache::gc_trace::synthetic::phased(
-        &[Phase::Scan { base: 1 << 30, num_items: u32::MAX as u64, len: 60_000 }],
+        &[Phase::Scan {
+            base: 1 << 30,
+            num_items: u32::MAX as u64,
+            len: 60_000,
+        }],
         5,
     );
 
@@ -73,7 +84,11 @@ fn main() {
         let capacity = 1usize << shift;
         let jobs: Vec<SweepJob> = kinds
             .iter()
-            .map(|kind| SweepJob { kind: kind.clone(), capacity, warmup: 10_000 })
+            .map(|kind| SweepJob {
+                kind: kind.clone(),
+                capacity,
+                warmup: 10_000,
+            })
             .collect();
         let results = run_sweep(&jobs, &trace, &map, 0);
         let offline = gc_belady_heuristic(&trace, &map, capacity);

@@ -23,9 +23,7 @@ fn main() {
     // (sparse — the Theorem 3 pollution regime for block caches) and a
     // streaming tenant reading whole rows.
     let hot_raw = gc_cache::gc_trace::synthetic::zipfian(8192, 1.05, 150_000, 51);
-    let hot = Trace::from_requests(
-        hot_raw.iter().map(|i| ItemId(i.0 * B as u64)).collect(),
-    );
+    let hot = Trace::from_requests(hot_raw.iter().map(|i| ItemId(i.0 * B as u64)).collect());
     let stream = block_runs(&BlockRunConfig {
         num_blocks: 1 << 16,
         block_size: B,

@@ -60,10 +60,7 @@ fn main() {
     );
 
     // Verify the shortlist by simulation against the even split.
-    for (label, i) in [
-        ("mrc-chosen", best.item_lines),
-        ("balanced", capacity / 2),
-    ] {
+    for (label, i) in [("mrc-chosen", best.item_lines), ("balanced", capacity / 2)] {
         let mut iblp = Iblp::new(i, capacity - i, map.clone());
         let stats = simulate(&mut iblp, &trace);
         println!(

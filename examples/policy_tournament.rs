@@ -26,8 +26,10 @@ fn main() {
             .join(" ")
     );
 
-    let mut table: Vec<(String, Vec<f64>)> =
-        kinds.iter().map(|kind| (kind.label(), Vec::new())).collect();
+    let mut table: Vec<(String, Vec<f64>)> = kinds
+        .iter()
+        .map(|kind| (kind.label(), Vec::new()))
+        .collect();
 
     for &spatial in &[0.0, 0.25, 0.5, 0.75, 0.95] {
         let cfg = BlockRunConfig {
@@ -42,7 +44,11 @@ fn main() {
         let map = block_runs_map(&cfg);
         let jobs: Vec<SweepJob> = kinds
             .iter()
-            .map(|kind| SweepJob { kind: kind.clone(), capacity, warmup: 20_000 })
+            .map(|kind| SweepJob {
+                kind: kind.clone(),
+                capacity,
+                warmup: 20_000,
+            })
             .collect();
         for (row, result) in table.iter_mut().zip(run_sweep(&jobs, &trace, &map, 0)) {
             row.1.push(result.stats.fault_rate());
@@ -61,7 +67,10 @@ fn main() {
             .iter()
             .min_by(|a, b| a.1[col].total_cmp(&b.1[col]))
             .expect("nonempty table");
-        println!("best at spatial={s:.2}: {} ({:.4})", winner.0, winner.1[col]);
+        println!(
+            "best at spatial={s:.2}: {} ({:.4})",
+            winner.0, winner.1[col]
+        );
     }
 
     // Round 2: the block-cache killer. Hot items one-per-block (Theorem 3's
@@ -83,7 +92,11 @@ fn main() {
     let map = BlockMap::strided(b as usize);
     let jobs: Vec<SweepJob> = kinds
         .iter()
-        .map(|kind| SweepJob { kind: kind.clone(), capacity: 512, warmup: 512 })
+        .map(|kind| SweepJob {
+            kind: kind.clone(),
+            capacity: 512,
+            warmup: 512,
+        })
         .collect();
     let mut round2: Vec<(String, f64)> = kinds
         .iter()

@@ -1,0 +1,157 @@
+//! Allocation-counting proof of the zero-allocation hot path.
+//!
+//! A counting [`GlobalAlloc`] wrapper around the system allocator measures
+//! heap allocations during a *steady-state* window: the cache is first
+//! driven over the whole trace (filling the policy to capacity and growing
+//! every buffer — scratch, slab, hash maps, spatial bitmap — to its
+//! high-water mark), then the same trace is replayed and the allocation
+//! counter must not move. This is the enforceable form of the discipline:
+//! policies report misses into a caller-owned [`AccessScratch`] and the
+//! engine tracks spatial candidacy in a dense bitmap, so a steady-state
+//! access touches no allocator at all.
+//!
+//! The window check covers the deterministic, list-backed policies
+//! (ItemLru, BlockLru, Iblp). BTreeSet-backed policies (ItemLfu, LruK)
+//! inherently allocate tree nodes on insert and are exempt — their misses
+//! still report through the shared scratch without `Vec` churn.
+
+use gc_cache::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread allocation count, so concurrently running tests (each on
+    /// its own libtest thread) never count each other's allocations into a
+    /// measured window.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; the counter is a plain
+// thread-local cell with no allocation of its own (`try_with` tolerates
+// TLS teardown instead of recursing into the allocator).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A miss-heavy trace over `universe` items (xorshift ids), long enough to
+/// cycle any tested cache several times over.
+fn thrash_trace(len: usize, universe: u64) -> Trace {
+    let mut x = 0x243f_6a88_85a3_08d3u64;
+    Trace::from_ids((0..len).map(|_| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x % universe
+    }))
+}
+
+/// Replay `trace` once to reach steady state, then replay it again and
+/// assert the measured window performed zero heap allocations. The window
+/// mirrors the engine loop: `access_into` plus spatial-candidate updates on
+/// a warmed [`SpatialSet`].
+fn assert_steady_state_alloc_free(policy: &mut dyn GcPolicy, trace: &Trace) {
+    let mut scratch = AccessScratch::new();
+    let mut spatial = SpatialSet::new();
+    // Warm-up pass: capacity, scratch, maps and bitmap all hit their
+    // high-water marks here.
+    for item in trace.iter() {
+        if policy.access_into(item, &mut scratch).is_miss() {
+            for &z in &scratch.loaded {
+                if z != item {
+                    spatial.insert(z);
+                }
+            }
+            spatial.remove(item);
+            for &z in &scratch.evicted {
+                spatial.remove(z);
+            }
+        } else {
+            spatial.remove(item);
+        }
+    }
+
+    let before = allocations();
+    let mut misses = 0u64;
+    for item in trace.iter() {
+        if policy.access_into(item, &mut scratch).is_miss() {
+            misses += 1;
+            for &z in &scratch.loaded {
+                if z != item {
+                    spatial.insert(z);
+                }
+            }
+            spatial.remove(item);
+            for &z in &scratch.evicted {
+                spatial.remove(z);
+            }
+        } else {
+            spatial.remove(item);
+        }
+    }
+    let window = allocations() - before;
+
+    assert!(
+        misses > 1000,
+        "window must be miss-heavy, got {misses} misses"
+    );
+    assert_eq!(
+        window,
+        0,
+        "{}: {window} heap allocations in a steady-state window of {} requests",
+        policy.name(),
+        trace.len()
+    );
+}
+
+#[test]
+fn item_lru_steady_state_is_alloc_free() {
+    let trace = thrash_trace(50_000, 2048);
+    let mut policy = ItemLru::new(256);
+    assert_steady_state_alloc_free(&mut policy, &trace);
+}
+
+#[test]
+fn block_lru_steady_state_is_alloc_free() {
+    let trace = thrash_trace(50_000, 2048);
+    let map = BlockMap::strided(8);
+    let mut policy = BlockLru::new(256, map);
+    assert_steady_state_alloc_free(&mut policy, &trace);
+}
+
+#[test]
+fn iblp_steady_state_is_alloc_free() {
+    let trace = thrash_trace(50_000, 2048);
+    let map = BlockMap::strided(8);
+    let mut policy = Iblp::balanced(256, map);
+    assert_steady_state_alloc_free(&mut policy, &trace);
+}
+
+#[test]
+fn boxed_dispatch_adds_no_allocations() {
+    // The trait-object path the sweep harness uses must be equally clean.
+    let trace = thrash_trace(50_000, 2048);
+    let map = BlockMap::strided(8);
+    let mut policy: Box<dyn GcPolicy> = PolicyKind::IblpBalanced.build(256, &map);
+    assert_steady_state_alloc_free(policy.as_mut(), &trace);
+}

@@ -60,7 +60,12 @@ fn thm2_applies_to_every_item_cache_not_just_lru() {
         );
     };
     let map = BlockMap::strided(b);
-    for kind in [PolicyKind::ItemLru, PolicyKind::ItemFifo, PolicyKind::ItemClock, PolicyKind::ItemLfu] {
+    for kind in [
+        PolicyKind::ItemLru,
+        PolicyKind::ItemFifo,
+        PolicyKind::ItemClock,
+        PolicyKind::ItemLfu,
+    ] {
         check(ProbeAdapter::new(kind.build(k, &map)), &kind.label());
     }
 }
@@ -103,8 +108,14 @@ fn thm4_family_ordering_matches_theory() {
     }
     let ratio_of = |a: usize| measured.iter().find(|(x, _)| *x == a).unwrap().1;
     let envelope = ratio_of(1).min(ratio_of(8));
-    assert!(ratio_of(2) >= envelope * 0.99, "interior a=2 better than both extremes");
-    assert!(ratio_of(4) >= envelope * 0.99, "interior a=4 better than both extremes");
+    assert!(
+        ratio_of(2) >= envelope * 0.99,
+        "interior a=2 better than both extremes"
+    );
+    assert!(
+        ratio_of(4) >= envelope * 0.99,
+        "interior a=4 better than both extremes"
+    );
 }
 
 #[test]
@@ -180,12 +191,9 @@ fn iblp_beats_item_cache_bound_on_the_item_adversary() {
     // Feed IBLP the same trace the LRU adversary generated, for a clean
     // same-trace comparison.
     let mut iblp = Iblp::balanced(k, map);
-    let iblp_misses = gc_cache::gc_sim::simulate_with_warmup(
-        &mut iblp,
-        &lru_rep.trace,
-        lru_rep.warmup_len,
-    )
-    .misses;
+    let iblp_misses =
+        gc_cache::gc_sim::simulate_with_warmup(&mut iblp, &lru_rep.trace, lru_rep.warmup_len)
+            .misses;
     assert!(
         (iblp_misses as f64) < 0.5 * lru_rep.online_misses as f64,
         "IBLP {iblp_misses} vs item LRU {}",

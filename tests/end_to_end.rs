@@ -51,7 +51,11 @@ fn full_roster_runs_and_respects_offline_floor() {
 fn item_caches_have_zero_spatial_hits_and_block_caches_many() {
     let (trace, map) = mixed_workload(2);
     let rows = compare_policies(
-        &[PolicyKind::ItemLru, PolicyKind::BlockLru, PolicyKind::IblpBalanced],
+        &[
+            PolicyKind::ItemLru,
+            PolicyKind::BlockLru,
+            PolicyKind::IblpBalanced,
+        ],
         512,
         &trace,
         &map,
@@ -72,7 +76,11 @@ fn sweep_scales_capacity_sanely() {
         .flat_map(|&capacity| {
             [PolicyKind::ItemLru, PolicyKind::IblpBalanced]
                 .into_iter()
-                .map(move |kind| SweepJob { kind, capacity, warmup: 1000 })
+                .map(move |kind| SweepJob {
+                    kind,
+                    capacity,
+                    warmup: 1000,
+                })
         })
         .collect();
     let results = run_sweep(&jobs, &trace, &map, 0);

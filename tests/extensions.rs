@@ -90,8 +90,12 @@ fn scan_resistant_policies_beat_lru_under_pollution() {
         let mut p = ItemLru::new(32);
         simulate(&mut p, &trace).misses
     };
-    for kind in [PolicyKind::TwoQ, PolicyKind::Slru, PolicyKind::LruK { k: 2 }, PolicyKind::WTinyLfu]
-    {
+    for kind in [
+        PolicyKind::TwoQ,
+        PolicyKind::Slru,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::WTinyLfu,
+    ] {
         let mut p = kind.build(32, &map);
         let misses = simulate(&mut p, &trace).misses;
         assert!(

@@ -27,9 +27,11 @@ fn profiles_are_consistent_across_workloads() {
         let map = block_runs_map(&cfg);
         let windows = WorkingSetProfile::geometric_windows(trace.len());
         let profile = WorkingSetProfile::compute(&trace, &map, &windows);
-        profile.check_consistency(cfg.block_size).unwrap_or_else(|e| {
-            panic!("θ={theta} s={spatial}: {e}");
-        });
+        profile
+            .check_consistency(cfg.block_size)
+            .unwrap_or_else(|e| {
+                panic!("θ={theta} s={spatial}: {e}");
+            });
     }
 }
 
@@ -67,11 +69,12 @@ fn item_lru_fault_rate_respects_empirical_albers_bound() {
     };
     let trace = block_runs(&cfg);
     for i in [64usize, 128, 256] {
-        let Some(f_inv) = empirical_f_inverse(&trace, i + 1) else { continue };
+        let Some(f_inv) = empirical_f_inverse(&trace, i + 1) else {
+            continue;
+        };
         let bound = (i as f64 - 1.0) / (f_inv as f64 - 2.0);
         let mut lru = ItemLru::new(i);
-        let rate =
-            gc_cache::gc_sim::simulate_with_warmup(&mut lru, &trace, 4 * i).fault_rate();
+        let rate = gc_cache::gc_sim::simulate_with_warmup(&mut lru, &trace, 4 * i).fault_rate();
         assert!(
             rate <= bound.min(1.0) + 1e-9,
             "i={i}: measured {rate} above Albers bound {bound} (f_inv={f_inv})"
@@ -109,8 +112,7 @@ fn block_layer_fault_rate_respects_empirical_g_bound() {
     let g_inv = lo;
     let bound = (entries as f64 - 1.0) / (g_inv as f64 - 2.0);
     let mut cache = BlockLru::new(b_lines, map);
-    let rate =
-        gc_cache::gc_sim::simulate_with_warmup(&mut cache, &trace, 4 * b_lines).fault_rate();
+    let rate = gc_cache::gc_sim::simulate_with_warmup(&mut cache, &trace, 4 * b_lines).fault_rate();
     assert!(
         rate <= bound.min(1.0) + 1e-9,
         "measured {rate} above block-layer bound {bound}"
@@ -135,8 +137,7 @@ fn thm8_family_forces_fault_floor_on_lru() {
     };
     let mut probe = ProbeAdapter::new(ItemLru::new(k));
     let rep = locality_family(&mut probe, &cfg);
-    let measured_rate =
-        rep.online_misses as f64 / (rep.trace.len() - rep.warmup_len) as f64;
+    let measured_rate = rep.online_misses as f64 / (rep.trace.len() - rep.warmup_len) as f64;
     // Theorem 8 floor with g(p) = blocks_per_phase: g(f⁻¹(k+1)−2)/(f⁻¹(k+1)−2).
     let floor = blocks_per_phase as f64 / phase_len as f64;
     assert!(
@@ -194,7 +195,11 @@ fn table2_bounds_bracket_measured_rates_for_balanced_iblp() {
         .into_iter()
         .fold(f64::INFINITY, f64::min)
         .max(1.0);
-    let loc = GcLocality::new(fit_f, cfg.block_size as f64, SpatialRatio::Custom(min_ratio));
+    let loc = GcLocality::new(
+        fit_f,
+        cfg.block_size as f64,
+        SpatialRatio::Custom(min_ratio),
+    );
 
     let (i, b) = (512usize, 512usize);
     let mut iblp = Iblp::new(i, b, map);

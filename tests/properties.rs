@@ -4,8 +4,48 @@
 
 use gc_cache::gc_offline::{belady_misses, gc_belady_heuristic, optimal_gc_cost};
 use gc_cache::gc_trace::{io, working_set};
+use gc_cache::gc_types::FxHashSet;
 use gc_cache::prelude::*;
 use proptest::prelude::*;
+
+/// The pre-optimization engine, retained verbatim as a reference: drives
+/// policies through the allocating [`GcPolicy::access`] wrapper and tracks
+/// spatial candidates in a plain hash set. The zero-allocation engine
+/// (`gc_sim::simulate`: `access_into` + scratch + `SpatialSet` bitmap) must
+/// be bit-identical to this on every policy and trace.
+fn reference_simulate(policy: &mut dyn GcPolicy, trace: &Trace) -> SimStats {
+    let mut stats = SimStats::default();
+    let mut spatial_candidates: FxHashSet<ItemId> = FxHashSet::default();
+    for item in trace.iter() {
+        match policy.access(item) {
+            AccessResult::Hit => {
+                stats.accesses += 1;
+                if spatial_candidates.remove(&item) {
+                    stats.spatial_hits += 1;
+                } else {
+                    stats.temporal_hits += 1;
+                }
+            }
+            AccessResult::Miss { loaded, evicted } => {
+                for &z in &loaded {
+                    if z != item {
+                        spatial_candidates.insert(z);
+                    }
+                }
+                spatial_candidates.remove(&item);
+                for &z in &evicted {
+                    spatial_candidates.remove(&z);
+                }
+                stats.accesses += 1;
+                stats.misses += 1;
+                stats.items_loaded += loaded.len() as u64;
+                stats.items_evicted += evicted.len() as u64;
+            }
+        }
+        stats.peak_len = stats.peak_len.max(policy.len());
+    }
+    stats
+}
 
 fn small_trace() -> impl Strategy<Value = Trace> {
     // Small enough for the exact exponential solver to stay fast.
@@ -113,6 +153,26 @@ proptest! {
         let ma = gc_cache::gc_sim::simulate(&mut a, &trace).misses;
         let mb = gc_cache::gc_sim::simulate(&mut b, &trace).misses;
         prop_assert!(mb <= ma, "LRU({large}) missed {mb} > LRU({small}) {ma}");
+    }
+
+    /// Differential check for the zero-allocation engine: on every policy
+    /// kind and random trace, `gc_sim::simulate` (scratch buffers + dense
+    /// candidate bitmap) reports exactly the statistics of the retained
+    /// allocating reference engine — misses, attribution, loads, evictions
+    /// and peak occupancy all bit-identical.
+    #[test]
+    fn zero_alloc_engine_matches_reference(
+        trace in any_trace(),
+        kind in policy_kinds(),
+        block_size in 1usize..8,
+    ) {
+        let map = BlockMap::strided(block_size);
+        let capacity = 16 * block_size.max(2);
+        let mut fast = kind.build(capacity, &map);
+        let mut slow = kind.build(capacity, &map);
+        let s_fast = gc_cache::gc_sim::simulate(&mut fast, &trace);
+        let s_slow = reference_simulate(slow.as_mut(), &trace);
+        prop_assert_eq!(s_fast, s_slow, "engines diverge for {}", kind.label());
     }
 
     /// Determinism: the same seeded policy on the same trace produces the

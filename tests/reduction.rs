@@ -49,7 +49,11 @@ fn adversarial_corner_cases() {
     );
 
     // All requests to one big item.
-    let solo = VarSizeInstance { sizes: vec![3], trace: vec![0, 0, 0, 0], capacity: 3 };
+    let solo = VarSizeInstance {
+        sizes: vec![3],
+        trace: vec![0, 0, 0, 0],
+        capacity: 3,
+    };
     assert_eq!(solo.optimal_cost(), 1);
     let gc = reduce_varsize_to_gc(&solo);
     assert_eq!(optimal_gc_cost(&gc.trace, &gc.map, gc.capacity), 1);
@@ -90,14 +94,22 @@ fn online_policies_on_reduced_instances_stay_above_optimum() {
         let inst = VarSizeInstance::random_small(seed, 3, 6, 3);
         let gc = reduce_varsize_to_gc(&inst);
         let opt = optimal_gc_cost(&gc.trace, &gc.map, gc.capacity);
-        for kind in [PolicyKind::ItemLru, PolicyKind::BlockLru, PolicyKind::Gcm { seed }] {
+        for kind in [
+            PolicyKind::ItemLru,
+            PolicyKind::BlockLru,
+            PolicyKind::Gcm { seed },
+        ] {
             // Block caches need capacity ≥ B.
             if gc.capacity < gc.map.max_block_size() && kind == PolicyKind::BlockLru {
                 continue;
             }
             let mut policy = kind.build(gc.capacity, &gc.map);
             let online = gc_cache::gc_sim::simulate(&mut policy, &gc.trace).misses;
-            assert!(online >= opt, "seed {seed} {}: {online} < {opt}", kind.label());
+            assert!(
+                online >= opt,
+                "seed {seed} {}: {online} < {opt}",
+                kind.label()
+            );
         }
     }
 }
