@@ -2,12 +2,16 @@
 //!
 //! Measures requests/second of `gc_sim::simulate` for a fixed
 //! policy × trace matrix and writes the results to `BENCH_engine.json`
-//! (override the path with the first CLI argument). Run it from the repo
-//! root so successive PRs overwrite the same tracked file:
+//! (override the path with the first non-flag CLI argument). Run it from
+//! the repo root so successive PRs overwrite the same tracked file:
 //!
 //! ```sh
 //! cargo run --release -p gc-bench --bin perf_report
 //! ```
+//!
+//! `--quick` shrinks the matrix (20 K requests, one rep) so CI can smoke
+//! the full measurement path in seconds; quick numbers are not
+//! comparable to tracked ones and should not be committed.
 //!
 //! The matrix deliberately includes miss-heavy workloads (`scan` misses on
 //! every request for item-granular policies; `uniform` thrashes any cache
@@ -23,11 +27,13 @@ use std::time::Instant;
 
 /// Cache capacity (lines) for every cell of the matrix.
 const CAPACITY: usize = 4096;
-/// Requests per trace.
+/// Requests per trace (tracked mode).
 const TRACE_LEN: usize = 200_000;
 /// Timed repetitions per cell (the report keeps the best, i.e. the run
-/// least disturbed by the OS).
+/// least disturbed by the OS) in tracked mode.
 const REPS: usize = 3;
+/// Requests per trace under `--quick`.
+const QUICK_TRACE_LEN: usize = 20_000;
 
 fn policies() -> Vec<PolicyKind> {
     vec![
@@ -47,14 +53,14 @@ fn policies() -> Vec<PolicyKind> {
     ]
 }
 
-fn traces() -> Vec<(&'static str, Trace, BlockMap)> {
-    let (mixed, mixed_map) = standard_workload(TRACE_LEN, 5);
+fn traces(trace_len: usize) -> Vec<(&'static str, Trace, BlockMap)> {
+    let (mixed, mixed_map) = standard_workload(trace_len, 5);
     // Pure streaming: every request is a first touch of its item, so item
     // policies miss on 100% of requests — the worst case for the miss path.
-    let scan = synthetic::scan(TRACE_LEN as u64, TRACE_LEN);
+    let scan = synthetic::scan(trace_len as u64, trace_len);
     let scan_map = BlockMap::strided(16);
     // Uniform over 16× the cache: ~94% fault rate with negligible reuse.
-    let uniform = synthetic::uniform((CAPACITY * 16) as u64, TRACE_LEN, 7);
+    let uniform = synthetic::uniform((CAPACITY * 16) as u64, trace_len, 7);
     let uniform_map = BlockMap::strided(16);
     vec![
         ("mixed", mixed, mixed_map),
@@ -63,13 +69,13 @@ fn traces() -> Vec<(&'static str, Trace, BlockMap)> {
     ]
 }
 
-/// Best-of-`REPS` steady-state throughput for one cell, after one untimed
+/// Best-of-`reps` steady-state throughput for one cell, after one untimed
 /// warm-up pass (page faults, lazy growth, branch history).
-fn measure(kind: &PolicyKind, trace: &Trace, map: &BlockMap) -> (f64, SimStats) {
+fn measure(kind: &PolicyKind, trace: &Trace, map: &BlockMap, reps: usize) -> (f64, SimStats) {
     let mut warm = kind.build(CAPACITY, map);
     let stats = simulate(&mut warm, trace);
     let mut best = 0.0f64;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let mut policy = kind.build(CAPACITY, map);
         let t0 = Instant::now();
         let s = simulate(&mut policy, trace);
@@ -81,13 +87,22 @@ fn measure(kind: &PolicyKind, trace: &Trace, map: &BlockMap) -> (f64, SimStats) 
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let out_path = argv
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let (trace_len, reps) = if quick {
+        (QUICK_TRACE_LEN, 1)
+    } else {
+        (TRACE_LEN, REPS)
+    };
     let mut cells = Vec::new();
-    for (trace_name, trace, map) in &traces() {
+    for (trace_name, trace, map) in &traces(trace_len) {
         for kind in policies() {
-            let (rps, stats) = measure(&kind, trace, map);
+            let (rps, stats) = measure(&kind, trace, map, reps);
             println!(
                 "{trace_name:>8} {:<14} {:>12.0} req/s  fault {:.3}",
                 kind.label(),
@@ -105,9 +120,10 @@ fn main() {
     }
     let report = serde_json::json!({
         "schema": "gc-bench/perf_report/v1",
-        "trace_len": TRACE_LEN,
+        "quick": quick,
+        "trace_len": trace_len,
         "capacity": CAPACITY,
-        "reps": REPS,
+        "reps": reps,
         "results": cells,
     });
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");

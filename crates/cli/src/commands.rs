@@ -39,8 +39,10 @@ COMMANDS:
              [--p 2 --block-size 64 --h 1048576]
   fg         empirical f(n)/g(n) working-set profile of a workload
              [workload flags as above]
-  mrc        item/block miss-ratio curves + IBLP split grid (Mattson)
-             --capacity <k> [workload flags as above]
+  mrc        item/block miss-ratio curves + IBLP split grid (Mattson),
+             exact or SHARDS-sampled, curves computed in parallel
+             --capacity <k> [--sample-rate R | --smax N | --exact]
+             [--sample-seed S] [--threads T] [workload flags as above]
   bracket    two-sided bracket on the offline GC optimum
              --capacity <h> [workload flags as above]
   generate   write a workload to a trace file
@@ -333,35 +335,96 @@ fn table2_cmd(args: &Args) -> Result<(), String> {
 }
 
 fn mrc_cmd(args: &Args) -> Result<(), String> {
-    use gc_cache::gc_sim::mrc::{block_mrc, iblp_split_grid, item_mrc};
+    use gc_cache::gc_sim::mrc::{mrc_bundle, split_grid_from_curves, MrcBundle, MrcMode};
+    use gc_cache::gc_sim::pool::run_indexed;
+    use gc_cache::gc_sim::shards::{
+        sampled_block_mrc_with_stats, sampled_item_mrc_with_stats, SamplerConfig,
+    };
     let capacity: usize = args.require("capacity")?;
+    let threads: usize = args.get_or("threads", 0usize)?;
+    let sample_rate: Option<f64> = args
+        .get_str("sample-rate")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("--sample-rate: {e}"))?;
+    let s_max: Option<usize> = args
+        .get_str("smax")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("--smax: {e}"))?;
+    let exact = args.switch("exact") || (sample_rate.is_none() && s_max.is_none());
     let Workload {
         trace,
         map,
         block_size,
     } = workload(args)?;
-    let item = item_mrc(&trace, capacity);
-    let blocks = block_mrc(&trace, &map, capacity / block_size);
+
+    let bundle = if exact {
+        mrc_bundle(&trace, &map, capacity, &MrcMode::Exact, threads)
+    } else {
+        let cfg = match s_max {
+            Some(n) => SamplerConfig::adaptive(n),
+            None => {
+                let rate = sample_rate.expect("sampled mode implies a rate or an s_max");
+                if !(rate > 0.0 && rate <= 1.0) {
+                    return Err(format!("--sample-rate must be in (0,1], got {rate}"));
+                }
+                SamplerConfig::fixed(rate)
+            }
+        }
+        .with_seed(args.get_or("sample-seed", 0u64)?);
+        // Run the two sampled passes on the shared pool, keeping the
+        // per-curve sampler stats for the footer.
+        let mut passes = run_indexed(2, threads, |i| {
+            if i == 0 {
+                sampled_item_mrc_with_stats(&trace, capacity, &cfg)
+            } else {
+                sampled_block_mrc_with_stats(&trace, &map, capacity / block_size, &cfg)
+            }
+        });
+        let (block, block_stats) = passes.pop().expect("two passes");
+        let (item, item_stats) = passes.pop().expect("two passes");
+        println!(
+            "# sampled MRC: {} seed={} | items: {}/{} accesses kept, {} distinct, final rate {:.5} | blocks: {} kept, {} distinct, final rate {:.5}",
+            match &cfg.s_max {
+                Some(n) => format!("s_max={n}"),
+                None => format!("rate={}", cfg.rate),
+            },
+            cfg.seed,
+            item_stats.sampled_accesses,
+            trace.len(),
+            item_stats.distinct_sampled,
+            item_stats.final_rate,
+            block_stats.sampled_accesses,
+            block_stats.distinct_sampled,
+            block_stats.final_rate,
+        );
+        let grid = split_grid_from_curves(&item, &block, capacity, block_size);
+        MrcBundle { item, block, grid }
+    };
+
     println!("size,item_miss_ratio,block_slots,block_miss_ratio");
     let mut k = 1usize;
     while k <= capacity {
         let slots = (k / block_size).max(1);
         println!(
             "{k},{:.6},{slots},{:.6}",
-            item.miss_ratio(k),
-            blocks.miss_ratio(slots)
+            bundle.item.miss_ratio(k),
+            bundle.block.miss_ratio(slots)
         );
         k *= 2;
     }
-    let grid = iblp_split_grid(&trace, &map, capacity);
-    let best = grid
-        .iter()
-        .min_by_key(|cell| cell.miss_estimate)
-        .ok_or("empty split grid")?;
+    let best = bundle.best_split().ok_or("empty split grid")?;
     println!(
         "# best IBLP split estimate at budget {capacity}: i={} b={} (≈{} misses)",
         best.item_lines, best.block_lines, best.miss_estimate
     );
+    if !exact {
+        println!(
+            "# seed an adaptive policy with it: AdaptiveIblp::with_split({capacity}, {}, map)",
+            best.item_lines
+        );
+    }
     Ok(())
 }
 

@@ -22,6 +22,9 @@ use gc_types::{AccessKind, AccessScratch, BlockId, BlockMap, ItemId};
 pub struct AdaptiveIblp {
     capacity: usize,
     item_size: usize,
+    /// Where `reset` returns the boundary — the construction-time split,
+    /// so a seeded policy re-seeds rather than snapping back to even.
+    initial_item_size: usize,
     map: BlockMap,
     item_layer: LruList,
     block_layer: LruList,
@@ -42,15 +45,36 @@ pub struct AdaptiveIblp {
 impl AdaptiveIblp {
     /// An adaptive IBLP of `capacity` lines, starting from an even split.
     pub fn new(capacity: usize, map: BlockMap) -> Self {
+        let item_size = capacity / 2;
+        Self::with_split(capacity, item_size, map)
+    }
+
+    /// An adaptive IBLP seeded at a specific split instead of the even
+    /// default — e.g. the best split of an offline MRC grid
+    /// ([`mrc_bundle`]), so adaptation starts from the profiled optimum
+    /// and only has to track drift, not find the split from scratch.
+    /// `reset` returns to this seed.
+    ///
+    /// [`mrc_bundle`]: ../gc_sim/mrc/fn.mrc_bundle.html
+    ///
+    /// # Panics
+    ///
+    /// Panics unless each layer gets at least one block of room:
+    /// `B ≤ item_lines ≤ capacity − B`.
+    pub fn with_split(capacity: usize, item_lines: usize, map: BlockMap) -> Self {
         let b = map.max_block_size();
         assert!(
             capacity >= 2 * b,
             "need at least one block of room per layer (capacity {capacity}, B {b})"
         );
-        let item_size = capacity / 2;
+        assert!(
+            (b..=capacity - b).contains(&item_lines),
+            "seed split i={item_lines} leaves a layer below one block (capacity {capacity}, B {b})"
+        );
         AdaptiveIblp {
             capacity,
-            item_size,
+            item_size: item_lines,
+            initial_item_size: item_lines,
             ghost_cap: capacity,
             epoch_len: (4 * capacity as u64).max(64),
             map,
@@ -222,7 +246,7 @@ impl GcPolicy for AdaptiveIblp {
         self.block_layer.clear();
         self.item_ghost.clear();
         self.block_ghost.clear();
-        self.item_size = self.capacity / 2;
+        self.item_size = self.initial_item_size;
         self.accesses_this_epoch = 0;
         self.grow_item_votes = 0;
         self.grow_block_votes = 0;
@@ -348,5 +372,29 @@ mod tests {
         c.reset();
         assert_eq!(c.item_layer_size(), 32);
         assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn with_split_seeds_and_reset_returns_to_seed() {
+        let map = BlockMap::strided(8);
+        let mut c = AdaptiveIblp::with_split(64, 48, map);
+        assert_eq!(c.item_layer_size(), 48);
+        assert_eq!(c.block_layer_size(), 16);
+        // Drive a block-friendly workload so the split moves, then reset.
+        let mut trace = Trace::new();
+        for round in 0..250u64 {
+            for off in 0..8u64 {
+                trace.push(ItemId((round % 20) * 8 + off));
+            }
+        }
+        let _ = misses(&mut c, &trace);
+        c.reset();
+        assert_eq!(c.item_layer_size(), 48, "reset must restore the seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "seed split")]
+    fn with_split_rejects_layer_below_one_block() {
+        let _ = AdaptiveIblp::with_split(64, 60, BlockMap::strided(8));
     }
 }

@@ -10,12 +10,16 @@
 //! * [`stats`] — the [`SimStats`](stats::SimStats) accumulator.
 //! * [`probe`] — [`ProbeAdapter`](probe::ProbeAdapter), which lets the
 //!   adaptive adversaries of `gc-trace` drive any policy.
-//! * [`sweep`] — a parallel parameter-sweep harness built on crossbeam
-//!   scoped threads with an atomic work cursor (Rayon-style work
-//!   distribution without the dependency).
+//! * [`pool`] — the shared worker pool: crossbeam scoped threads with an
+//!   atomic work cursor (Rayon-style dynamic work distribution without
+//!   the dependency), results in job order.
+//! * [`sweep`] — a parallel parameter-sweep harness built on the pool.
 //! * [`compare`] — run a roster of policies over one trace and tabulate.
-//! * [`mrc`] — Mattson-stack miss-ratio curves (item- and block-granular)
-//!   and the IBLP split grid.
+//! * [`mrc`] — Mattson-stack miss-ratio curves (item- and block-granular),
+//!   the IBLP split grid, and the parallel [`mrc_bundle`](mrc::mrc_bundle).
+//! * [`shards`] — SHARDS-style spatially-hashed reuse-distance sampling:
+//!   approximate MRCs in near-linear time at rates down to 0.1 %, with a
+//!   fixed-size adaptive mode.
 //! * [`hierarchy`] — two-level (L1 → GC L2) composition, the Figure 1
 //!   setting with per-level attribution and AMAT.
 //! * [`rowbuffer`] — a DRAM row-buffer cost model that re-prices loads in
@@ -28,16 +32,26 @@ pub mod compare;
 pub mod engine;
 pub mod hierarchy;
 pub mod mrc;
+pub mod pool;
 pub mod probe;
 pub mod rowbuffer;
+pub mod shards;
 pub mod stats;
 pub mod sweep;
 
 pub use compare::{compare_policies, ComparisonRow};
 pub use engine::{simulate, simulate_with_warmup, SpatialSet};
 pub use hierarchy::{simulate_hierarchy, HierarchyStats};
-pub use mrc::{block_mrc, iblp_split_grid, item_mrc, MissRatioCurve};
+pub use mrc::{
+    block_mrc, iblp_split_grid, item_mrc, mrc_bundle, split_grid_from_curves, MissRatioCurve,
+    MrcBundle, MrcMode, SplitCell,
+};
+pub use pool::{resolve_threads, run_indexed};
 pub use probe::ProbeAdapter;
 pub use rowbuffer::{simulate_with_row_buffer, RowBufferCosts, RowBufferStats};
+pub use shards::{
+    sampled_block_mrc, sampled_block_mrc_with_stats, sampled_item_mrc, sampled_item_mrc_with_stats,
+    SampleStats, SamplerConfig,
+};
 pub use stats::SimStats;
 pub use sweep::{run_sweep, SweepJob, SweepResult};

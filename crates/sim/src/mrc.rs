@@ -19,6 +19,7 @@
 //! Stack distances are computed with a Fenwick (binary indexed) tree over
 //! access positions — `O(T log T)` total, the standard technique.
 
+use crate::shards::{sampled_block_mrc, sampled_item_mrc, SamplerConfig};
 use gc_types::{BlockMap, FxHashMap, Trace};
 
 /// A miss-ratio curve: `misses[k]` is the number of LRU misses at cache
@@ -48,33 +49,82 @@ impl MissRatioCurve {
     }
 
     /// The smallest cache size achieving a miss ratio ≤ `target`, if any.
+    ///
+    /// Binary search: LRU curves are monotone non-increasing in size (the
+    /// inclusion property), so the sizes with ratio above `target` form a
+    /// prefix and `partition_point` finds its end in `O(log n)` — the
+    /// curves this is called on can span millions of sizes.
     pub fn size_for_ratio(&self, target: f64) -> Option<usize> {
-        (0..self.misses.len()).find(|&k| self.miss_ratio(k) <= target)
+        if target.is_nan() {
+            // `partition_point` would see every `ratio > NaN` comparison
+            // as false and report size 0; no size meets a NaN target.
+            return None;
+        }
+        debug_assert!(
+            self.misses.windows(2).all(|w| w[1] <= w[0]),
+            "miss curve must be monotone non-increasing for binary search"
+        );
+        let idx = self.misses.partition_point(|&m| self.ratio_of(m) > target);
+        (idx < self.misses.len()).then_some(idx)
+    }
+
+    #[inline]
+    fn ratio_of(&self, misses: u64) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            misses as f64 / self.accesses as f64
+        }
     }
 }
 
 /// Fenwick tree for prefix sums over access positions.
-struct Fenwick {
+///
+/// Counters are `u32` to halve the memory footprint over the obvious
+/// `u64` — each internal node counts marked positions in its subrange, so
+/// values are bounded by the trace length, which [`Fenwick::new`] caps at
+/// `u32::MAX`. Shared with the sampled estimator in
+/// [`shards`](crate::shards).
+pub(crate) struct Fenwick {
     tree: Vec<u32>,
 }
 
 impl Fenwick {
-    fn new(n: usize) -> Self {
+    /// A tree over positions `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n ≥ u32::MAX`: node counts are `u32`, so longer traces
+    /// would silently wrap. (A 4 Gi-request trace should be windowed or
+    /// sampled before it reaches a Mattson pass anyway.)
+    pub(crate) fn new(n: usize) -> Self {
+        assert!(
+            (n as u128) < u32::MAX as u128,
+            "trace length {n} exceeds the u32 Fenwick counter range"
+        );
         Fenwick {
             tree: vec![0; n + 1],
         }
     }
 
-    fn add(&mut self, mut i: usize, delta: i32) {
+    pub(crate) fn add(&mut self, mut i: usize, delta: i32) {
         i += 1;
         while i < self.tree.len() {
-            self.tree[i] = (self.tree[i] as i32 + delta) as u32;
+            // Compute in i64 so the intermediate never wraps even if a
+            // counter is near u32::MAX; debug builds verify the result
+            // round-trips (no underflow below 0, no overflow past u32).
+            let updated = self.tree[i] as i64 + delta as i64;
+            debug_assert!(
+                (0..=u32::MAX as i64).contains(&updated),
+                "Fenwick node {i} out of u32 range: {updated}"
+            );
+            self.tree[i] = updated as u32;
             i += i & i.wrapping_neg();
         }
     }
 
     /// Sum of positions `0..=i`.
-    fn prefix(&self, mut i: usize) -> u32 {
+    pub(crate) fn prefix(&self, mut i: usize) -> u32 {
         i += 1;
         let mut total = 0;
         while i > 0 {
@@ -186,20 +236,90 @@ pub fn iblp_split_grid(trace: &Trace, map: &BlockMap, capacity: usize) -> Vec<Sp
     assert!(capacity > b, "capacity must exceed one block");
     let item_curve = item_mrc(trace, capacity);
     let block_curve = block_mrc(trace, map, capacity / b);
+    split_grid_from_curves(&item_curve, &block_curve, capacity, b)
+}
+
+/// Derive the split grid from already-computed curves (exact *or*
+/// sampled). `O(capacity / b)` — negligible next to the curve passes, so
+/// [`mrc_bundle`] parallelizes the curves and derives the grid serially.
+pub fn split_grid_from_curves(
+    item_curve: &MissRatioCurve,
+    block_curve: &MissRatioCurve,
+    capacity: usize,
+    b: usize,
+) -> Vec<SplitCell> {
     let mut grid = Vec::new();
     let mut block_lines = b;
     while block_lines < capacity {
         let item_lines = capacity - block_lines;
-        let cell = SplitCell {
+        grid.push(SplitCell {
             item_lines,
             block_lines,
             miss_estimate: item_curve.misses[item_lines.min(item_curve.max_size())]
                 .min(block_curve.misses[(block_lines / b).min(block_curve.max_size())]),
-        };
-        grid.push(cell);
+        });
         block_lines += b;
     }
     grid
+}
+
+/// How to compute the curves of an [`MrcBundle`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MrcMode {
+    /// Full Mattson passes — bit-exact, `O(T log T)`.
+    Exact,
+    /// SHARDS sampled passes with the given configuration — near-linear,
+    /// approximate. See [`shards`](crate::shards).
+    Sampled(SamplerConfig),
+}
+
+/// The full MRC analysis for one trace at one capacity budget: both
+/// granularities plus the derived IBLP split grid.
+#[derive(Clone, Debug)]
+pub struct MrcBundle {
+    /// Item-granular curve over sizes `0..=capacity`.
+    pub item: MissRatioCurve,
+    /// Block-granular curve over slot counts `0..=capacity / B`.
+    pub block: MissRatioCurve,
+    /// Split grid derived from the two curves.
+    pub grid: Vec<SplitCell>,
+}
+
+impl MrcBundle {
+    /// The grid cell with the lowest estimated miss count, if any.
+    pub fn best_split(&self) -> Option<&SplitCell> {
+        self.grid.iter().min_by_key(|cell| cell.miss_estimate)
+    }
+}
+
+/// Compute item curve, block curve, and IBLP split grid for `capacity`
+/// lines, running the two curve passes on the shared worker
+/// [`pool`](crate::pool) (`threads` as in [`run_sweep`](crate::run_sweep):
+/// `0` = one per core). In `Exact` mode the curves are bit-identical to
+/// [`item_mrc`] / [`block_mrc`] and the grid to [`iblp_split_grid`].
+///
+/// # Panics
+///
+/// Panics unless `capacity > B` (a split needs room for both layers).
+pub fn mrc_bundle(
+    trace: &Trace,
+    map: &BlockMap,
+    capacity: usize,
+    mode: &MrcMode,
+    threads: usize,
+) -> MrcBundle {
+    let b = map.max_block_size();
+    assert!(capacity > b, "capacity must exceed one block");
+    let mut curves = crate::pool::run_indexed(2, threads, |i| match (i, mode) {
+        (0, MrcMode::Exact) => item_mrc(trace, capacity),
+        (0, MrcMode::Sampled(cfg)) => sampled_item_mrc(trace, capacity, cfg),
+        (_, MrcMode::Exact) => block_mrc(trace, map, capacity / b),
+        (_, MrcMode::Sampled(cfg)) => sampled_block_mrc(trace, map, capacity / b, cfg),
+    });
+    let block = curves.pop().expect("two curve jobs");
+    let item = curves.pop().expect("two curve jobs");
+    let grid = split_grid_from_curves(&item, &block, capacity, b);
+    MrcBundle { item, block, grid }
 }
 
 #[cfg(test)]
@@ -315,6 +435,82 @@ mod tests {
                 cell.block_lines,
                 cell.miss_estimate
             );
+        }
+    }
+
+    #[test]
+    fn size_for_ratio_nan_and_degenerate_targets() {
+        let trace = Trace::from_ids((0..1000u64).map(|i| i % 10));
+        let curve = item_mrc(&trace, 16);
+        assert_eq!(curve.size_for_ratio(f64::NAN), None);
+        assert_eq!(curve.size_for_ratio(1.0), Some(0));
+        assert_eq!(curve.size_for_ratio(-0.5), None);
+        // Zero accesses: every size trivially meets any non-negative target.
+        let empty = item_mrc(&Trace::new(), 8);
+        assert_eq!(empty.size_for_ratio(0.0), Some(0));
+    }
+
+    #[test]
+    fn size_for_ratio_binary_search_matches_linear_scan() {
+        let mut x = 5u64;
+        let ids: Vec<u64> = (0..8000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x % 700
+            })
+            .collect();
+        let curve = item_mrc(&Trace::from_ids(ids), 700);
+        for target in [0.0, 0.01, 0.05, 0.1, 0.3, 0.5, 0.9, 1.0] {
+            let linear = (0..curve.misses.len()).find(|&k| curve.miss_ratio(k) <= target);
+            assert_eq!(curve.size_for_ratio(target), linear, "target {target}");
+        }
+    }
+
+    #[test]
+    fn exact_bundle_is_bit_identical_to_standalone_passes() {
+        let mut x = 11u64;
+        let ids: Vec<u64> = (0..30_000)
+            .map(|_| {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                x % 4096
+            })
+            .collect();
+        let trace = Trace::from_ids(ids);
+        let map = BlockMap::strided(16);
+        let capacity = 512;
+
+        let bundle = mrc_bundle(&trace, &map, capacity, &MrcMode::Exact, 2);
+        let item = item_mrc(&trace, capacity);
+        let block = block_mrc(&trace, &map, capacity / 16);
+        let grid = iblp_split_grid(&trace, &map, capacity);
+
+        assert_eq!(bundle.item.misses, item.misses);
+        assert_eq!(bundle.block.misses, block.misses);
+        assert_eq!(bundle.grid.len(), grid.len());
+        for (a, b) in bundle.grid.iter().zip(&grid) {
+            assert_eq!(a.item_lines, b.item_lines);
+            assert_eq!(a.block_lines, b.block_lines);
+            assert_eq!(a.miss_estimate, b.miss_estimate);
+        }
+        let best = bundle.best_split().expect("non-empty grid");
+        assert_eq!(
+            best.miss_estimate,
+            grid.iter().map(|c| c.miss_estimate).min().unwrap()
+        );
+    }
+
+    #[test]
+    fn bundle_parallel_matches_serial_in_both_modes() {
+        let trace = Trace::from_ids((0..20_000u64).map(|i| (i * 2654435761) % 2000));
+        let map = BlockMap::strided(8);
+        for mode in [
+            MrcMode::Exact,
+            MrcMode::Sampled(SamplerConfig::fixed(0.2).with_seed(9)),
+        ] {
+            let serial = mrc_bundle(&trace, &map, 256, &mode, 1);
+            let parallel = mrc_bundle(&trace, &map, 256, &mode, 4);
+            assert_eq!(serial.item.misses, parallel.item.misses, "{mode:?}");
+            assert_eq!(serial.block.misses, parallel.block.misses, "{mode:?}");
         }
     }
 

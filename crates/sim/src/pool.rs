@@ -1,0 +1,145 @@
+//! A shared worker pool for embarrassingly-parallel analytics.
+//!
+//! Several subsystems fan independent jobs out over threads: the parameter
+//! [`sweep`](crate::sweep), the parallel [MRC bundle](crate::mrc::mrc_bundle),
+//! and the bench harnesses. They all want the same shape — crossbeam scoped
+//! threads pulling job *indices* off a shared atomic cursor (Rayon-style
+//! dynamic work distribution, without the dependency) with results landing
+//! back in input order. This module is that shape, extracted once.
+//!
+//! Dynamic claiming matters because job costs are wildly uneven (a 1 Ki
+//! cache vs a 1 Mi cache in a sweep; an item curve vs a block curve in an
+//! MRC bundle): static striping would leave workers idle behind the
+//! slowest stripe.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a user-facing thread-count request against a job count.
+///
+/// `0` means "one thread per available core"; any request is clamped to
+/// `jobs` (never spawn a worker with nothing to claim) and floored at 1.
+pub fn resolve_threads(requested: usize, jobs: usize) -> usize {
+    let threads = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    threads.clamp(1, jobs.max(1))
+}
+
+/// Run `job(0..n)` on up to `threads` workers (`0` = one per core) and
+/// return the results in index order.
+///
+/// Indices are claimed dynamically from a shared atomic cursor, so uneven
+/// per-index costs still balance. With one worker (or one job) the pool
+/// degenerates to a plain serial loop — no threads are spawned, so results
+/// are bit-identical and cheap jobs pay no synchronization tax.
+///
+/// # Panics
+///
+/// Propagates a panic from any `job` invocation after all workers join.
+pub fn run_indexed<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = resolve_threads(threads, n);
+    if threads <= 1 {
+        return (0..n).map(job).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let job = &job;
+    // Each worker collects (index, result) pairs locally and we scatter
+    // into slots afterwards: contention-free during the run, ordered at
+    // the end.
+    let collected: Vec<Vec<(usize, T)>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            handles.push(scope.spawn(move |_| {
+                let mut mine = Vec::new();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    mine.push((idx, job(idx)));
+                }
+                mine
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    })
+    .expect("pool scope panicked");
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (idx, result) in collected.into_iter().flatten() {
+        slots[idx] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_in_order() {
+        let serial: Vec<u64> = (0..97).map(|i| (i as u64) * 3 + 1).collect();
+        let pooled = run_indexed(97, 4, |i| (i as u64) * 3 + 1);
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let out: Vec<u32> = run_indexed(0, 8, |_| unreachable!("no jobs to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        let out = run_indexed(3, 64, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let out = run_indexed(10, 0, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_job_costs_balance() {
+        // Index 0 is far more expensive than the rest; results must still
+        // come back complete and ordered.
+        let out = run_indexed(16, 4, |i| {
+            let spins = if i == 0 { 200_000 } else { 10 };
+            let mut acc = i as u64;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx, *i);
+        }
+    }
+
+    #[test]
+    fn resolve_threads_contract() {
+        assert_eq!(resolve_threads(4, 100), 4);
+        assert_eq!(resolve_threads(16, 3), 3);
+        assert_eq!(resolve_threads(1, 0), 1);
+        assert!(resolve_threads(0, usize::MAX) >= 1);
+    }
+}

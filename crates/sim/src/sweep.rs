@@ -1,17 +1,15 @@
 //! Parallel parameter-sweep harness.
 //!
 //! Benchmarks sweep (policy × capacity) grids over a shared read-only
-//! trace. Each job is independent, so the harness uses crossbeam scoped
-//! threads pulling job indices off a shared atomic cursor — the same
-//! work-distribution shape as a Rayon `par_iter`, without adding the
-//! dependency. Results land in pre-allocated slots, so no ordering or
-//! collection pass is needed afterwards.
+//! trace. Each job is independent, so the harness fans them out over the
+//! shared [`pool`](crate::pool) — crossbeam scoped threads pulling job
+//! indices off an atomic cursor, results returned in job order.
 
 use crate::engine::simulate_with_warmup;
+use crate::pool;
 use crate::stats::SimStats;
 use gc_policies::PolicyKind;
 use gc_types::{BlockMap, Trace};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One cell of a sweep grid.
 #[derive(Clone, Debug)]
@@ -46,59 +44,7 @@ pub fn run_sweep(
     map: &BlockMap,
     threads: usize,
 ) -> Vec<SweepResult> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        threads
-    };
-    let threads = threads.min(jobs.len().max(1));
-
-    let mut results: Vec<Option<SweepResult>> = (0..jobs.len()).map(|_| None).collect();
-    if jobs.is_empty() {
-        return Vec::new();
-    }
-
-    if threads <= 1 {
-        for (slot, job) in results.iter_mut().zip(jobs) {
-            *slot = Some(run_one(job, trace, map));
-        }
-    } else {
-        let cursor = AtomicUsize::new(0);
-        // Hand each worker a disjoint set of result slots via chunks of a
-        // striped split; simplest is to let each worker own every
-        // `threads`-th slot — but dynamic claiming balances better, so we
-        // instead collect per-worker and scatter afterwards.
-        let collected: Vec<Vec<(usize, SweepResult)>> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for _ in 0..threads {
-                let cursor = &cursor;
-                handles.push(scope.spawn(move |_| {
-                    let mut mine = Vec::new();
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        if idx >= jobs.len() {
-                            break;
-                        }
-                        mine.push((idx, run_one(&jobs[idx], trace, map)));
-                    }
-                    mine
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
-                .collect()
-        })
-        .expect("sweep scope panicked");
-        for (idx, result) in collected.into_iter().flatten() {
-            results[idx] = Some(result);
-        }
-    }
-
-    results
-        .into_iter()
-        .map(|r| r.expect("every job slot filled"))
-        .collect()
+    pool::run_indexed(jobs.len(), threads, |idx| run_one(&jobs[idx], trace, map))
 }
 
 fn run_one(job: &SweepJob, trace: &Trace, map: &BlockMap) -> SweepResult {

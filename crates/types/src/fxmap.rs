@@ -78,6 +78,24 @@ impl Hasher for FxHasher {
     }
 }
 
+/// A statistically strong 64-bit bijective mixer (the splitmix64/murmur3
+/// finalizer).
+///
+/// Unlike [`FxHasher`] — which trades avalanche quality for speed inside
+/// hash *tables*, where the low bits only need to be passable — `mix64`
+/// fully avalanches every input bit, so any slice of its output bits is
+/// uniform. That makes it the right primitive for *threshold* hashing,
+/// where a fixed bit-range of the hash is compared against a cutoff (e.g.
+/// the SHARDS-style spatial sampling filter in `gc-sim`, which keeps an
+/// item iff `mix64(id) mod P < T`). Bijectivity guarantees zero collisions
+/// over the full `u64` domain.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// `BuildHasher` for [`FxHasher`].
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 

@@ -30,7 +30,7 @@ pub mod trace;
 
 pub use block_map::BlockMap;
 pub use error::GcError;
-pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use fxmap::{mix64, FxBuildHasher, FxHashMap, FxHashSet};
 pub use id::{BlockId, ItemId};
 pub use outcome::{AccessKind, AccessResult, AccessScratch, HitKind};
 pub use trace::Trace;

@@ -68,20 +68,13 @@ proptest! {
         prop_assert_eq!(trace.distinct_blocks(&BlockMap::singleton()), items);
     }
 
-    /// FxHasher: equal ids hash equal; distribution sanity over low bits.
+    /// FxHasher: hashing is deterministic (collisions are legal for a
+    /// non-cryptographic table hash — determinism is the contract).
     #[test]
     fn fx_hash_consistency(id in 0u64..u64::MAX) {
-        use std::hash::{BuildHasher, Hash, Hasher};
+        use std::hash::BuildHasher;
         let bh = gc_types::FxBuildHasher::default();
-        let hash = |v: u64| {
-            let mut h = bh.build_hasher();
-            v.hash(&mut h);
-            h.finish()
-        };
-        prop_assert_eq!(hash(id), hash(id));
-        if id > 0 {
-            prop_assert!(hash(id) != hash(id - 1) || id % 2 == 0 || true);
-        }
+        prop_assert_eq!(bh.hash_one(id), bh.hash_one(id));
     }
 
     /// Trace JSON round-trip via serde preserves everything.

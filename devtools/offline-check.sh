@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Offline build/test harness.
+#
+# Runs any cargo command against the stub crates in devtools/offline-stubs/
+# instead of crates.io, for containers with no network access and no cargo
+# registry cache. Usage:
+#
+#   devtools/offline-check.sh check --workspace
+#   devtools/offline-check.sh test -p gc-sim
+#   devtools/offline-check.sh run --release -p gc-bench --bin mrc_report
+#
+# The stubs are typecheck-faithful for the API surface this workspace uses;
+# rand/crossbeam/proptest are functional (different seeded sequences from
+# the real crates), serde/serde_json are NOT (serialization tests fail
+# offline). See devtools/offline-stubs/README.md for the exact contract.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+stub="$root/devtools/offline-stubs"
+home="${OFFLINE_CARGO_HOME:-/tmp/gc-offline-cargo-home}"
+
+mkdir -p "$home"
+cat > "$home/config.toml" <<EOF
+[patch.crates-io]
+serde = { path = "$stub/serde" }
+serde_json = { path = "$stub/serde_json" }
+rand = { path = "$stub/rand" }
+crossbeam = { path = "$stub/crossbeam" }
+parking_lot = { path = "$stub/parking_lot" }
+proptest = { path = "$stub/proptest" }
+criterion = { path = "$stub/criterion" }
+EOF
+
+export CARGO_HOME="$home"
+export CARGO_TARGET_DIR="${OFFLINE_TARGET_DIR:-$root/target-offline}"
+exec cargo --offline "$@"

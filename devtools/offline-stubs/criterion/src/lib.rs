@@ -1,0 +1,5 @@
+//! Offline stub for `criterion` — dependency-resolution placeholder.
+//!
+//! Criterion benches (`crates/bench/benches/`) are not compiled offline;
+//! this crate exists only so cargo can resolve the workspace dependency
+//! graph without network access. Build benches in an online environment.

@@ -1,0 +1,59 @@
+//! Offline stub for `crossbeam` — functional scoped threads over std.
+//!
+//! Implements exactly the `crossbeam::thread::scope`/`spawn`/`join` surface
+//! this workspace uses, backed by `std::thread::scope` (stable since Rust
+//! 1.63). Unlike the other offline stubs this one is fully functional, so
+//! the parallel sweep/pool paths genuinely run multi-threaded offline.
+//!
+//! API fidelity notes vs real crossbeam 0.8:
+//! * the closure passed to `spawn` receives `&()` instead of a nested
+//!   `&Scope`; workspace call sites always ignore the argument (`|_| ...`),
+//!   which typechecks against both.
+//! * `scope` never returns `Err` (std scoped threads propagate panics by
+//!   unwinding), so `.expect(...)` on the result behaves identically.
+
+/// Scoped-thread stand-in for `crossbeam::thread`.
+pub mod thread {
+    /// Result alias matching `crossbeam::thread::scope`'s signature.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Stand-in for `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Stand-in for `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the worker and return its result.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker bound to this scope. The closure argument is a
+        /// placeholder for crossbeam's nested scope, which no caller uses.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&())),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing worker threads can be
+    /// spawned; all workers are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

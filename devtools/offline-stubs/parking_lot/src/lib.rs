@@ -1,0 +1,43 @@
+//! Offline stub for `parking_lot` — thin wrappers over `std::sync`.
+//!
+//! Only `Mutex`/`RwLock` with the poison-free `lock()`/`read()`/`write()`
+//! API are provided; nothing in the workspace currently uses more.
+
+/// `parking_lot::Mutex` stand-in over `std::sync::Mutex`.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Lock, panicking on poison (parking_lot has no poisoning).
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().expect("poisoned mutex in offline stub")
+    }
+}
+
+/// `parking_lot::RwLock` stand-in over `std::sync::RwLock`.
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Create a new rwlock.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Shared lock, panicking on poison.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().expect("poisoned rwlock in offline stub")
+    }
+
+    /// Exclusive lock, panicking on poison.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().expect("poisoned rwlock in offline stub")
+    }
+}

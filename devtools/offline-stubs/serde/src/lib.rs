@@ -1,0 +1,29 @@
+//! Offline stub for `serde` — typechecking only.
+//!
+//! Provides the `Serialize`/`Deserialize` traits as empty marker traits and
+//! re-exports the stub derives. Serialization is NOT functional: this crate
+//! exists so the workspace can be compiled and its non-serde tests run in a
+//! container with no crates.io access. See `devtools/offline-stubs/README.md`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Stand-in for `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Stand-in for `serde::de`.
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// Stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

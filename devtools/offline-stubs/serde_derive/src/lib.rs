@@ -1,0 +1,40 @@
+//! Offline stub for `serde_derive` — emits empty marker-trait impls.
+//!
+//! Handles the shapes this workspace actually derives on: non-generic
+//! `struct`s and `enum`s (optionally with `#[serde(...)]` helper
+//! attributes, which are accepted and ignored).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name: the identifier following `struct` or `enum`.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_kw = false;
+    for tree in input.clone() {
+        if let TokenTree::Ident(ident) = tree {
+            let s = ident.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("offline serde stub: could not find type name in derive input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

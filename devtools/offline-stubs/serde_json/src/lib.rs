@@ -1,0 +1,59 @@
+//! Offline stub for `serde_json` — typechecking only, NOT functional.
+//!
+//! `to_string`/`to_string_pretty` return `"null"`; `from_str` always errors;
+//! `json!` evaluates to `Value::Null` without inspecting its arguments.
+//! Tests that exercise real JSON round-trips will fail under this stub and
+//! are expected to be skipped offline (see `devtools/offline-stubs/README.md`).
+
+use std::fmt;
+
+/// Minimal stand-in for `serde_json::Value`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    /// The only value the stub ever produces.
+    #[default]
+    Null,
+}
+
+impl serde::Serialize for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("null")
+    }
+}
+
+/// Minimal stand-in for `serde_json::Error`.
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "offline serde_json stub: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Always returns `"null"` — the stub cannot serialize.
+pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String, Error> {
+    Ok("null".to_string())
+}
+
+/// Always returns `"null"` — the stub cannot serialize.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String, Error> {
+    Ok("null".to_string())
+}
+
+/// Always errors — the stub cannot deserialize.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T, Error> {
+    Err(Error("deserialization unavailable offline".into()))
+}
+
+/// Non-functional stand-in for `serde_json::json!` — yields `Value::Null`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)*) => {
+        $crate::Value::Null
+    };
+}

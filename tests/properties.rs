@@ -218,6 +218,42 @@ proptest! {
         }
     }
 
+    /// SHARDS sampling axioms on arbitrary traces: rate 1.0 degenerates to
+    /// the exact Mattson curve bit-for-bit (any seed — the filter keeps
+    /// everything); any rate is deterministic for a fixed seed; and every
+    /// sampled curve is monotone nonincreasing and bounded by the all-miss
+    /// line. (Numeric convergence bounds live in `gc_sim::shards` tests,
+    /// where the trace is fixed; a random-trace sup-norm bound would be
+    /// flaky by construction.)
+    #[test]
+    fn sampled_mrc_axioms(
+        trace in any_trace(),
+        rate_pct in 1u64..101,
+        seed in 0u64..1_000,
+        block_size in 1usize..8,
+    ) {
+        use gc_cache::gc_sim::{block_mrc, item_mrc, sampled_block_mrc, sampled_item_mrc, SamplerConfig};
+        let max_size = 64;
+        let map = BlockMap::strided(block_size);
+
+        let full = SamplerConfig::fixed(1.0).with_seed(seed);
+        prop_assert_eq!(
+            &sampled_item_mrc(&trace, max_size, &full).misses,
+            &item_mrc(&trace, max_size).misses
+        );
+        prop_assert_eq!(
+            &sampled_block_mrc(&trace, &map, max_size, &full).misses,
+            &block_mrc(&trace, &map, max_size).misses
+        );
+
+        let cfg = SamplerConfig::fixed(rate_pct as f64 / 100.0).with_seed(seed);
+        let a = sampled_item_mrc(&trace, max_size, &cfg);
+        let b = sampled_item_mrc(&trace, max_size, &cfg);
+        prop_assert_eq!(&a.misses, &b.misses, "sampling must be deterministic");
+        prop_assert!(a.misses.windows(2).all(|w| w[1] <= w[0]), "curve not monotone");
+        prop_assert!(a.misses.iter().all(|&m| m <= trace.len() as u64), "misses exceed accesses");
+    }
+
     /// Reset really resets: a reset policy replays identically to a fresh
     /// one.
     #[test]
