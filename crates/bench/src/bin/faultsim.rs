@@ -1,0 +1,33 @@
+//! `faultsim` — fault-injection release gate.
+//!
+//! Runs the standard scenario suite from [`gc_bench::faultsim`]: panicking
+//! sweep cells, slow cells under a soft deadline, and corrupt trace
+//! ingest, each checked differentially against a clean run. Exits non-zero
+//! on the first broken contract, so CI can gate on it.
+//!
+//! ```text
+//! cargo run --release -p gc-bench --bin faultsim [-- --quick]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "faultsim: differential fault-injection suite ({})",
+        if quick { "quick" } else { "full" }
+    );
+    match gc_bench::faultsim::run_scenarios(quick) {
+        Ok(log) => {
+            for line in log {
+                println!("  PASS {line}");
+            }
+            println!("faultsim: all scenarios hold");
+            ExitCode::SUCCESS
+        }
+        Err(report) => {
+            eprintln!("faultsim: FAILED: {report}");
+            ExitCode::FAILURE
+        }
+    }
+}

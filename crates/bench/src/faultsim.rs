@@ -1,0 +1,298 @@
+//! Fault-injection harness: prove the fault-isolation machinery keeps its
+//! promises under deliberately hostile conditions.
+//!
+//! Three injection axes, mirroring the failure modes the production paths
+//! guard against:
+//!
+//! * **panicking cells** — sweep jobs that panic mid-flight; the checked
+//!   pool must catch each one and every surviving cell must be
+//!   bit-identical to a clean serial run ([`differential_sweep`]),
+//! * **slow cells** — jobs exceeding a soft deadline; they must complete
+//!   correctly *and* be reported as stragglers,
+//! * **corrupt trace records** — garbage spliced into a text trace;
+//!   quarantine-mode ingest must recover exactly the valid subsequence
+//!   ([`differential_ingest`]).
+//!
+//! The `faultsim` binary drives all three as a release gate; the same
+//! entry points run under `cargo test` in miniature.
+
+use gc_cache::gc_sim::pool::{self, JobError, PoolOptions};
+use gc_cache::gc_sim::sweep::{run_cell, SweepJob};
+use gc_cache::gc_trace::io::{read_text_with, write_text, IngestOptions, IngestPolicy};
+use gc_cache::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Which faults to inject into a sweep run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Cell indices whose jobs panic instead of simulating.
+    pub panic_cells: Vec<usize>,
+    /// Cell indices artificially delayed by the given duration (still
+    /// producing correct results — they should surface as stragglers, not
+    /// failures).
+    pub slow_cells: Vec<(usize, Duration)>,
+    /// Soft deadline handed to the pool; slow cells beyond it must be
+    /// reported.
+    pub soft_deadline: Option<Duration>,
+    /// Worker threads for the faulted run.
+    pub threads: usize,
+}
+
+/// The outcome of one differential sweep experiment.
+#[derive(Clone, Debug, Default)]
+pub struct SweepFaultReport {
+    /// Total cells in the grid.
+    pub cells: usize,
+    /// Panics injected (and expected to be caught).
+    pub injected_panics: usize,
+    /// Panics the checked pool actually caught.
+    pub caught_panics: usize,
+    /// Surviving cells whose results diverged from the clean serial run.
+    pub mismatched_cells: usize,
+    /// Cells the pool flagged as stragglers.
+    pub stragglers: usize,
+}
+
+impl SweepFaultReport {
+    /// Whether the fault-isolation contract held.
+    pub fn passed(&self) -> bool {
+        self.caught_panics == self.injected_panics && self.mismatched_cells == 0
+    }
+}
+
+/// Run `jobs` twice — clean and serial via [`run_cell`], then on the
+/// checked pool with the `plan`'s faults injected — and compare every
+/// surviving cell bit-for-bit.
+pub fn differential_sweep(
+    jobs: &[SweepJob],
+    trace: &Trace,
+    map: &BlockMap,
+    plan: &FaultPlan,
+) -> SweepFaultReport {
+    let clean: Vec<_> = jobs.iter().map(|job| run_cell(job, trace, map)).collect();
+
+    let opts = PoolOptions {
+        soft_deadline: plan.soft_deadline,
+        ..PoolOptions::default()
+    };
+    let faulted = pool::run_indexed_opts(jobs.len(), plan.threads, &opts, |i| {
+        if plan.panic_cells.contains(&i) {
+            panic!("faultsim: injected panic in cell {i}");
+        }
+        if let Some((_, delay)) = plan.slow_cells.iter().find(|(cell, _)| *cell == i) {
+            std::thread::sleep(*delay);
+        }
+        run_cell(&jobs[i], trace, map)
+    });
+
+    let mut report = SweepFaultReport {
+        cells: jobs.len(),
+        injected_panics: plan.panic_cells.len(),
+        stragglers: faulted.stragglers.len(),
+        ..SweepFaultReport::default()
+    };
+    for (i, result) in faulted.results.iter().enumerate() {
+        match result {
+            Ok(r) => {
+                if r.stats != clean[i].stats || r.policy_name != clean[i].policy_name {
+                    report.mismatched_cells += 1;
+                }
+            }
+            Err(JobError::Panicked { index, payload, .. }) => {
+                if *index == i && payload.contains("injected panic") {
+                    report.caught_panics += 1;
+                }
+            }
+            Err(_) => {}
+        }
+    }
+    report
+}
+
+/// Splice `garbage` corrupt lines into the text rendering of `trace` at
+/// deterministic pseudo-random positions.
+pub fn corrupt_trace_text(trace: &Trace, garbage: usize, seed: u64) -> String {
+    const JUNK: &[&str] = &[
+        "bogus",
+        "-17",
+        "0x1f",
+        "999999999999999999999999999999",
+        "id 4",
+        "\u{fffd}\u{fffd}",
+    ];
+    let mut rendered = Vec::new();
+    write_text(trace, &mut rendered).expect("in-memory write cannot fail");
+    let mut lines: Vec<String> = String::from_utf8(rendered)
+        .expect("trace text is utf-8")
+        .lines()
+        .map(String::from)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for g in 0..garbage {
+        let at = rng.gen_range(0..lines.len() + 1);
+        lines.insert(at, JUNK[g % JUNK.len()].to_string());
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// The outcome of one differential ingest experiment.
+#[derive(Clone, Debug, Default)]
+pub struct IngestFaultReport {
+    /// Garbage lines injected.
+    pub injected: usize,
+    /// Garbage lines the quarantine caught.
+    pub quarantined: usize,
+    /// Whether the recovered trace equals the original exactly.
+    pub recovered_exactly: bool,
+}
+
+impl IngestFaultReport {
+    /// Whether the degraded-mode ingest contract held.
+    pub fn passed(&self) -> bool {
+        self.recovered_exactly && self.quarantined == self.injected
+    }
+}
+
+/// Corrupt the text rendering of `trace` with `garbage` junk lines, ingest
+/// it in quarantine mode, and verify the recovered trace is exactly the
+/// original.
+pub fn differential_ingest(trace: &Trace, garbage: usize, seed: u64) -> IngestFaultReport {
+    let corrupted = corrupt_trace_text(trace, garbage, seed);
+    let mut sidecar = Vec::new();
+    let mut opts = IngestOptions {
+        policy: IngestPolicy::Quarantine,
+        quarantine: Some(&mut sidecar),
+        ..IngestOptions::default()
+    };
+    let (recovered, stats) =
+        read_text_with(corrupted.as_bytes(), &mut opts).expect("quarantine ingest cannot abort");
+    IngestFaultReport {
+        injected: garbage,
+        quarantined: stats.quarantined,
+        recovered_exactly: recovered.requests() == trace.requests(),
+    }
+}
+
+/// The standard scenario suite run by the `faultsim` binary and CI.
+///
+/// Returns `Err` with a human-readable report on the first broken
+/// contract. `quick` shrinks the workloads for smoke-test use.
+pub fn run_scenarios(quick: bool) -> Result<Vec<String>, String> {
+    let len = if quick { 10_000 } else { 100_000 };
+    let (trace, map) = crate::standard_workload(len, 11);
+    let kinds = PolicyKind::standard_roster(11);
+    let jobs: Vec<SweepJob> = [64usize, 256, 1024]
+        .iter()
+        .flat_map(|&capacity| {
+            kinds.iter().map(move |kind| SweepJob {
+                kind: kind.clone(),
+                capacity,
+                warmup: 0,
+            })
+        })
+        .collect();
+    let mut log = Vec::new();
+
+    // Scenario 1: panicking cells scattered across the grid.
+    let plan = FaultPlan {
+        panic_cells: vec![0, jobs.len() / 2, jobs.len() - 1],
+        threads: 4,
+        ..FaultPlan::default()
+    };
+    let report = differential_sweep(&jobs, &trace, &map, &plan);
+    log.push(format!(
+        "panic-injection: {} cells, {} injected, {} caught, {} mismatched",
+        report.cells, report.injected_panics, report.caught_panics, report.mismatched_cells
+    ));
+    if !report.passed() {
+        return Err(format!("panic-injection scenario failed: {report:?}"));
+    }
+
+    // Scenario 2: slow cells under a soft deadline — correct results,
+    // flagged as stragglers.
+    let plan = FaultPlan {
+        slow_cells: vec![(1, Duration::from_millis(50))],
+        soft_deadline: Some(Duration::from_millis(5)),
+        threads: 4,
+        ..FaultPlan::default()
+    };
+    let report = differential_sweep(&jobs, &trace, &map, &plan);
+    log.push(format!(
+        "slow-cell: {} stragglers flagged, {} mismatched",
+        report.stragglers, report.mismatched_cells
+    ));
+    if !report.passed() || report.stragglers == 0 {
+        return Err(format!("slow-cell scenario failed: {report:?}"));
+    }
+
+    // Scenario 3: corrupt trace ingest.
+    let report = differential_ingest(&trace, if quick { 25 } else { 250 }, 13);
+    log.push(format!(
+        "corrupt-ingest: {} injected, {} quarantined, recovered exactly: {}",
+        report.injected, report.quarantined, report.recovered_exactly
+    ));
+    if !report.passed() {
+        return Err(format!("corrupt-ingest scenario failed: {report:?}"));
+    }
+
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> (Vec<SweepJob>, Trace, BlockMap) {
+        let (trace, map) = crate::standard_workload(8_000, 5);
+        let kinds = PolicyKind::standard_roster(5);
+        let jobs: Vec<SweepJob> = kinds
+            .iter()
+            .map(|kind| SweepJob {
+                kind: kind.clone(),
+                capacity: 128,
+                warmup: 0,
+            })
+            .collect();
+        (jobs, trace, map)
+    }
+
+    #[test]
+    fn one_panicking_job_leaves_the_rest_bit_identical() {
+        let (jobs, trace, map) = small_grid();
+        let plan = FaultPlan {
+            panic_cells: vec![2],
+            threads: 4,
+            ..FaultPlan::default()
+        };
+        let report = differential_sweep(&jobs, &trace, &map, &plan);
+        assert!(report.passed(), "{report:?}");
+        assert_eq!(report.caught_panics, 1);
+        assert_eq!(report.mismatched_cells, 0);
+    }
+
+    #[test]
+    fn clean_plan_has_no_faults_to_report() {
+        let (jobs, trace, map) = small_grid();
+        let report = differential_sweep(&jobs, &trace, &map, &FaultPlan::default());
+        assert!(report.passed(), "{report:?}");
+        assert_eq!(report.caught_panics, 0);
+        assert_eq!(report.stragglers, 0);
+    }
+
+    #[test]
+    fn corrupt_ingest_recovers_exactly() {
+        let (trace, _) = crate::standard_workload(5_000, 9);
+        let report = differential_ingest(&trace, 40, 17);
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn scenario_suite_passes_quick() {
+        let log = run_scenarios(true).expect("scenarios hold");
+        assert_eq!(log.len(), 3);
+    }
+}

@@ -8,6 +8,8 @@
 use gc_cache::gc_trace::synthetic::{block_runs, block_runs_map, BlockRunConfig};
 use gc_cache::prelude::*;
 
+pub mod faultsim;
+
 /// The paper's illustrative parameters (Figure 3 / Figure 6 captions).
 pub const PAPER_K: usize = 1_280_000;
 /// The paper's illustrative block size.

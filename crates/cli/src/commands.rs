@@ -26,6 +26,10 @@ COMMANDS:
              block-runs, --stride, --step, --hot-fraction/--hot-weight)
   sweep      compare the standard policy roster across capacities
              --capacities a,b,c [workload flags as above] [--csv]
+             fault isolation: [--checkpoint <path> --checkpoint-every N]
+             [--resume <path>] [--on-error fail|skip]; any of these
+             switches to checked CSV output, isolating panicking cells
+             and persisting progress for crash-safe resume
   adversary  run a §4 adversary against a live policy
              --which st|thm2|thm3|thm4 --k K --h H [--block-size B
              --rounds R --a A]
@@ -43,6 +47,8 @@ COMMANDS:
              exact or SHARDS-sampled, curves computed in parallel
              --capacity <k> [--sample-rate R | --smax N | --exact]
              [--sample-seed S] [--threads T] [workload flags as above]
+             [--checkpoint <path>] [--resume <path>] persist each curve
+             as it completes and resume an interrupted bundle
   bracket    two-sided bracket on the offline GC optimum
              --capacity <h> [workload flags as above]
   generate   write a workload to a trace file
@@ -50,6 +56,11 @@ COMMANDS:
   stats      locality diagnostics of a workload (reuse distances, block
              runs, utilization) [workload flags or --load <path>]
   help       this text
+
+Text traces given via --load stream with bounded memory; malformed lines
+follow --on-error fail|skip|quarantine (default fail), quarantined lines
+go to --quarantine <path> (default <load>.quarantine), and ingest aborts
+past --error-budget N malformed lines (default 1000).
 ";
 
 /// Dispatch on the first positional argument.
@@ -90,10 +101,15 @@ struct Workload {
 /// Build the workload selected by `--workload` (default `block-runs`):
 /// `block-runs | scan | zipf | chase | walk | hotspot | strided` — or load
 /// a previously generated trace file via `--load <path>`.
+///
+/// Text traces are ingested streaming (bounded memory) under the
+/// `--on-error fail|skip|quarantine` policy; quarantined lines go to
+/// `--quarantine <path>` (default `<load>.quarantine`) and ingest aborts
+/// once more than `--error-budget` lines are malformed.
 fn workload(args: &Args) -> Result<Workload, String> {
     if let Some(path) = args.get_str("load") {
-        let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         if path.ends_with(".json") {
+            let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let file = gc_cache::gc_trace::io::from_json(&raw).map_err(|e| e.to_string())?;
             let block_size = file.block_map.max_block_size();
             return Ok(Workload {
@@ -102,7 +118,29 @@ fn workload(args: &Args) -> Result<Workload, String> {
                 block_size,
             });
         }
-        let trace = gc_cache::gc_trace::io::read_text(raw.as_bytes()).map_err(|e| e.to_string())?;
+        use gc_cache::gc_trace::io::{read_text_with, IngestOptions, IngestPolicy, LazyFile};
+        let policy: IngestPolicy = args
+            .get_str("on-error")
+            .unwrap_or("fail")
+            .parse()
+            .map_err(|e: GcError| e.to_string())?;
+        let default_sidecar = format!("{path}.quarantine");
+        let mut sidecar = LazyFile::new(args.get_str("quarantine").unwrap_or(&default_sidecar));
+        let mut opts = IngestOptions {
+            policy,
+            quarantine: (policy == IngestPolicy::Quarantine)
+                .then_some(&mut sidecar as &mut dyn std::io::Write),
+            error_budget: args.get_or("error-budget", 1000usize)?,
+        };
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let (trace, stats) = read_text_with(file, &mut opts).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("# ingest {path}: {stats}");
+        if sidecar.created() {
+            eprintln!(
+                "# quarantined lines written to {}",
+                sidecar.path().display()
+            );
+        }
         let block_size: usize = args.get_or("block-size", 16usize)?;
         return Ok(Workload {
             trace,
@@ -205,7 +243,47 @@ fn sweep_cmd(args: &Args) -> Result<(), String> {
             })
         })
         .collect();
-    let results = run_sweep(&jobs, &trace, &map, args.get_or("threads", 0usize)?);
+    let threads: usize = args.get_or("threads", 0usize)?;
+    let checkpoint_path = args.get_str("checkpoint").map(std::path::PathBuf::from);
+    let resume_path = args.get_str("resume").map(std::path::PathBuf::from);
+    if checkpoint_path.is_some() || resume_path.is_some() || args.get_str("on-error").is_some() {
+        use gc_cache::gc_sim::checkpoint::{load_json, SweepCheckpoint};
+        use gc_cache::gc_sim::sweep::{run_sweep_checked, to_csv_checked, OnError, SweepRunConfig};
+        let on_error: OnError = match args.get_str("on-error").unwrap_or("fail") {
+            // The ingest policy name is accepted here too; cells have no
+            // sidecar, so it degrades to skip.
+            "quarantine" => OnError::Skip,
+            other => other.parse()?,
+        };
+        let resume: Option<SweepCheckpoint> = resume_path
+            .as_deref()
+            .map(load_json)
+            .transpose()
+            .map_err(|e| e.to_string())?;
+        if let Some(ckpt) = &resume {
+            eprintln!(
+                "# resuming: {} of {} cells already recorded",
+                ckpt.cells.len(),
+                ckpt.total_cells
+            );
+        }
+        // Keep checkpointing to the resume file unless a new sink is given.
+        let sink = checkpoint_path.or(resume_path);
+        let cfg = SweepRunConfig {
+            threads,
+            on_error,
+            checkpoint_path: sink.as_deref(),
+            checkpoint_every: args.get_or("checkpoint-every", 25usize)?,
+            resume,
+        };
+        let outcome = run_sweep_checked(&jobs, &trace, &map, &cfg).map_err(|e| e.to_string())?;
+        for (index, reason) in &outcome.failures {
+            eprintln!("# cell {index} failed: {reason}");
+        }
+        print!("{}", to_csv_checked(&outcome, &jobs));
+        return Ok(());
+    }
+    let results = run_sweep(&jobs, &trace, &map, threads);
     if args.switch("csv") {
         print!("{}", to_csv(&results));
     } else {
@@ -359,8 +437,8 @@ fn mrc_cmd(args: &Args) -> Result<(), String> {
         block_size,
     } = workload(args)?;
 
-    let bundle = if exact {
-        mrc_bundle(&trace, &map, capacity, &MrcMode::Exact, threads)
+    let mode = if exact {
+        MrcMode::Exact
     } else {
         let cfg = match s_max {
             Some(n) => SamplerConfig::adaptive(n),
@@ -373,13 +451,37 @@ fn mrc_cmd(args: &Args) -> Result<(), String> {
             }
         }
         .with_seed(args.get_or("sample-seed", 0u64)?);
+        MrcMode::Sampled(cfg)
+    };
+
+    let checkpoint_path = args.get_str("checkpoint").map(std::path::PathBuf::from);
+    let resume_path = args.get_str("resume").map(std::path::PathBuf::from);
+    let bundle = if checkpoint_path.is_some() || resume_path.is_some() {
+        // Checkpointed mode: both curve passes run fault-isolated on the
+        // pool and are persisted as they finish; the per-curve sampler
+        // stats footer is not available here.
+        use gc_cache::gc_sim::checkpoint::{load_json, MrcCheckpoint};
+        use gc_cache::gc_sim::mrc::{mrc_bundle_checked, MrcRunConfig};
+        let resume: Option<MrcCheckpoint> = resume_path
+            .as_deref()
+            .map(load_json)
+            .transpose()
+            .map_err(|e| e.to_string())?;
+        let sink = checkpoint_path.or(resume_path);
+        let cfg = MrcRunConfig {
+            threads,
+            checkpoint_path: sink.as_deref(),
+            resume,
+        };
+        mrc_bundle_checked(&trace, &map, capacity, &mode, &cfg).map_err(|e| e.to_string())?
+    } else if let MrcMode::Sampled(cfg) = &mode {
         // Run the two sampled passes on the shared pool, keeping the
         // per-curve sampler stats for the footer.
         let mut passes = run_indexed(2, threads, |i| {
             if i == 0 {
-                sampled_item_mrc_with_stats(&trace, capacity, &cfg)
+                sampled_item_mrc_with_stats(&trace, capacity, cfg)
             } else {
-                sampled_block_mrc_with_stats(&trace, &map, capacity / block_size, &cfg)
+                sampled_block_mrc_with_stats(&trace, &map, capacity / block_size, cfg)
             }
         });
         let (block, block_stats) = passes.pop().expect("two passes");
@@ -401,6 +503,8 @@ fn mrc_cmd(args: &Args) -> Result<(), String> {
         );
         let grid = split_grid_from_curves(&item, &block, capacity, block_size);
         MrcBundle { item, block, grid }
+    } else {
+        mrc_bundle(&trace, &map, capacity, &MrcMode::Exact, threads)
     };
 
     println!("size,item_miss_ratio,block_slots,block_miss_ratio");

@@ -13,7 +13,11 @@
 //! * [`pool`] — the shared worker pool: crossbeam scoped threads with an
 //!   atomic work cursor (Rayon-style dynamic work distribution without
 //!   the dependency), results in job order.
-//! * [`sweep`] — a parallel parameter-sweep harness built on the pool.
+//! * [`sweep`] — a parallel parameter-sweep harness built on the pool,
+//!   with a checked mode ([`run_sweep_checked`](sweep::run_sweep_checked))
+//!   that isolates panicking cells and checkpoints progress.
+//! * [`checkpoint`] — JSON checkpoint files for interruptible sweeps and
+//!   MRC bundles, plus the stable config fingerprints that guard resume.
 //! * [`compare`] — run a roster of policies over one trace and tabulate.
 //! * [`mrc`] — Mattson-stack miss-ratio curves (item- and block-granular),
 //!   the IBLP split grid, and the parallel [`mrc_bundle`](mrc::mrc_bundle).
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod compare;
 pub mod engine;
 pub mod hierarchy;
@@ -39,14 +44,20 @@ pub mod shards;
 pub mod stats;
 pub mod sweep;
 
+pub use checkpoint::{
+    MrcCheckpoint, MrcCurveRecord, StableHasher, SweepCellOutcome, SweepCellRecord, SweepCheckpoint,
+};
 pub use compare::{compare_policies, ComparisonRow};
 pub use engine::{simulate, simulate_with_warmup, SpatialSet};
 pub use hierarchy::{simulate_hierarchy, HierarchyStats};
 pub use mrc::{
-    block_mrc, iblp_split_grid, item_mrc, mrc_bundle, split_grid_from_curves, MissRatioCurve,
-    MrcBundle, MrcMode, SplitCell,
+    block_mrc, iblp_split_grid, item_mrc, mrc_bundle, mrc_bundle_checked, mrc_config_hash,
+    split_grid_from_curves, MissRatioCurve, MrcBundle, MrcMode, MrcRunConfig, SplitCell,
 };
-pub use pool::{resolve_threads, run_indexed};
+pub use pool::{
+    resolve_threads, run_indexed, run_indexed_checked, run_indexed_opts, CancelToken, CheckedRun,
+    JobError, PoolOptions, Straggler,
+};
 pub use probe::ProbeAdapter;
 pub use rowbuffer::{simulate_with_row_buffer, RowBufferCosts, RowBufferStats};
 pub use shards::{
@@ -54,4 +65,7 @@ pub use shards::{
     SampleStats, SamplerConfig,
 };
 pub use stats::SimStats;
-pub use sweep::{run_sweep, SweepJob, SweepResult};
+pub use sweep::{
+    run_cell, run_sweep, run_sweep_checked, sweep_config_hash, to_csv_checked, OnError, SweepJob,
+    SweepOutcome, SweepResult, SweepRunConfig,
+};

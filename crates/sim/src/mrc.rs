@@ -19,8 +19,12 @@
 //! Stack distances are computed with a Fenwick (binary indexed) tree over
 //! access positions — `O(T log T)` total, the standard technique.
 
+use crate::checkpoint::{self, MrcCheckpoint, MrcCurveRecord, StableHasher, FORMAT_VERSION};
+use crate::pool::{self, JobError, PoolOptions};
 use crate::shards::{sampled_block_mrc, sampled_item_mrc, SamplerConfig};
-use gc_types::{BlockMap, FxHashMap, Trace};
+use gc_types::{BlockMap, FxHashMap, GcError, Trace};
+use parking_lot::Mutex;
+use std::path::Path;
 
 /// A miss-ratio curve: `misses[k]` is the number of LRU misses at cache
 /// size `k` (index 0 holds the trace length: every access misses in a
@@ -322,6 +326,128 @@ pub fn mrc_bundle(
     MrcBundle { item, block, grid }
 }
 
+/// Execution options for [`mrc_bundle_checked`].
+#[derive(Default)]
+pub struct MrcRunConfig<'a> {
+    /// Worker threads, as in [`mrc_bundle`] (`0` = one per core).
+    pub threads: usize,
+    /// Persist each curve here as soon as its pass completes.
+    pub checkpoint_path: Option<&'a Path>,
+    /// Resume from a previously saved checkpoint; its `config_hash` must
+    /// match [`mrc_config_hash`] of this configuration or the run is
+    /// refused with [`GcError::CheckpointMismatch`].
+    pub resume: Option<MrcCheckpoint>,
+}
+
+/// Deterministic fingerprint of everything that affects an MRC bundle's
+/// curves: trace contents, block map, capacity, and mode (including the
+/// sampler configuration and seed, via its `Debug` rendering).
+pub fn mrc_config_hash(trace: &Trace, map: &BlockMap, capacity: usize, mode: &MrcMode) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("mrc-v1");
+    h.write_u64(FORMAT_VERSION as u64);
+    h.write_usize(capacity);
+    h.write_str(&format!("{mode:?}"));
+    h.write_u64(checkpoint::trace_fingerprint(trace));
+    h.write_u64(checkpoint::map_fingerprint(map));
+    h.finish()
+}
+
+/// [`mrc_bundle`] with fault isolation and checkpoint/resume.
+///
+/// A panic in either curve pass is caught and surfaced as
+/// [`GcError::CellFailed`] (index `0` = item curve, `1` = block curve)
+/// instead of tearing down the process. With a `checkpoint_path`, each
+/// curve is persisted the moment its pass finishes; an interrupted bundle
+/// resumed from that checkpoint re-runs only the missing curve and returns
+/// a bundle bit-identical to an uninterrupted run.
+///
+/// # Panics
+///
+/// Panics unless `capacity > B`, as in [`mrc_bundle`].
+pub fn mrc_bundle_checked(
+    trace: &Trace,
+    map: &BlockMap,
+    capacity: usize,
+    mode: &MrcMode,
+    cfg: &MrcRunConfig<'_>,
+) -> Result<MrcBundle, GcError> {
+    let b = map.max_block_size();
+    assert!(capacity > b, "capacity must exceed one block");
+    let hash = mrc_config_hash(trace, map, capacity, mode);
+
+    let mut resumed: [Option<MissRatioCurve>; 2] = [None, None];
+    let mut sink = MrcCheckpoint::new(hash);
+    if let Some(prior) = &cfg.resume {
+        prior.validate(hash)?;
+        for record in &prior.curves {
+            if record.index < 2 {
+                resumed[record.index] = Some(MissRatioCurve {
+                    accesses: record.accesses,
+                    misses: record.misses.clone(),
+                });
+                sink.curves.push(record.clone());
+            }
+        }
+    }
+
+    let pending: Vec<usize> = (0..2).filter(|&i| resumed[i].is_none()).collect();
+    let sink = Mutex::new((sink, None::<GcError>));
+    let on_complete = |slot: usize, result: &Result<MissRatioCurve, JobError>| {
+        let (Some(path), Ok(curve)) = (cfg.checkpoint_path, result) else {
+            return;
+        };
+        let mut guard = sink.lock();
+        let (ckpt, write_error) = &mut *guard;
+        ckpt.curves.push(MrcCurveRecord {
+            index: pending[slot],
+            accesses: curve.accesses,
+            misses: curve.misses.clone(),
+        });
+        ckpt.curves.sort_by_key(|c| c.index);
+        if let Err(e) = checkpoint::save_json(&*ckpt, path) {
+            write_error.get_or_insert(e);
+        }
+    };
+    let opts = PoolOptions {
+        on_complete: Some(&on_complete),
+        ..PoolOptions::default()
+    };
+    let run = pool::run_indexed_opts(pending.len(), cfg.threads, &opts, |slot| {
+        match (pending[slot], mode) {
+            (0, MrcMode::Exact) => item_mrc(trace, capacity),
+            (0, MrcMode::Sampled(sampler)) => sampled_item_mrc(trace, capacity, sampler),
+            (_, MrcMode::Exact) => block_mrc(trace, map, capacity / b),
+            (_, MrcMode::Sampled(sampler)) => sampled_block_mrc(trace, map, capacity / b, sampler),
+        }
+    });
+    let (_, write_error) = sink.into_inner();
+    if let Some(e) = write_error {
+        return Err(e);
+    }
+    for (slot, result) in run.results.into_iter().enumerate() {
+        match result {
+            Ok(curve) => resumed[pending[slot]] = Some(curve),
+            Err(e) => {
+                let reason = match &e {
+                    JobError::Panicked { payload, .. } => payload.clone(),
+                    other => other.to_string(),
+                };
+                return Err(GcError::CellFailed {
+                    index: pending[slot],
+                    reason,
+                });
+            }
+        }
+    }
+
+    let [Some(item), Some(block)] = resumed else {
+        unreachable!("both curves resolved above");
+    };
+    let grid = split_grid_from_curves(&item, &block, capacity, b);
+    Ok(MrcBundle { item, block, grid })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,6 +638,79 @@ mod tests {
             assert_eq!(serial.item.misses, parallel.item.misses, "{mode:?}");
             assert_eq!(serial.block.misses, parallel.block.misses, "{mode:?}");
         }
+    }
+
+    #[test]
+    fn checked_bundle_matches_plain_bundle() {
+        let trace = Trace::from_ids((0..10_000u64).map(|i| (i * 2654435761) % 1500));
+        let map = BlockMap::strided(8);
+        let plain = mrc_bundle(&trace, &map, 128, &MrcMode::Exact, 2);
+        let checked =
+            mrc_bundle_checked(&trace, &map, 128, &MrcMode::Exact, &MrcRunConfig::default())
+                .unwrap();
+        assert_eq!(plain.item.misses, checked.item.misses);
+        assert_eq!(plain.block.misses, checked.block.misses);
+        assert_eq!(plain.grid.len(), checked.grid.len());
+        for (a, b) in plain.grid.iter().zip(&checked.grid) {
+            assert_eq!(a.miss_estimate, b.miss_estimate);
+        }
+    }
+
+    #[test]
+    fn checked_bundle_resumes_from_partial_checkpoint() {
+        let trace = Trace::from_ids((0..8_000u64).map(|i| (i * 48271) % 900));
+        let map = BlockMap::strided(4);
+        let mode = MrcMode::Exact;
+        let reference = mrc_bundle(&trace, &map, 64, &mode, 1);
+
+        // A checkpoint holding only the item curve, as if the run was
+        // killed between the two passes.
+        let hash = mrc_config_hash(&trace, &map, 64, &mode);
+        let mut partial = MrcCheckpoint::new(hash);
+        partial.curves.push(MrcCurveRecord {
+            index: 0,
+            accesses: reference.item.accesses,
+            misses: reference.item.misses.clone(),
+        });
+        let cfg = MrcRunConfig {
+            resume: Some(partial),
+            ..MrcRunConfig::default()
+        };
+        let resumed = mrc_bundle_checked(&trace, &map, 64, &mode, &cfg).unwrap();
+        assert_eq!(reference.item.misses, resumed.item.misses);
+        assert_eq!(reference.block.misses, resumed.block.misses);
+        for (a, b) in reference.grid.iter().zip(&resumed.grid) {
+            assert_eq!(a.miss_estimate, b.miss_estimate);
+        }
+    }
+
+    #[test]
+    fn checked_bundle_refuses_mismatched_checkpoint() {
+        let trace = Trace::from_ids((0..500u64).map(|i| i % 40));
+        let map = BlockMap::strided(4);
+        let cfg = MrcRunConfig {
+            resume: Some(MrcCheckpoint::new(0xbad_c0de)),
+            ..MrcRunConfig::default()
+        };
+        let err = mrc_bundle_checked(&trace, &map, 64, &MrcMode::Exact, &cfg).unwrap_err();
+        assert!(matches!(err, GcError::CheckpointMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn config_hash_tracks_mode_and_capacity() {
+        let trace = Trace::from_ids((0..500u64).map(|i| i % 40));
+        let map = BlockMap::strided(4);
+        let exact = mrc_config_hash(&trace, &map, 64, &MrcMode::Exact);
+        assert_eq!(exact, mrc_config_hash(&trace, &map, 64, &MrcMode::Exact));
+        assert_ne!(exact, mrc_config_hash(&trace, &map, 128, &MrcMode::Exact));
+        let sampled = MrcMode::Sampled(SamplerConfig::fixed(0.1).with_seed(1));
+        assert_ne!(exact, mrc_config_hash(&trace, &map, 64, &sampled));
+        // Sampler seeds change results, so they must change the hash too.
+        let reseeded = MrcMode::Sampled(SamplerConfig::fixed(0.1).with_seed(2));
+        assert_ne!(
+            mrc_config_hash(&trace, &map, 64, &sampled),
+            mrc_config_hash(&trace, &map, 64, &reseeded)
+        );
     }
 
     #[test]

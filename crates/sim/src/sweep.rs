@@ -5,11 +5,14 @@
 //! shared [`pool`](crate::pool) — crossbeam scoped threads pulling job
 //! indices off an atomic cursor, results returned in job order.
 
+use crate::checkpoint::{self, StableHasher, SweepCellOutcome, SweepCellRecord, SweepCheckpoint};
 use crate::engine::simulate_with_warmup;
-use crate::pool;
+use crate::pool::{self, JobError, PoolOptions};
 use crate::stats::SimStats;
 use gc_policies::PolicyKind;
-use gc_types::{BlockMap, Trace};
+use gc_types::{BlockMap, GcError, Trace};
+use parking_lot::Mutex;
+use std::path::Path;
 
 /// One cell of a sweep grid.
 #[derive(Clone, Debug)]
@@ -44,10 +47,13 @@ pub fn run_sweep(
     map: &BlockMap,
     threads: usize,
 ) -> Vec<SweepResult> {
-    pool::run_indexed(jobs.len(), threads, |idx| run_one(&jobs[idx], trace, map))
+    pool::run_indexed(jobs.len(), threads, |idx| run_cell(&jobs[idx], trace, map))
 }
 
-fn run_one(job: &SweepJob, trace: &Trace, map: &BlockMap) -> SweepResult {
+/// Run a single sweep cell — the pure function every execution mode
+/// (plain, checked, fault-injected) funnels through, which is what makes
+/// surviving-cell results bit-identical across modes.
+pub fn run_cell(job: &SweepJob, trace: &Trace, map: &BlockMap) -> SweepResult {
     let mut policy = job.kind.build(job.capacity, map);
     // Materialize the display name before the simulation so the one String
     // this job owns is allocated up front, leaving the measured hot loop
@@ -61,26 +67,283 @@ fn run_one(job: &SweepJob, trace: &Trace, map: &BlockMap) -> SweepResult {
     }
 }
 
+const CSV_HEADER: &str =
+    "policy,capacity,accesses,misses,fault_rate,temporal_hits,spatial_hits,load_width\n";
+
+fn write_csv_row(out: &mut String, r: &SweepResult) {
+    use std::fmt::Write as _;
+    // `write!` into the buffer (and `Display` on the kind) keeps each
+    // row allocation-free; formatting a String cannot fail.
+    let _ = writeln!(
+        out,
+        "{},{},{},{},{:.6},{},{},{:.3}",
+        r.job.kind,
+        r.job.capacity,
+        r.stats.accesses,
+        r.stats.misses,
+        r.stats.fault_rate(),
+        r.stats.temporal_hits,
+        r.stats.spatial_hits,
+        r.stats.load_width(),
+    );
+}
+
 /// Render sweep results as CSV (`label,capacity,accesses,misses,...`).
 pub fn to_csv(results: &[SweepResult]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::from(
-        "policy,capacity,accesses,misses,fault_rate,temporal_hits,spatial_hits,load_width\n",
-    );
+    let mut out = String::from(CSV_HEADER);
     for r in results {
-        // `write!` into the buffer (and `Display` on the kind) keeps each
-        // row allocation-free; formatting a String cannot fail.
+        write_csv_row(&mut out, r);
+    }
+    out
+}
+
+/// What a checked sweep does when a cell panics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OnError {
+    /// Abort the run with [`GcError::CellFailed`] at the first failed
+    /// cell (after flushing the checkpoint, so completed work survives).
+    #[default]
+    Fail,
+    /// Record the failure and keep going; the failed cell is reported
+    /// per-index in [`SweepOutcome::failures`].
+    Skip,
+}
+
+impl std::str::FromStr for OnError {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "fail" => Ok(OnError::Fail),
+            "skip" => Ok(OnError::Skip),
+            other => Err(format!("unknown error policy {other:?} (fail|skip)")),
+        }
+    }
+}
+
+/// Configuration for a fault-isolated, checkpointable sweep.
+#[derive(Default)]
+pub struct SweepRunConfig<'a> {
+    /// Worker threads, as in [`run_sweep`] (`0` = one per core).
+    pub threads: usize,
+    /// What to do when a cell panics. Default: [`OnError::Fail`].
+    pub on_error: OnError,
+    /// Where to write periodic JSON checkpoints (atomically). `None`
+    /// disables checkpointing.
+    pub checkpoint_path: Option<&'a Path>,
+    /// Flush the checkpoint after this many newly completed cells
+    /// (clamped to ≥ 1). Smaller = less lost work on a kill, more I/O.
+    pub checkpoint_every: usize,
+    /// A previously written checkpoint to resume from. Completed cells are
+    /// served from it verbatim; missing and failed cells are re-run. The
+    /// checkpoint is validated against this run's config fingerprint and
+    /// the run is refused on mismatch.
+    pub resume: Option<SweepCheckpoint>,
+}
+
+/// The outcome of a checked sweep.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// Per-job results in job order; `None` exactly for failed cells
+    /// (only possible under [`OnError::Skip`]).
+    pub results: Vec<Option<SweepResult>>,
+    /// `(cell index, rendered panic payload)` for every failed cell.
+    pub failures: Vec<(usize, String)>,
+    /// How many cells were served from the resume checkpoint instead of
+    /// being re-run.
+    pub resumed_cells: usize,
+}
+
+impl SweepOutcome {
+    /// The completed results, in job order (failed cells skipped).
+    pub fn completed(&self) -> impl Iterator<Item = &SweepResult> + '_ {
+        self.results.iter().flatten()
+    }
+}
+
+/// Deterministic fingerprint of everything that affects sweep cell
+/// results: the job list, the trace contents, and the block map. Thread
+/// count and checkpoint cadence are excluded — they cannot change results.
+pub fn sweep_config_hash(jobs: &[SweepJob], trace: &Trace, map: &BlockMap) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("sweep-v1");
+    h.write_usize(jobs.len());
+    for job in jobs {
+        // Debug keeps seeds and parameters that Display drops.
+        h.write_str(&format!("{:?}", job.kind));
+        h.write_usize(job.capacity);
+        h.write_usize(job.warmup);
+    }
+    h.write_u64(checkpoint::trace_fingerprint(trace));
+    h.write_u64(checkpoint::map_fingerprint(map));
+    h.finish()
+}
+
+/// Incremental checkpoint sink shared by the pool workers.
+struct CheckpointSink<'a> {
+    ckpt: SweepCheckpoint,
+    path: Option<&'a Path>,
+    every: usize,
+    since_flush: usize,
+    write_error: Option<GcError>,
+}
+
+impl CheckpointSink<'_> {
+    fn record(&mut self, record: SweepCellRecord) {
+        self.ckpt.cells.push(record);
+        self.since_flush += 1;
+        if self.path.is_some() && self.since_flush >= self.every {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        let Some(path) = self.path else { return };
+        self.since_flush = 0;
+        self.ckpt.cells.sort_by_key(|c| c.index);
+        if let Err(e) = checkpoint::save_json(&self.ckpt, path) {
+            // Keep computing — results are still returned in-memory — but
+            // surface the first persistence failure at the end of the run.
+            self.write_error.get_or_insert(e);
+        }
+    }
+}
+
+/// Fault-isolated sweep with periodic checkpoints and resume.
+///
+/// Every cell runs under the checked [`pool`] path, so one panicking cell
+/// cannot take down the run: under [`OnError::Skip`] the remaining cells
+/// complete with results **bit-identical** to a fault-free run, and under
+/// [`OnError::Fail`] the error names the failing cell index. With a
+/// checkpoint path configured, completed cells are flushed to disk every
+/// [`checkpoint_every`](SweepRunConfig::checkpoint_every) completions
+/// (atomic write), and a later invocation can pass the loaded checkpoint
+/// as [`resume`](SweepRunConfig::resume) to re-run only the missing and
+/// failed cells. Resume output is bit-identical to an uninterrupted run.
+pub fn run_sweep_checked(
+    jobs: &[SweepJob],
+    trace: &Trace,
+    map: &BlockMap,
+    cfg: &SweepRunConfig<'_>,
+) -> Result<SweepOutcome, GcError> {
+    let config_hash = sweep_config_hash(jobs, trace, map);
+    let mut base = match &cfg.resume {
+        Some(ckpt) => {
+            ckpt.validate(config_hash, jobs.len())?;
+            ckpt.clone()
+        }
+        None => SweepCheckpoint::new(config_hash, jobs.len()),
+    };
+    // Completed cells come from the checkpoint; failed cells are re-run,
+    // so drop their records before this run appends fresh outcomes.
+    base.cells
+        .retain(|c| matches!(c.outcome, SweepCellOutcome::Done { .. }));
+    let mut done: Vec<Option<SweepCellOutcome>> = (0..jobs.len()).map(|_| None).collect();
+    for cell in &base.cells {
+        done[cell.index] = Some(cell.outcome.clone());
+    }
+    let pending: Vec<usize> = (0..jobs.len()).filter(|&i| done[i].is_none()).collect();
+    let resumed_cells = jobs.len() - pending.len();
+
+    let sink = Mutex::new(CheckpointSink {
+        ckpt: base,
+        path: cfg.checkpoint_path,
+        every: cfg.checkpoint_every.max(1),
+        since_flush: 0,
+        write_error: None,
+    });
+    let on_complete = |slot: usize, outcome: &Result<SweepResult, JobError>| {
+        let index = pending[slot];
+        let record = match outcome {
+            Ok(result) => SweepCellRecord {
+                index,
+                outcome: SweepCellOutcome::Done {
+                    policy_name: result.policy_name.clone(),
+                    stats: result.stats.clone(),
+                },
+            },
+            Err(e) => SweepCellRecord {
+                index,
+                outcome: SweepCellOutcome::Failed {
+                    reason: e.to_string(),
+                },
+            },
+        };
+        sink.lock().record(record);
+    };
+    let opts = PoolOptions {
+        cancel: None,
+        soft_deadline: None,
+        on_complete: Some(&on_complete),
+    };
+    let run = pool::run_indexed_opts(pending.len(), cfg.threads, &opts, |slot| {
+        run_cell(&jobs[pending[slot]], trace, map)
+    });
+
+    let mut sink = sink.into_inner();
+    if cfg.checkpoint_path.is_some() {
+        sink.flush();
+    }
+    if let Some(e) = sink.write_error {
+        return Err(e);
+    }
+
+    // Assemble in job order: resumed cells from the checkpoint, fresh
+    // cells from this run.
+    let mut fresh: Vec<Option<Result<SweepResult, JobError>>> =
+        run.results.into_iter().map(Some).collect();
+    let mut results: Vec<Option<SweepResult>> = Vec::with_capacity(jobs.len());
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    let mut pending_slots = pending.iter().enumerate();
+    for (index, job) in jobs.iter().enumerate() {
+        if let Some(SweepCellOutcome::Done { policy_name, stats }) = done[index].take() {
+            results.push(Some(SweepResult {
+                job: job.clone(),
+                policy_name,
+                stats,
+            }));
+            continue;
+        }
+        let (slot, _) = pending_slots
+            .next()
+            .expect("every non-resumed cell has a pool slot");
+        match fresh[slot].take().expect("each slot consumed once") {
+            Ok(result) => results.push(Some(result)),
+            Err(e) => {
+                let reason = match &e {
+                    JobError::Panicked { payload, .. } => payload.clone(),
+                    JobError::Cancelled { .. } => e.to_string(),
+                };
+                if cfg.on_error == OnError::Fail {
+                    return Err(GcError::CellFailed { index, reason });
+                }
+                failures.push((index, reason));
+                results.push(None);
+            }
+        }
+    }
+    Ok(SweepOutcome {
+        results,
+        failures,
+        resumed_cells,
+    })
+}
+
+/// Render a checked sweep as CSV. Rows of completed cells are
+/// byte-identical to [`to_csv`] of a fault-free run; failed cells appear
+/// as trailing `# cell <i> ... failed:` comment lines.
+pub fn to_csv_checked(outcome: &SweepOutcome, jobs: &[SweepJob]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(CSV_HEADER);
+    for r in outcome.completed() {
+        write_csv_row(&mut out, r);
+    }
+    for (index, reason) in &outcome.failures {
+        let job = &jobs[*index];
         let _ = writeln!(
             out,
-            "{},{},{},{},{:.6},{},{},{:.3}",
-            r.job.kind,
-            r.job.capacity,
-            r.stats.accesses,
-            r.stats.misses,
-            r.stats.fault_rate(),
-            r.stats.temporal_hits,
-            r.stats.spatial_hits,
-            r.stats.load_width(),
+            "# cell {index} ({},{}) failed: {reason}",
+            job.kind, job.capacity
         );
     }
     out
@@ -172,6 +435,170 @@ mod tests {
     fn empty_jobs_ok() {
         let (trace, map) = trace_and_map();
         assert!(run_sweep(&[], &trace, &map, 4).is_empty());
+    }
+
+    #[test]
+    fn checked_matches_plain_run_bit_identically() {
+        let (trace, map) = trace_and_map();
+        let jobs = grid();
+        let plain = run_sweep(&jobs, &trace, &map, 1);
+        let outcome = run_sweep_checked(&jobs, &trace, &map, &SweepRunConfig::default()).unwrap();
+        assert!(outcome.failures.is_empty());
+        assert_eq!(outcome.resumed_cells, 0);
+        for (p, c) in plain.iter().zip(outcome.completed()) {
+            assert_eq!(p.stats, c.stats);
+            assert_eq!(p.policy_name, c.policy_name);
+        }
+        // CSV rendering of a clean checked run is byte-identical to the
+        // plain renderer.
+        assert_eq!(to_csv(&plain), to_csv_checked(&outcome, &jobs));
+    }
+
+    #[test]
+    fn poisoned_cell_under_skip_leaves_survivors_bit_identical() {
+        let (trace, map) = trace_and_map();
+        let mut jobs = grid();
+        // Capacity 0 fails the policies' capacity check — a genuinely
+        // panicking cell through the full production path.
+        jobs.insert(
+            4,
+            SweepJob {
+                kind: PolicyKind::ItemLru,
+                capacity: 0,
+                warmup: 0,
+            },
+        );
+        let cfg = SweepRunConfig {
+            threads: 4,
+            on_error: OnError::Skip,
+            ..SweepRunConfig::default()
+        };
+        let outcome = run_sweep_checked(&jobs, &trace, &map, &cfg).unwrap();
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].0, 4);
+        assert!(outcome.failures[0].1.contains("capacity"));
+        assert!(outcome.results[4].is_none());
+        // Survivors are bit-identical to a clean serial run of the same
+        // jobs minus the poisoned cell.
+        let mut clean_jobs = jobs.clone();
+        clean_jobs.remove(4);
+        let clean = run_sweep(&clean_jobs, &trace, &map, 1);
+        let survivors: Vec<&SweepResult> = outcome.completed().collect();
+        assert_eq!(survivors.len(), clean.len());
+        for (s, c) in survivors.iter().zip(&clean) {
+            assert_eq!(s.stats, c.stats, "job {:?}", c.job);
+            assert_eq!(s.policy_name, c.policy_name);
+        }
+    }
+
+    #[test]
+    fn poisoned_cell_under_fail_names_the_cell() {
+        let (trace, map) = trace_and_map();
+        let jobs = vec![
+            SweepJob {
+                kind: PolicyKind::ItemLru,
+                capacity: 64,
+                warmup: 0,
+            },
+            SweepJob {
+                kind: PolicyKind::ItemLru,
+                capacity: 0,
+                warmup: 0,
+            },
+        ];
+        let err = run_sweep_checked(&jobs, &trace, &map, &SweepRunConfig::default()).unwrap_err();
+        match err {
+            gc_types::GcError::CellFailed { index, .. } => assert_eq!(index, 1),
+            other => panic!("expected CellFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn resume_from_partial_checkpoint_is_bit_identical() {
+        let (trace, map) = trace_and_map();
+        let jobs = grid();
+        let reference = run_sweep(&jobs, &trace, &map, 1);
+
+        // Simulate an interrupted run: a checkpoint holding only the first
+        // four cells (as the incremental sink would have flushed them).
+        let hash = sweep_config_hash(&jobs, &trace, &map);
+        let mut partial = SweepCheckpoint::new(hash, jobs.len());
+        for (index, r) in reference.iter().enumerate().take(4) {
+            partial.cells.push(SweepCellRecord {
+                index,
+                outcome: SweepCellOutcome::Done {
+                    policy_name: r.policy_name.clone(),
+                    stats: r.stats.clone(),
+                },
+            });
+        }
+        let cfg = SweepRunConfig {
+            threads: 2,
+            resume: Some(partial),
+            ..SweepRunConfig::default()
+        };
+        let outcome = run_sweep_checked(&jobs, &trace, &map, &cfg).unwrap();
+        assert_eq!(outcome.resumed_cells, 4);
+        assert_eq!(to_csv(&reference), to_csv_checked(&outcome, &jobs));
+    }
+
+    #[test]
+    fn resume_reruns_failed_cells() {
+        let (trace, map) = trace_and_map();
+        let jobs = grid();
+        let hash = sweep_config_hash(&jobs, &trace, &map);
+        let mut partial = SweepCheckpoint::new(hash, jobs.len());
+        partial.cells.push(SweepCellRecord {
+            index: 0,
+            outcome: SweepCellOutcome::Failed {
+                reason: "transient".into(),
+            },
+        });
+        let cfg = SweepRunConfig {
+            resume: Some(partial),
+            ..SweepRunConfig::default()
+        };
+        let outcome = run_sweep_checked(&jobs, &trace, &map, &cfg).unwrap();
+        // The failed record was discarded and the cell re-ran cleanly.
+        assert_eq!(outcome.resumed_cells, 0);
+        assert!(outcome.failures.is_empty());
+        assert_eq!(
+            to_csv(&run_sweep(&jobs, &trace, &map, 1)),
+            to_csv_checked(&outcome, &jobs)
+        );
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_config() {
+        let (trace, map) = trace_and_map();
+        let jobs = grid();
+        let wrong = SweepCheckpoint::new(0xdead_beef, jobs.len());
+        let cfg = SweepRunConfig {
+            resume: Some(wrong),
+            ..SweepRunConfig::default()
+        };
+        let err = run_sweep_checked(&jobs, &trace, &map, &cfg).unwrap_err();
+        assert!(
+            matches!(err, gc_types::GcError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn config_hash_tracks_jobs_and_trace() {
+        let (trace, map) = trace_and_map();
+        let jobs = grid();
+        let base = sweep_config_hash(&jobs, &trace, &map);
+        assert_eq!(base, sweep_config_hash(&jobs, &trace, &map));
+        let mut more_jobs = jobs.clone();
+        more_jobs.push(SweepJob {
+            kind: PolicyKind::ItemLru,
+            capacity: 999,
+            warmup: 0,
+        });
+        assert_ne!(base, sweep_config_hash(&more_jobs, &trace, &map));
+        let other_trace = Trace::from_ids([1, 2, 3]);
+        assert_ne!(base, sweep_config_hash(&jobs, &other_trace, &map));
     }
 
     #[test]

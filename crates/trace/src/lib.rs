@@ -22,7 +22,9 @@
 //! * [`stats`] — reuse-distance, block-run-length, and block-utilization
 //!   histograms,
 //! * [`transforms`] — concatenation, interleaving, repetition, remapping,
-//! * [`io`] — JSON and plain-text trace files.
+//! * [`io`] — JSON and plain-text trace files, with streaming ingest
+//!   ([`io::TraceReader`]), per-record fault policies (fail / skip /
+//!   quarantine-to-sidecar), and error budgets.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,4 +38,5 @@ pub mod transforms;
 pub mod working_set;
 
 pub use adversary::{AdversaryReport, OnlineCacheProbe};
+pub use io::{IngestOptions, IngestPolicy, IngestStats, LazyFile, TraceReader};
 pub use working_set::WorkingSetProfile;

@@ -29,7 +29,7 @@ pub mod outcome;
 pub mod trace;
 
 pub use block_map::BlockMap;
-pub use error::GcError;
+pub use error::{GcError, ParseReason};
 pub use fxmap::{mix64, FxBuildHasher, FxHashMap, FxHashSet};
 pub use id::{BlockId, ItemId};
 pub use outcome::{AccessKind, AccessResult, AccessScratch, HitKind};

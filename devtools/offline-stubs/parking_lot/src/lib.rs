@@ -11,6 +11,14 @@ impl<T> Mutex<T> {
     pub fn new(value: T) -> Self {
         Mutex(std::sync::Mutex::new(value))
     }
+
+    /// Consume the mutex, returning the inner value (poison discarded).
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
 }
 
 impl<T: ?Sized> Mutex<T> {

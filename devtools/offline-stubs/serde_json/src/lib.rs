@@ -35,6 +35,20 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl Error {
+    /// Stand-in for `serde_json::Error::line` — the stub never knows a
+    /// real location, so this is always 0 (matching real serde_json's
+    /// convention for errors without one).
+    pub fn line(&self) -> usize {
+        0
+    }
+
+    /// Stand-in for `serde_json::Error::column` — always 0.
+    pub fn column(&self) -> usize {
+        0
+    }
+}
+
 /// Always returns `"null"` — the stub cannot serialize.
 pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String, Error> {
     Ok("null".to_string())
