@@ -1,0 +1,160 @@
+//! End-to-end tests of the `serve` subcommand against the real binary:
+//! human output carries the conservation-law counters, `--json` emits
+//! parseable JSON (hand-rolled, so it works under the offline serde_json
+//! stub too), and a generated trace file round-trips through `--trace`.
+
+use std::process::{Command, Output};
+
+fn gc_cache() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gc-cache"))
+}
+
+fn run(args: &[&str]) -> Output {
+    gc_cache()
+        .args(args)
+        .output()
+        .expect("gc-cache binary runs")
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "gc-cache failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+/// Pull `"key": <number>` out of the hand-rolled JSON without a parser.
+fn json_u64(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{key} in {json}"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("numeric {key}"))
+}
+
+#[test]
+fn serve_reports_conserved_counters() {
+    let out = stdout_of(&run(&[
+        "serve",
+        "--policy",
+        "iblp",
+        "--capacity",
+        "512",
+        "--shards",
+        "4",
+        "--threads",
+        "4",
+        "--workload",
+        "zipf",
+        "--items",
+        "4096",
+        "--len",
+        "20000",
+    ]));
+    assert!(out.contains("served 20000 requests"), "{out}");
+    assert!(out.contains("backend fetches"), "{out}");
+    assert!(out.contains("shard 3:"), "expected 4 shard rows: {out}");
+}
+
+#[test]
+fn serve_json_satisfies_conservation_laws() {
+    let out = stdout_of(&run(&[
+        "serve",
+        "--policy",
+        "item-lru",
+        "--capacity",
+        "64",
+        "--shards",
+        "1",
+        "--threads",
+        "8",
+        "--backend-latency-us",
+        "100",
+        "--workload",
+        "zipf",
+        "--items",
+        "1024",
+        "--len",
+        "4000",
+        "--block-size",
+        "64",
+        "--json",
+    ]));
+    let requests = json_u64(&out, "requests");
+    let temporal = json_u64(&out, "temporal_hits");
+    let spatial = json_u64(&out, "spatial_hits");
+    let misses = json_u64(&out, "misses");
+    let led = json_u64(&out, "backend_fetches");
+    let coalesced = json_u64(&out, "coalesced_fetches");
+    assert_eq!(requests, 4000);
+    assert_eq!(temporal + spatial + misses, requests, "{out}");
+    assert_eq!(led + coalesced, misses, "every miss pays exactly once");
+}
+
+#[test]
+fn serve_replays_a_generated_trace_file() {
+    let dir = std::env::temp_dir().join(format!("gc-serve-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let trace_path = dir.join("trace.txt");
+    let trace_str = trace_path.to_str().expect("utf-8 path");
+    stdout_of(&run(&[
+        "generate",
+        "--out",
+        trace_str,
+        "--format",
+        "text",
+        "--workload",
+        "zipf",
+        "--items",
+        "2048",
+        "--len",
+        "10000",
+    ]));
+    let out = stdout_of(&run(&[
+        "serve",
+        "--policy",
+        "block-lru",
+        "--capacity",
+        "256",
+        "--shards",
+        "2",
+        "--threads",
+        "2",
+        "--trace",
+        trace_str,
+        "--json",
+    ]));
+    assert_eq!(json_u64(&out, "requests"), 10_000);
+    let misses = json_u64(&out, "misses");
+    assert_eq!(
+        json_u64(&out, "backend_fetches") + json_u64(&out, "coalesced_fetches"),
+        misses,
+        "{out}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_zero_shards() {
+    let out = run(&[
+        "serve",
+        "--policy",
+        "iblp",
+        "--capacity",
+        "64",
+        "--shards",
+        "0",
+        "--len",
+        "100",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("shard"), "{err}");
+}

@@ -55,6 +55,7 @@
 //! | [`gc_trace`] | synthetic workloads, the §4/§7 adversaries, `f`/`g` analysis |
 //! | [`gc_policies`] | item caches, block caches, IBLP (§5), GCM (§6), `a`-family |
 //! | [`gc_sim`] | simulator with temporal/spatial attribution, parallel sweeps |
+//! | [`gc_runtime`] | concurrent sharded serving runtime, single-flight block fetching |
 //! | [`gc_offline`] | Belady, block-aware Belady, exact optima, Theorem 1 reduction |
 //! | [`gc_bounds`] | Theorems 2–7 closed forms, Figure 3/6 + Table 1 generators |
 //! | [`gc_locality`] | the §7 locality model, Theorems 8–11, Table 2 |
@@ -66,6 +67,7 @@ pub use gc_bounds;
 pub use gc_locality;
 pub use gc_offline;
 pub use gc_policies;
+pub use gc_runtime;
 pub use gc_sim;
 pub use gc_trace;
 pub use gc_types;
@@ -77,9 +79,13 @@ pub mod prelude {
         ItemFifo, ItemLfu, ItemLru, ItemMarking, ItemRandom, LruK, PolicyKind, Slru, ThresholdLoad,
         TwoQ, WTinyLfu,
     };
+    pub use gc_runtime::{
+        serve_trace, BlockBackend, GcRuntime, ServeOutcome, ServeReport, SyntheticBackend,
+    };
     pub use gc_sim::{simulate, simulate_with_warmup, ProbeAdapter, SimStats, SpatialSet};
     pub use gc_types::{
-        AccessKind, AccessResult, AccessScratch, BlockId, BlockMap, GcError, HitKind, ItemId, Trace,
+        AccessKind, AccessResult, AccessScratch, BlockId, BlockMap, GcError, HitKind, ItemId,
+        LatencyHistogram, RuntimeStats, Trace,
     };
 }
 
@@ -95,5 +101,18 @@ mod tests {
         let stats = simulate(&mut cache, &trace);
         assert_eq!(stats.accesses, 6);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn prelude_reaches_the_runtime() {
+        let map = BlockMap::strided(4);
+        let backend = std::sync::Arc::new(SyntheticBackend::new(map.clone()));
+        let rt = GcRuntime::new(&PolicyKind::IblpBalanced, 32, map, 2, backend).unwrap();
+        let report = serve_trace(&rt, &Trace::from_ids([0, 1, 2, 3, 0, 1]), 2).unwrap();
+        assert_eq!(report.stats.accesses, 6);
+        assert_eq!(
+            report.stats.misses,
+            report.stats.backend_fetches + report.stats.coalesced_fetches
+        );
     }
 }

@@ -80,7 +80,27 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// Instantiate the policy with total capacity `capacity` over `map`.
+    ///
+    /// Equivalent to [`build_send`](Self::build_send) with the `Send`
+    /// bound erased; kept for single-threaded callers and trait-object
+    /// collections that never cross threads.
     pub fn build(&self, capacity: usize, map: &BlockMap) -> Box<dyn GcPolicy> {
+        self.build_send(capacity, map)
+    }
+
+    /// Instantiate the policy as a `Send` trait object.
+    ///
+    /// This is the constructor the concurrent runtime uses to build one
+    /// policy **per shard**: every policy owns its full replacement state
+    /// (its `BlockMap` is `Arc`-backed and shared structurally, never
+    /// cloned deep) and its RNG, so instances can be moved onto worker
+    /// threads freely. Nothing here assumes single-threaded construction —
+    /// there is no shared scratch; the per-access
+    /// [`AccessScratch`](gc_types::AccessScratch) is caller-owned and
+    /// lives with whoever drives the policy (one per shard in the
+    /// runtime, one per simulation in the engine), so building `S` shards
+    /// never clones traces or shares mutable buffers.
+    pub fn build_send(&self, capacity: usize, map: &BlockMap) -> Box<dyn GcPolicy + Send> {
         match *self {
             PolicyKind::ItemLru => Box::new(ItemLru::new(capacity)),
             PolicyKind::ItemFifo => Box::new(ItemFifo::new(capacity)),
@@ -307,6 +327,28 @@ mod tests {
         assert!(PolicyKind::parse("belady").is_err());
         assert!(PolicyKind::parse("loadk:b=1").is_err());
         assert!(PolicyKind::parse("loadk:a=x").is_err());
+    }
+
+    #[test]
+    fn build_send_policies_cross_threads() {
+        // Every kind must construct a Send trait object that can be moved
+        // to another thread and driven there — the per-shard construction
+        // pattern of the concurrent runtime.
+        let map = BlockMap::strided(8);
+        let handles: Vec<_> = PolicyKind::extended_roster(5)
+            .into_iter()
+            .map(|kind| {
+                let mut p = kind.build_send(64, &map);
+                std::thread::spawn(move || {
+                    assert!(p.access(ItemId(0)).is_miss(), "{}", p.name());
+                    assert!(p.access(ItemId(0)).is_hit(), "{}", p.name());
+                    p.capacity()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 64);
+        }
     }
 
     #[test]

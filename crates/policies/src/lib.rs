@@ -133,8 +133,11 @@ pub trait GcPolicy {
     }
 }
 
-/// Boxed-policy convenience: `Box<dyn GcPolicy>` is itself a policy.
-impl GcPolicy for Box<dyn GcPolicy> {
+/// Boxed-policy convenience: a box around any policy (sized or trait
+/// object, `Send` or not) is itself a policy, so `Box<dyn GcPolicy>` and
+/// the runtime's per-shard `Box<dyn GcPolicy + Send>` both drive the
+/// simulator directly.
+impl<P: GcPolicy + ?Sized> GcPolicy for Box<P> {
     fn name(&self) -> String {
         (**self).name()
     }

@@ -1,0 +1,126 @@
+//! Closed-loop load harness: replay a trace against a [`GcRuntime`] from
+//! `T` concurrent workers and report wall-clock throughput.
+//!
+//! Worker `w` replays requests `w, w+T, w+2T, …` of the trace (a strided
+//! partition), issuing the next request as soon as the previous one
+//! completes — a *closed loop*: offered load adapts to service rate, so
+//! the numbers measure capacity, not queueing under a fixed arrival rate.
+//! With `threads == 1` the replay order is exactly the trace order, which
+//! is what the differential tests rely on.
+
+use crate::runtime::GcRuntime;
+use gc_types::{GcError, RuntimeStats, Trace};
+use std::time::Instant;
+
+/// The result of one [`serve_trace`] run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Wall-clock duration of the replay, in seconds.
+    pub wall_seconds: f64,
+    /// Requests served (the trace length).
+    pub requests: u64,
+    /// Requests per second of wall-clock time.
+    pub throughput_rps: f64,
+    /// Aggregate runtime counters after the replay.
+    pub stats: RuntimeStats,
+    /// Per-shard counters after the replay, in shard order.
+    pub per_shard: Vec<RuntimeStats>,
+}
+
+/// Replay `trace` against `runtime` from `threads` closed-loop workers.
+///
+/// Counters accumulate in the runtime (call [`GcRuntime::reset`] between
+/// runs to measure each independently). The first error any worker hits is
+/// returned; remaining workers finish their strides first, so the runtime
+/// is quiescent on return either way.
+///
+/// # Errors
+///
+/// Propagates the first [`GcError`] produced by any worker's `get` —
+/// backend failures and unknown trace items surface here.
+pub fn serve_trace(
+    runtime: &GcRuntime,
+    trace: &Trace,
+    threads: usize,
+) -> Result<ServeReport, GcError> {
+    let threads = threads.max(1);
+    let t0 = Instant::now();
+    let worker_results: Vec<Result<(), GcError>> =
+        gc_sim::pool::run_indexed(threads, threads, |w| {
+            for item in trace.iter().skip(w).step_by(threads) {
+                runtime.get(item)?;
+            }
+            Ok(())
+        });
+    let wall = t0.elapsed();
+    for r in worker_results {
+        r?;
+    }
+
+    let stats = runtime.aggregate_stats();
+    let wall_seconds = wall.as_secs_f64();
+    let requests = trace.len() as u64;
+    Ok(ServeReport {
+        wall_seconds,
+        requests,
+        throughput_rps: if wall_seconds > 0.0 {
+            requests as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        stats,
+        per_shard: runtime.per_shard_stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SyntheticBackend;
+    use gc_policies::PolicyKind;
+    use gc_types::{BlockMap, ItemId};
+    use std::sync::Arc;
+
+    fn runtime(shards: usize) -> GcRuntime {
+        let map = BlockMap::strided(4);
+        let backend = Arc::new(SyntheticBackend::new(map.clone()));
+        GcRuntime::new(&PolicyKind::IblpBalanced, 64, map, shards, backend).unwrap()
+    }
+
+    #[test]
+    fn single_thread_replays_in_trace_order() {
+        let rt = runtime(1);
+        let trace = Trace::from_ids([0u64, 1, 2, 1]);
+        let report = serve_trace(&rt, &trace, 1).unwrap();
+        assert_eq!(report.requests, 4);
+        assert_eq!(report.stats.accesses, 4);
+        assert!(report.throughput_rps > 0.0);
+        assert_eq!(report.per_shard.len(), 1);
+    }
+
+    #[test]
+    fn workers_cover_the_whole_trace_exactly_once() {
+        let rt = runtime(4);
+        let ids: Vec<u64> = (0..10_000u64).map(|i| i % 512).collect();
+        let trace = Trace::from_ids(ids);
+        let report = serve_trace(&rt, &trace, 8).unwrap();
+        assert_eq!(report.stats.accesses, 10_000);
+        assert_eq!(
+            report.stats.hits() + report.stats.misses,
+            report.stats.accesses
+        );
+        assert_eq!(
+            report.stats.misses,
+            report.stats.backend_fetches + report.stats.coalesced_fetches
+        );
+    }
+
+    #[test]
+    fn worker_errors_propagate() {
+        let map = BlockMap::from_groups(vec![vec![ItemId(0), ItemId(1)]]).unwrap();
+        let backend = Arc::new(SyntheticBackend::new(map.clone()));
+        let rt = GcRuntime::new(&PolicyKind::ItemLru, 8, map, 1, backend).unwrap();
+        let trace = Trace::from_ids([0u64, 77]); // 77 is not in the map
+        assert!(serve_trace(&rt, &trace, 2).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # gc-runtime — a concurrent, sharded GC-cache serving runtime
+//!
+//! The offline crates answer *"how good is this policy on this trace?"*
+//! one access at a time, single-threaded. This crate answers the serving
+//! question: *"what does a GC cache look like as a concurrent front end
+//! to block-granular storage?"* It assembles three pieces:
+//!
+//! - [`GcRuntime`] — keys hash-sharded **by block** to `S` shards, each an
+//!   independent policy instance behind its own lock. Hits complete under
+//!   the shard lock; the critical section is byte-for-byte the offline
+//!   engine's loop body, so a 1-shard runtime driven by 1 thread produces
+//!   **bit-identical** statistics to [`gc_sim::simulate`].
+//! - [`SingleFlight`] — misses fetch the whole block through a
+//!   single-flight table: concurrent misses on items of the same block
+//!   coalesce into **one** backend load (the paper's unit-cost
+//!   granularity-change rule, operationalized), and every coalesced miss
+//!   observes the same fetched block.
+//! - [`BlockBackend`] — the storage layer that materializes whole blocks;
+//!   [`SyntheticBackend`] emulates device latency and jitter so the
+//!   closed-loop harness ([`serve_trace`]) can explore lock-bound and
+//!   latency-bound regimes without real devices.
+//!
+//! The split the model cares about is visible in the counters:
+//! [`RuntimeStats`](gc_types::RuntimeStats) distinguishes what the backend
+//! *fetched* (whole blocks) from what the policies *admitted* (chosen
+//! subsets), and counts coalesced fetches separately from led ones, so
+//! `misses == backend_fetches + coalesced_fetches` always holds.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod harness;
+pub mod runtime;
+pub mod singleflight;
+
+pub use backend::{BlockBackend, SyntheticBackend};
+pub use harness::{serve_trace, ServeReport};
+pub use runtime::{shard_capacities, GcRuntime, ServeOutcome};
+pub use singleflight::{FetchResult, FetchRole, SingleFlight};

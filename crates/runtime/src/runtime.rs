@@ -1,0 +1,550 @@
+//! The sharded, thread-safe GC-cache front end.
+//!
+//! Keys are hash-sharded **by block** to `S` independent shards, each
+//! wrapping one policy instance behind its own lock, so items of the same
+//! block always land on the same shard and the policy's block-granular
+//! decisions (co-loads, block evictions, spatial attribution) stay
+//! coherent. The per-access critical section is exactly the offline
+//! engine's loop body — policy access, spatial-candidate bookkeeping,
+//! counters — which is what makes the 1-shard/1-thread runtime
+//! bit-identical to `gc_sim::simulate` on the same trace.
+//!
+//! Misses leave the shard lock before touching storage: the backend load
+//! goes through a [`SingleFlight`] table keyed by block, so concurrent
+//! misses on items of the same block coalesce into **one** backend fetch.
+//! The fetcher returns the whole block (the paper's "rest of the block is
+//! free" rule); each miss's policy has already chosen the subset it
+//! admits, and the runtime counts admitted vs fetched items to measure
+//! that subset-selection.
+
+use crate::backend::BlockBackend;
+use crate::singleflight::{FetchRole, SingleFlight};
+use gc_policies::{GcPolicy, PolicyKind};
+use gc_sim::{SimStats, SpatialSet};
+use gc_types::runtime_stats::LATENCY_BUCKETS;
+use gc_types::{
+    mix64, AccessKind, AccessScratch, BlockMap, GcError, ItemId, LatencyHistogram, RuntimeStats,
+};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The outcome of one runtime access, as seen by the calling thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The item was resident.
+    Hit {
+        /// Whether this was the item's first touch after being co-loaded
+        /// by a sibling's miss (§2's spatial-locality hit).
+        spatial: bool,
+    },
+    /// The item was absent; a block fetch was paid for (or joined).
+    Miss {
+        /// Whether this miss coalesced onto an in-flight fetch of the
+        /// same block instead of performing its own backend load.
+        coalesced: bool,
+        /// Items the backend's fetch returned (the whole block).
+        fetched_items: usize,
+        /// Items this miss's policy chose to admit from the block.
+        admitted_items: usize,
+    },
+}
+
+impl ServeOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, ServeOutcome::Hit { .. })
+    }
+
+    /// Whether the access missed.
+    pub fn is_miss(&self) -> bool {
+        !self.is_hit()
+    }
+}
+
+/// Lock-guarded per-shard state: the policy plus exactly the bookkeeping
+/// the offline engine keeps per simulation.
+struct ShardState {
+    policy: Box<dyn GcPolicy + Send>,
+    scratch: AccessScratch,
+    /// Items resident only by virtue of a co-load, not yet re-requested.
+    candidates: SpatialSet,
+    /// Access-path counters (the fetch-path fields stay zero here; they
+    /// live in the shard's atomic [`FetchCounters`]).
+    stats: RuntimeStats,
+}
+
+/// Fetch-path counters, updated outside the shard lock by single-flight
+/// leaders and waiters.
+struct FetchCounters {
+    backend_fetches: AtomicU64,
+    coalesced_fetches: AtomicU64,
+    fetched_items: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS],
+    latency_sum: AtomicU64,
+    latency_max: AtomicU64,
+}
+
+impl FetchCounters {
+    fn new() -> Self {
+        FetchCounters {
+            backend_fetches: AtomicU64::new(0),
+            coalesced_fetches: AtomicU64::new(0),
+            fetched_items: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum: AtomicU64::new(0),
+            latency_max: AtomicU64::new(0),
+        }
+    }
+
+    fn record_lead(&self, fetched: usize, latency_nanos: u64) {
+        self.backend_fetches.fetch_add(1, Ordering::Relaxed);
+        self.fetched_items
+            .fetch_add(fetched as u64, Ordering::Relaxed);
+        let bucket = gc_types::runtime_stats::latency_bucket(latency_nanos);
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum.fetch_add(latency_nanos, Ordering::Relaxed);
+        self.latency_max.fetch_max(latency_nanos, Ordering::Relaxed);
+    }
+
+    fn histogram(&self) -> LatencyHistogram {
+        let buckets: Vec<u64> = self
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        LatencyHistogram::from_buckets(
+            &buckets,
+            self.latency_sum.load(Ordering::Relaxed),
+            self.latency_max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    fetch: FetchCounters,
+}
+
+/// A thread-safe, shard-partitioned GC cache runtime.
+///
+/// ```
+/// use gc_policies::PolicyKind;
+/// use gc_runtime::{GcRuntime, SyntheticBackend};
+/// use gc_types::{BlockMap, ItemId};
+/// use std::sync::Arc;
+///
+/// let map = BlockMap::strided(4);
+/// let backend = Arc::new(SyntheticBackend::new(map.clone()));
+/// let rt = GcRuntime::new(&PolicyKind::IblpBalanced, 64, map, 2, backend).unwrap();
+/// assert!(rt.get(ItemId(0)).unwrap().is_miss());
+/// assert!(rt.get(ItemId(0)).unwrap().is_hit());
+/// let stats = rt.aggregate_stats();
+/// assert_eq!(stats.accesses, 2);
+/// assert_eq!(stats.hits() + stats.misses, 2);
+/// ```
+pub struct GcRuntime {
+    shards: Vec<Shard>,
+    map: BlockMap,
+    backend: Arc<dyn BlockBackend>,
+    flight: SingleFlight,
+}
+
+/// Split `capacity` lines over `shards` shards as evenly as possible
+/// (first `capacity % shards` shards get one extra line).
+pub fn shard_capacities(capacity: usize, shards: usize) -> Vec<usize> {
+    let base = capacity / shards;
+    let extra = capacity % shards;
+    (0..shards).map(|i| base + usize::from(i < extra)).collect()
+}
+
+impl GcRuntime {
+    /// Build a runtime: `shards` independent instances of `kind`, each
+    /// sized to its share of `capacity`, serving blocks from `backend`.
+    ///
+    /// With `shards == 1` the lone shard gets the full capacity, which is
+    /// what makes single-shard runs directly comparable (bit-identical on
+    /// hit/miss stats, single-threaded) to `gc_sim::simulate`.
+    ///
+    /// # Errors
+    ///
+    /// [`GcError::ZeroShards`] for `shards == 0`, [`GcError::ZeroCapacity`]
+    /// for `capacity == 0`, and [`GcError::CapacityTooSmall`] when
+    /// `capacity < shards` (some shard would have no lines at all).
+    pub fn new(
+        kind: &PolicyKind,
+        capacity: usize,
+        map: BlockMap,
+        shards: usize,
+        backend: Arc<dyn BlockBackend>,
+    ) -> Result<GcRuntime, GcError> {
+        if shards == 0 {
+            return Err(GcError::ZeroShards);
+        }
+        if capacity == 0 {
+            return Err(GcError::ZeroCapacity);
+        }
+        if capacity < shards {
+            return Err(GcError::CapacityTooSmall {
+                capacity,
+                required: shards,
+            });
+        }
+        let shards = shard_capacities(capacity, shards)
+            .into_iter()
+            .map(|shard_capacity| Shard {
+                state: Mutex::new(ShardState {
+                    policy: kind.build_send(shard_capacity, &map),
+                    scratch: AccessScratch::new(),
+                    candidates: SpatialSet::new(),
+                    stats: RuntimeStats::default(),
+                }),
+                fetch: FetchCounters::new(),
+            })
+            .collect();
+        Ok(GcRuntime {
+            shards,
+            map,
+            backend,
+            flight: SingleFlight::new(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard serving `item` — block-affine: every item of a block maps
+    /// to the same shard, so block-granular policy decisions stay local.
+    pub fn shard_of(&self, item: ItemId) -> Option<usize> {
+        let block = self.map.try_block_of(item)?;
+        Some((mix64(block.0) % self.shards.len() as u64) as usize)
+    }
+
+    /// Serve one request.
+    ///
+    /// Hits complete entirely under the shard lock. Misses run the policy
+    /// (admission + eviction) under the lock, then release it and fetch
+    /// the block through the single-flight table: one backend load per
+    /// in-flight block, no matter how many threads miss on it.
+    pub fn get(&self, item: ItemId) -> Result<ServeOutcome, GcError> {
+        let block = self.map.try_block_of(item).ok_or_else(|| {
+            GcError::InvalidParameter(format!("item {item} is not in the runtime's block map"))
+        })?;
+        let shard = &self.shards[(mix64(block.0) % self.shards.len() as u64) as usize];
+
+        // Phase 1 — the offline engine's loop body, under the shard lock.
+        let admitted = {
+            let mut guard = shard.state.lock();
+            let st = &mut *guard;
+            match st.policy.access_into(item, &mut st.scratch) {
+                AccessKind::Hit => {
+                    let spatial = st.candidates.remove(item);
+                    st.stats.accesses += 1;
+                    if spatial {
+                        st.stats.spatial_hits += 1;
+                    } else {
+                        st.stats.temporal_hits += 1;
+                    }
+                    st.stats.peak_len = st.stats.peak_len.max(st.policy.len());
+                    return Ok(ServeOutcome::Hit { spatial });
+                }
+                AccessKind::Miss => {
+                    debug_assert!(
+                        st.scratch.loaded.contains(&item),
+                        "a miss must load the requested item"
+                    );
+                    for &z in &st.scratch.loaded {
+                        if z != item {
+                            st.candidates.insert(z);
+                        }
+                    }
+                    st.candidates.remove(item);
+                    for &z in &st.scratch.evicted {
+                        st.candidates.remove(z);
+                    }
+                    st.stats.accesses += 1;
+                    st.stats.misses += 1;
+                    st.stats.admitted_items += st.scratch.loaded.len() as u64;
+                    st.stats.evicted_items += st.scratch.evicted.len() as u64;
+                    st.stats.peak_len = st.stats.peak_len.max(st.policy.len());
+                    st.scratch.loaded.len()
+                }
+            }
+        };
+
+        // Phase 2 — the unit-cost block fetch, outside the shard lock.
+        let (result, role) = self
+            .flight
+            .fetch(block.0, || self.backend.load_block(block));
+        let payload = result?;
+        if !payload.contains(&item) {
+            return Err(GcError::Backend {
+                block,
+                message: format!("fetched block does not contain requested item {item}"),
+            });
+        }
+        match role {
+            FetchRole::Led { latency } => {
+                shard.fetch.record_lead(
+                    payload.len(),
+                    latency.as_nanos().min(u64::MAX as u128) as u64,
+                );
+                Ok(ServeOutcome::Miss {
+                    coalesced: false,
+                    fetched_items: payload.len(),
+                    admitted_items: admitted,
+                })
+            }
+            FetchRole::Coalesced => {
+                shard
+                    .fetch
+                    .coalesced_fetches
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(ServeOutcome::Miss {
+                    coalesced: true,
+                    fetched_items: payload.len(),
+                    admitted_items: admitted,
+                })
+            }
+        }
+    }
+
+    /// Snapshot one shard's counters (access path + fetch path).
+    pub fn shard_stats(&self, shard: usize) -> RuntimeStats {
+        let s = &self.shards[shard];
+        let mut stats = s.state.lock().stats.clone();
+        stats.backend_fetches = s.fetch.backend_fetches.load(Ordering::Relaxed);
+        stats.coalesced_fetches = s.fetch.coalesced_fetches.load(Ordering::Relaxed);
+        stats.fetched_items = s.fetch.fetched_items.load(Ordering::Relaxed);
+        stats.fetch_latency = s.fetch.histogram();
+        stats
+    }
+
+    /// Snapshot every shard's counters, in shard order.
+    pub fn per_shard_stats(&self) -> Vec<RuntimeStats> {
+        (0..self.shards.len())
+            .map(|i| self.shard_stats(i))
+            .collect()
+    }
+
+    /// Aggregate counters over all shards.
+    pub fn aggregate_stats(&self) -> RuntimeStats {
+        let mut total = RuntimeStats::default();
+        for i in 0..self.shards.len() {
+            total.merge(&self.shard_stats(i));
+        }
+        total
+    }
+
+    /// Fold the aggregate runtime counters into the offline simulator's
+    /// stats shape, so runtime results are directly comparable with
+    /// `gc_sim::simulate` output: `admitted_items` maps to `items_loaded`
+    /// (both count what the policy admitted, not what the backend
+    /// fetched). The fetch-path telemetry has no simulator analogue and is
+    /// dropped; read it via [`aggregate_stats`](Self::aggregate_stats).
+    pub fn drain(&self) -> SimStats {
+        let agg = self.aggregate_stats();
+        SimStats {
+            accesses: agg.accesses,
+            misses: agg.misses,
+            temporal_hits: agg.temporal_hits,
+            spatial_hits: agg.spatial_hits,
+            items_loaded: agg.admitted_items,
+            items_evicted: agg.evicted_items,
+            peak_len: agg.peak_len,
+        }
+    }
+
+    /// Calls currently blocked on an in-flight fetch (diagnostic; see
+    /// [`SingleFlight::pending_waiters`]).
+    pub fn pending_coalesced_waiters(&self) -> usize {
+        self.flight.pending_waiters()
+    }
+
+    /// Reset every shard to its post-construction state and zero all
+    /// counters. Not linearizable with concurrent `get`s; quiesce first.
+    pub fn reset(&self) {
+        for s in &self.shards {
+            let mut st = s.state.lock();
+            st.policy.reset();
+            st.candidates.clear();
+            st.stats = RuntimeStats::default();
+            s.fetch.backend_fetches.store(0, Ordering::Relaxed);
+            s.fetch.coalesced_fetches.store(0, Ordering::Relaxed);
+            s.fetch.fetched_items.store(0, Ordering::Relaxed);
+            for b in &s.fetch.latency_buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            s.fetch.latency_sum.store(0, Ordering::Relaxed);
+            s.fetch.latency_max.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SyntheticBackend;
+
+    fn runtime(kind: &PolicyKind, capacity: usize, block_size: usize, shards: usize) -> GcRuntime {
+        let map = BlockMap::strided(block_size);
+        let backend = Arc::new(SyntheticBackend::new(map.clone()));
+        GcRuntime::new(kind, capacity, map, shards, backend).unwrap()
+    }
+
+    #[test]
+    fn construction_guards() {
+        let map = BlockMap::strided(4);
+        let backend: Arc<dyn BlockBackend> = Arc::new(SyntheticBackend::new(map.clone()));
+        assert!(matches!(
+            GcRuntime::new(
+                &PolicyKind::ItemLru,
+                16,
+                map.clone(),
+                0,
+                Arc::clone(&backend)
+            ),
+            Err(GcError::ZeroShards)
+        ));
+        assert!(matches!(
+            GcRuntime::new(
+                &PolicyKind::ItemLru,
+                0,
+                map.clone(),
+                2,
+                Arc::clone(&backend)
+            ),
+            Err(GcError::ZeroCapacity)
+        ));
+        assert!(matches!(
+            GcRuntime::new(&PolicyKind::ItemLru, 3, map, 8, backend),
+            Err(GcError::CapacityTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_splits_evenly_with_remainder_first() {
+        assert_eq!(shard_capacities(16, 4), vec![4, 4, 4, 4]);
+        assert_eq!(shard_capacities(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(shard_capacities(7, 1), vec![7]);
+    }
+
+    #[test]
+    fn block_affine_sharding() {
+        let rt = runtime(&PolicyKind::ItemLru, 64, 8, 4);
+        // All items of one block map to the same shard.
+        for block in 0..32u64 {
+            let shard0 = rt.shard_of(ItemId(block * 8)).unwrap();
+            for off in 1..8u64 {
+                assert_eq!(rt.shard_of(ItemId(block * 8 + off)), Some(shard0));
+            }
+        }
+        // And blocks actually spread over shards.
+        let mut seen: Vec<usize> = (0..64u64)
+            .map(|b| rt.shard_of(ItemId(b * 8)).unwrap())
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() > 1, "blocks must spread across shards");
+    }
+
+    #[test]
+    fn hit_miss_and_spatial_attribution() {
+        // Mirrors the engine's doctest: BlockLru co-loads, first touches of
+        // co-loaded items are spatial hits.
+        let rt = runtime(&PolicyKind::BlockLru, 16, 4, 1);
+        for id in [0u64, 1, 2, 1] {
+            rt.get(ItemId(id)).unwrap();
+        }
+        let s = rt.aggregate_stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.spatial_hits, 2);
+        assert_eq!(s.temporal_hits, 1);
+        assert_eq!(s.backend_fetches, 1);
+        assert_eq!(s.coalesced_fetches, 0);
+        assert_eq!(s.fetched_items, 4);
+        assert_eq!(s.fetch_latency.count(), 1);
+    }
+
+    #[test]
+    fn admitted_vs_fetched_measures_subset_selection() {
+        // An item policy admits exactly one item per miss while the backend
+        // always fetches the whole 4-item block.
+        let rt = runtime(&PolicyKind::ItemLru, 16, 4, 1);
+        for id in [0u64, 1, 2, 3] {
+            let out = rt.get(ItemId(id)).unwrap();
+            assert_eq!(
+                out,
+                ServeOutcome::Miss {
+                    coalesced: false,
+                    fetched_items: 4,
+                    admitted_items: 1
+                }
+            );
+        }
+        let s = rt.aggregate_stats();
+        assert_eq!(s.admitted_items, 4);
+        assert_eq!(s.fetched_items, 16);
+        assert!((s.admission_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_folds_to_sim_shape() {
+        let rt = runtime(&PolicyKind::IblpBalanced, 32, 4, 2);
+        for id in 0..64u64 {
+            rt.get(ItemId(id)).unwrap();
+        }
+        let agg = rt.aggregate_stats();
+        let sim = rt.drain();
+        assert_eq!(sim.accesses, agg.accesses);
+        assert_eq!(sim.misses, agg.misses);
+        assert_eq!(sim.temporal_hits, agg.temporal_hits);
+        assert_eq!(sim.spatial_hits, agg.spatial_hits);
+        assert_eq!(sim.items_loaded, agg.admitted_items);
+        assert_eq!(sim.items_evicted, agg.evicted_items);
+        assert_eq!(sim.hits() + sim.misses, sim.accesses);
+    }
+
+    #[test]
+    fn unknown_item_is_a_clean_error() {
+        let map = BlockMap::from_groups(vec![vec![ItemId(1), ItemId(2)]]).unwrap();
+        let backend = Arc::new(SyntheticBackend::new(map.clone()));
+        let rt = GcRuntime::new(&PolicyKind::ItemLru, 8, map, 1, backend).unwrap();
+        assert!(matches!(
+            rt.get(ItemId(99)),
+            Err(GcError::InvalidParameter(_))
+        ));
+        assert!(rt.get(ItemId(1)).unwrap().is_miss());
+    }
+
+    #[test]
+    fn reset_returns_to_empty() {
+        let rt = runtime(&PolicyKind::ItemLru, 8, 4, 2);
+        for id in 0..8u64 {
+            rt.get(ItemId(id)).unwrap();
+        }
+        assert!(rt.aggregate_stats().accesses > 0);
+        rt.reset();
+        let s = rt.aggregate_stats();
+        assert_eq!(s, RuntimeStats::default());
+        assert!(rt.get(ItemId(0)).unwrap().is_miss(), "cache emptied");
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_aggregate() {
+        let rt = runtime(&PolicyKind::ItemLru, 64, 4, 4);
+        for id in 0..256u64 {
+            rt.get(ItemId(id % 96)).unwrap();
+        }
+        let per = rt.per_shard_stats();
+        let mut folded = RuntimeStats::default();
+        for s in &per {
+            folded.merge(s);
+        }
+        assert_eq!(folded, rt.aggregate_stats());
+        assert_eq!(folded.accesses, 256);
+    }
+}

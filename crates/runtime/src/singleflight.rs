@@ -1,0 +1,243 @@
+//! The single-flight block fetch table.
+//!
+//! When several threads miss on items of the same block while a fetch of
+//! that block is in flight, exactly one of them (the *leader*) performs
+//! the backend load; the rest (*coalesced waiters*) block until the leader
+//! publishes the result and then observe the **same fetched block** — one
+//! unit of backend cost serves every concurrent miss on the block. This is
+//! the paper's granularity-change rule made operational: the backend
+//! always returns the whole block, and each waiter's policy independently
+//! decides which subset to admit.
+//!
+//! The table holds one entry per in-flight block. Leaders insert the
+//! entry, run the load **without any lock held**, publish the result under
+//! the entry's own mutex, wake all waiters, and retire the entry. Errors
+//! are first-class: a failed load propagates the same [`GcError`] to the
+//! leader and every waiter, and the entry is still retired so a later miss
+//! can retry.
+
+use gc_types::{FxHashMap, GcError, ItemId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::hash_map::Entry;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The shared fetch result: the whole block's items, or the load failure.
+pub type FetchResult = Result<Arc<Vec<ItemId>>, GcError>;
+
+/// One in-flight fetch: a slot the leader fills and a condvar waiters
+/// sleep on.
+struct Flight {
+    slot: Mutex<Option<FetchResult>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// How a [`SingleFlight::fetch`] call was served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchRole {
+    /// This call performed the backend load; `latency` is how long it took.
+    Led {
+        /// Wall-clock duration of the backend load.
+        latency: Duration,
+    },
+    /// This call coalesced onto a load already in flight.
+    Coalesced,
+}
+
+impl FetchRole {
+    /// Whether this call coalesced onto another call's load.
+    pub fn is_coalesced(self) -> bool {
+        matches!(self, FetchRole::Coalesced)
+    }
+}
+
+/// A keyed single-flight table: concurrent `fetch(k, …)` calls for the
+/// same key while one is in flight share a single execution of the load.
+///
+/// Keys are generic in principle but the runtime only ever uses block ids;
+/// to keep the dependency surface small the table is keyed by `u64` (the
+/// raw block id).
+#[derive(Default)]
+pub struct SingleFlight {
+    table: Mutex<FxHashMap<u64, Arc<Flight>>>,
+    /// Calls currently blocked waiting on another call's load — a
+    /// diagnostic for deterministic interleaving tests.
+    pending_waiters: AtomicUsize,
+}
+
+impl SingleFlight {
+    /// An empty table.
+    pub fn new() -> Self {
+        SingleFlight::default()
+    }
+
+    /// Fetch under `key`: if no load for `key` is in flight, run `load`
+    /// as the leader and publish its result; otherwise block until the
+    /// in-flight leader publishes, and return its result.
+    ///
+    /// The leader runs `load` with **no** table or entry lock held, so
+    /// loads for different keys proceed in parallel and waiters for other
+    /// keys are unaffected.
+    pub fn fetch<F>(&self, key: u64, load: F) -> (FetchResult, FetchRole)
+    where
+        F: FnOnce() -> Result<Vec<ItemId>, GcError>,
+    {
+        let (flight, is_leader) = {
+            let mut table = self.table.lock();
+            match table.entry(key) {
+                Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                Entry::Vacant(v) => {
+                    let flight = Arc::new(Flight::new());
+                    v.insert(Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+
+        if is_leader {
+            let t0 = Instant::now();
+            let result: FetchResult = load().map(Arc::new);
+            let latency = t0.elapsed();
+            {
+                let mut slot = flight.slot.lock();
+                *slot = Some(result.clone());
+                flight.cv.notify_all();
+            }
+            // Retire the entry only after publishing: a miss arriving in
+            // between joins as a waiter and observes the fresh result
+            // immediately; a miss arriving after retirement leads its own
+            // fetch (the block is no longer in flight).
+            self.table.lock().remove(&key);
+            (result, FetchRole::Led { latency })
+        } else {
+            self.pending_waiters.fetch_add(1, Ordering::SeqCst);
+            let result = {
+                let mut slot = flight.slot.lock();
+                while slot.is_none() {
+                    flight.cv.wait(&mut slot);
+                }
+                slot.clone().expect("leader published before waking")
+            };
+            self.pending_waiters.fetch_sub(1, Ordering::SeqCst);
+            (result, FetchRole::Coalesced)
+        }
+    }
+
+    /// Number of calls currently blocked on an in-flight load. Intended
+    /// for deterministic interleaving tests and diagnostics; the value is
+    /// momentary and racy by nature.
+    pub fn pending_waiters(&self) -> usize {
+        self.pending_waiters.load(Ordering::SeqCst)
+    }
+
+    /// Number of fetches currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.table.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_types::BlockId;
+
+    #[test]
+    fn lone_call_leads_and_retires_entry() {
+        let sf = SingleFlight::new();
+        let (result, role) = sf.fetch(7, || Ok(vec![ItemId(1), ItemId(2)]));
+        assert_eq!(*result.unwrap(), vec![ItemId(1), ItemId(2)]);
+        assert!(matches!(role, FetchRole::Led { .. }));
+        assert_eq!(sf.in_flight(), 0);
+        assert_eq!(sf.pending_waiters(), 0);
+    }
+
+    #[test]
+    fn sequential_fetches_each_lead() {
+        let sf = SingleFlight::new();
+        for _ in 0..3 {
+            let (_, role) = sf.fetch(1, || Ok(vec![ItemId(0)]));
+            assert!(!role.is_coalesced());
+        }
+    }
+
+    #[test]
+    fn errors_propagate_and_entry_retires() {
+        let sf = SingleFlight::new();
+        let (result, _) = sf.fetch(3, || {
+            Err(GcError::Backend {
+                block: BlockId(3),
+                message: "down".into(),
+            })
+        });
+        assert!(result.is_err());
+        // The failed entry must not wedge the key: a retry leads again.
+        let (result, role) = sf.fetch(3, || Ok(vec![ItemId(12)]));
+        assert!(result.is_ok());
+        assert!(!role.is_coalesced());
+    }
+
+    #[test]
+    fn concurrent_same_key_coalesces_to_one_load() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::mpsc;
+
+        let sf = Arc::new(SingleFlight::new());
+        let loads = Arc::new(AtomicU64::new(0));
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+
+        // Leader: blocks inside the load until released.
+        let leader = {
+            let sf = Arc::clone(&sf);
+            let loads = Arc::clone(&loads);
+            std::thread::spawn(move || {
+                sf.fetch(9, move || {
+                    loads.fetch_add(1, Ordering::SeqCst);
+                    release_rx.recv().expect("release signal");
+                    Ok(vec![ItemId(36)])
+                })
+            })
+        };
+        // Step until the leader is inside the load (entry in flight).
+        while sf.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        // Waiter: must coalesce, not run its own load.
+        let waiter = {
+            let sf = Arc::clone(&sf);
+            std::thread::spawn(move || sf.fetch(9, || panic!("waiter must never load")))
+        };
+        while sf.pending_waiters() == 0 {
+            std::thread::yield_now();
+        }
+        release_tx.send(()).unwrap();
+
+        let (lr, lrole) = leader.join().unwrap();
+        let (wr, wrole) = waiter.join().unwrap();
+        assert!(matches!(lrole, FetchRole::Led { .. }));
+        assert_eq!(wrole, FetchRole::Coalesced);
+        // Both observe the same fetched block.
+        assert_eq!(*lr.unwrap(), vec![ItemId(36)]);
+        assert_eq!(*wr.unwrap(), vec![ItemId(36)]);
+        assert_eq!(loads.load(Ordering::SeqCst), 1, "exactly one backend load");
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let sf = SingleFlight::new();
+        let (_, a) = sf.fetch(1, || Ok(vec![ItemId(1)]));
+        let (_, b) = sf.fetch(2, || Ok(vec![ItemId(2)]));
+        assert!(!a.is_coalesced());
+        assert!(!b.is_coalesced());
+    }
+}

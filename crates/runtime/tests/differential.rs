@@ -1,0 +1,121 @@
+//! Differential tests: the runtime with one shard driven by one thread
+//! must be **bit-identical** to the offline engine on the same trace.
+//!
+//! This is the correctness anchor for the whole serving path: the shard's
+//! critical section claims to be exactly the engine's loop body, and these
+//! tests hold it to that claim across every policy in the extended roster,
+//! multiple trace shapes, and (via proptest) randomized seeds.
+
+use gc_policies::PolicyKind;
+use gc_runtime::{serve_trace, GcRuntime, SyntheticBackend};
+use gc_sim::SimStats;
+use gc_trace::synthetic;
+use gc_types::{BlockMap, Trace};
+use std::sync::Arc;
+
+const CAPACITY: usize = 96;
+const BLOCK_SIZE: usize = 8;
+
+/// Offline reference: the engine over a fresh policy instance.
+fn offline(kind: &PolicyKind, trace: &Trace, map: &BlockMap) -> SimStats {
+    let mut policy = kind.build(CAPACITY, map);
+    gc_sim::simulate(&mut policy, trace)
+}
+
+/// Runtime under test: one shard, one thread, zero-latency backend.
+fn online(kind: &PolicyKind, trace: &Trace, map: &BlockMap) -> SimStats {
+    let backend = Arc::new(SyntheticBackend::new(map.clone()));
+    let rt = GcRuntime::new(kind, CAPACITY, map.clone(), 1, backend).unwrap();
+    serve_trace(&rt, trace, 1).unwrap();
+    rt.drain()
+}
+
+fn assert_identical(kind: &PolicyKind, trace: &Trace, map: &BlockMap, label: &str) {
+    let expect = offline(kind, trace, map);
+    let got = online(kind, trace, map);
+    assert_eq!(
+        got, expect,
+        "runtime diverged from engine for {kind:?} on {label}"
+    );
+}
+
+#[test]
+fn whole_roster_matches_engine_on_zipfian_10k() {
+    let map = BlockMap::strided(BLOCK_SIZE);
+    let trace = synthetic::zipfian(4096, 0.9, 10_000, 42);
+    for kind in PolicyKind::extended_roster(7) {
+        assert_identical(&kind, &trace, &map, "zipfian(4096, 0.9) x 10k");
+    }
+}
+
+#[test]
+fn whole_roster_matches_engine_on_scan() {
+    // Sequential scans maximize spatial hits and evictions — the paths
+    // where candidate bookkeeping could drift.
+    let map = BlockMap::strided(BLOCK_SIZE);
+    let trace = synthetic::scan(2048, 10_000);
+    for kind in PolicyKind::extended_roster(11) {
+        assert_identical(&kind, &trace, &map, "scan(2048) x 10k");
+    }
+}
+
+#[test]
+fn matches_engine_on_explicit_block_map() {
+    // Irregular (non-strided) blocks exercise the map-driven fetch path.
+    let groups: Vec<Vec<gc_types::ItemId>> = (0..64u64)
+        .map(|b| {
+            let width = 1 + (b % 7);
+            (0..width).map(|i| gc_types::ItemId(b * 8 + i)).collect()
+        })
+        .collect();
+    let map = BlockMap::from_groups(groups).unwrap();
+    let ids: Vec<u64> = (0..10_000u64).map(|i| (i * 37 + i / 13) % 512).collect();
+    let trace: Trace = Trace::from_ids(ids.into_iter().filter(|&id| {
+        // Keep only ids that exist in the irregular map.
+        map.try_block_of(gc_types::ItemId(id)).is_some()
+    }));
+    for kind in [
+        PolicyKind::ItemLru,
+        PolicyKind::BlockLru,
+        PolicyKind::IblpBalanced,
+        PolicyKind::Gcm { seed: 3 },
+    ] {
+        assert_identical(&kind, &trace, &map, "irregular blocks");
+    }
+}
+
+mod randomized {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        // A handful of cases is plenty: each case already sweeps the whole
+        // extended roster, and CI time matters more than extra seeds.
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        fn roster_matches_engine_across_seeds(
+            trace_seed in 0u64..1_000_000,
+            roster_seed in 0u64..1_000_000,
+            // Zipf skew in tenths (0.2..=1.1); the offline proptest stub
+            // has no f64 range strategy.
+            theta_tenths in 2u64..12,
+        ) {
+            let theta = theta_tenths as f64 / 10.0;
+            let map = BlockMap::strided(BLOCK_SIZE);
+            let trace = synthetic::zipfian(2048, theta, 10_000, trace_seed);
+            for kind in PolicyKind::extended_roster(roster_seed) {
+                let expect = offline(&kind, &trace, &map);
+                let got = online(&kind, &trace, &map);
+                prop_assert_eq!(
+                    got,
+                    expect,
+                    "runtime diverged from engine for {:?} (trace_seed={}, theta={})",
+                    kind,
+                    trace_seed,
+                    theta
+                );
+            }
+        }
+    }
+}

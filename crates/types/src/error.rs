@@ -15,6 +15,9 @@
 //!   against a different configuration), and
 //!   [`GcError::ErrorBudgetExceeded`] (too many bad records for a
 //!   degraded-mode ingest to continue).
+//! * **Serving errors** — [`GcError::Backend`] (a block load failed; the
+//!   single-flight protocol propagates it to every coalesced waiter) and
+//!   [`GcError::ZeroShards`] (invalid runtime configuration).
 
 use crate::ItemId;
 use std::fmt;
@@ -97,6 +100,16 @@ pub enum GcError {
         /// 1-based line number of the record that exhausted the budget.
         line: usize,
     },
+    /// A backend block load failed. Every miss coalesced onto the failing
+    /// fetch observes the same error.
+    Backend {
+        /// The block whose load failed.
+        block: crate::BlockId,
+        /// Rendered backend failure message.
+        message: String,
+    },
+    /// The serving runtime was configured with zero shards.
+    ZeroShards,
 }
 
 /// The specific reason a record failed to parse, carried by
@@ -219,6 +232,10 @@ impl fmt::Display for GcError {
                 f,
                 "error budget of {budget} bad records exceeded at line {line}"
             ),
+            GcError::Backend { block, message } => {
+                write!(f, "backend failed to load block {block}: {message}")
+            }
+            GcError::ZeroShards => write!(f, "runtime must have at least one shard"),
         }
     }
 }
@@ -351,5 +368,17 @@ mod tests {
         assert!(GcError::ErrorBudgetExceeded { budget: 5, line: 9 }
             .to_string()
             .contains("line 9"));
+    }
+
+    #[test]
+    fn serving_error_messages() {
+        let msg = GcError::Backend {
+            block: crate::BlockId(12),
+            message: "device timed out".into(),
+        }
+        .to_string();
+        assert!(msg.contains("b12"), "{msg}");
+        assert!(msg.contains("device timed out"), "{msg}");
+        assert!(GcError::ZeroShards.to_string().contains("shard"));
     }
 }

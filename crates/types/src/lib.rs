@@ -13,6 +13,9 @@
 //! * [`AccessResult`] / [`HitKind`] — the per-access outcome vocabulary
 //!   shared between policies and the simulator, plus the zero-allocation
 //!   [`AccessKind`] / [`AccessScratch`] pair used by the hot path,
+//! * [`RuntimeStats`] / [`LatencyHistogram`] — the serving runtime's
+//!   stats shape: the simulator counters plus fetch-path telemetry
+//!   (single-flight coalescing, admitted-vs-fetched, latency buckets),
 //! * [`fxmap`] — a fast, dependency-free hash map for dense integer keys.
 //!
 //! Everything heavier (policies, simulation, bounds) lives in downstream
@@ -26,6 +29,7 @@ pub mod error;
 pub mod fxmap;
 pub mod id;
 pub mod outcome;
+pub mod runtime_stats;
 pub mod trace;
 
 pub use block_map::BlockMap;
@@ -33,4 +37,5 @@ pub use error::{GcError, ParseReason};
 pub use fxmap::{mix64, FxBuildHasher, FxHashMap, FxHashSet};
 pub use id::{BlockId, ItemId};
 pub use outcome::{AccessKind, AccessResult, AccessScratch, HitKind};
+pub use runtime_stats::{LatencyHistogram, RuntimeStats};
 pub use trace::Trace;

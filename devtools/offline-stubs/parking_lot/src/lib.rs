@@ -1,7 +1,8 @@
 //! Offline stub for `parking_lot` — thin wrappers over `std::sync`.
 //!
 //! Only `Mutex`/`RwLock` with the poison-free `lock()`/`read()`/`write()`
-//! API are provided; nothing in the workspace currently uses more.
+//! API plus `Condvar` are provided; nothing in the workspace currently
+//! uses more.
 
 /// `parking_lot::Mutex` stand-in over `std::sync::Mutex`.
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
@@ -25,6 +26,52 @@ impl<T: ?Sized> Mutex<T> {
     /// Lock, panicking on poison (parking_lot has no poisoning).
     pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
         self.0.lock().expect("poisoned mutex in offline stub")
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// `parking_lot::Condvar` stand-in over `std::sync::Condvar`, exposing the
+/// by-reference `wait(&mut guard)` API parking_lot uses instead of std's
+/// by-value one.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing `guard`'s mutex while asleep.
+    ///
+    /// Bridges to std's by-value `wait` by moving the guard out of and
+    /// back into place. The moved-out slot is only unsound if `wait`
+    /// unwinds in between, and it cannot: the one error path (poison) is
+    /// swallowed below, matching parking_lot's no-poisoning semantics.
+    pub fn wait<T>(&self, guard: &mut std::sync::MutexGuard<'_, T>) {
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let reacquired = match self.0.wait(owned) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            std::ptr::write(guard, reacquired);
+        }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
