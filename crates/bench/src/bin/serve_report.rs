@@ -2,13 +2,21 @@
 //!
 //! Drives the concurrent [`GcRuntime`] with the multi-threaded closed-loop
 //! harness and writes `BENCH_runtime.json` (override the path with the
-//! first non-flag CLI argument). Two scenario families:
+//! first non-flag CLI argument). Schema `serve_report/v2`: every row
+//! records the full execution configuration — `mode` (locked | owner),
+//! `batch` (session window), `fetch` (inline | coalesced) — alongside the
+//! v1 columns, because since the lock-light hot path landed those knobs
+//! move throughput by an order of magnitude. Three scenario families:
 //!
-//! - **scaling** — a zero-latency backend makes the runtime lock-bound, so
-//!   throughput is a direct measure of shard-partitioning: the sweep runs
-//!   the same workload at the same thread count from 1 shard up to the
-//!   machine's parallelism and should increase monotonically (modulo OS
-//!   noise; rows keep the best of several reps).
+//! - **scaling** — a zero-latency backend makes the runtime
+//!   coordination-bound, so throughput directly measures the hot path.
+//!   Rows cover the seed-comparable configuration (locked, batch 1,
+//!   coalesced — v1 semantics), the mode × batch matrix on the same
+//!   policy, and a thread sweep ∈ {1,2,4,8} in both execution modes.
+//! - **hotpath** — the same zero-latency workload through a cheap
+//!   item-granular policy, batched + inline, where the session fast path
+//!   approaches the offline engine's single-threaded ceiling
+//!   (BENCH_engine.json `mixed` rows — same trace family).
 //! - **coalescing** — a slow backend (hundreds of µs per block) under a
 //!   hot-block workload makes concurrent misses on one block pile up; the
 //!   single-flight table folds them into one load and the
@@ -22,8 +30,10 @@
 //! Honesty caveats (see EXPERIMENTS.md): the backend is synthetic and
 //! in-memory, the loop is closed (offered load adapts to service rate),
 //! and wall-clock numbers are machine-dependent — the shapes (scaling
-//! slope, coalescing fraction) are the reproducible part, not the absolute
-//! req/s.
+//! slope, batching gain, coalescing fraction) are the reproducible part,
+//! not the absolute req/s. On single-core CI boxes the owner mode pays
+//! queue hand-offs with no parallelism to recoup them; its advantage is
+//! only visible with shards ≤ cores.
 
 use gc_bench::standard_workload;
 use gc_cache::gc_trace::synthetic;
@@ -31,14 +41,15 @@ use gc_cache::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Cache capacity (lines) for the scaling scenario.
+/// Cache capacity (lines) for the zero-latency scenarios.
 const CAPACITY: usize = 4096;
 /// Requests per trace (tracked mode).
-const TRACE_LEN: usize = 400_000;
+const TRACE_LEN: usize = 2_000_000;
 /// Requests for the latency-bound coalescing scenario (each led fetch
 /// costs ~200 µs of synthetic device time, so this stays in seconds).
 const COALESCE_LEN: usize = 60_000;
-/// Timed repetitions per scaling row; the report keeps the best.
+/// Timed repetitions per zero-latency row (after one untimed warm-up);
+/// the report keeps the best, i.e. the rep least disturbed by the OS.
 const REPS: usize = 3;
 /// Tracked-mode trace lengths shrink to these under `--quick`.
 const QUICK_TRACE_LEN: usize = 40_000;
@@ -48,11 +59,15 @@ const QUICK_COALESCE_LEN: usize = 8_000;
 /// the core count: sharding reduces lock *collisions*, not CPU work, so
 /// extra shards help (then plateau) even when threads outnumber cores.
 const SHARDS_MAX: usize = 8;
+/// Session batch window for the batched configurations.
+const BATCH: usize = 64;
+/// Thread sweep for the mode comparison.
+const THREADS_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
-/// Worker threads for the lock-bound scaling scenario: enough to contend
-/// a single lock hard, capped so small CI machines still oversubscribe
-/// only mildly.
-fn max_threads() -> usize {
+/// Worker threads for the seed-comparable scaling rows: the v1 report
+/// hardcoded this to the machine's clamped parallelism; keeping the same
+/// rule keeps those rows comparable across the tracked history.
+fn seed_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -74,6 +89,9 @@ fn shard_sweep() -> Vec<usize> {
 struct Row {
     scenario: &'static str,
     policy: String,
+    mode: ExecMode,
+    batch: usize,
+    fetch: FetchPath,
     shards: usize,
     threads: usize,
     backend_latency_us: u64,
@@ -87,9 +105,12 @@ struct Row {
 impl Row {
     fn json(&self) -> String {
         format!(
-            "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \"shards\": {}, \"threads\": {}, \"backend_latency_us\": {}, \"throughput_rps\": {:.0}, \"hit_rate\": {:.4}, \"coalescing_rate\": {:.4}, \"fetch_p50_us\": {:.1}, \"fetch_p99_us\": {:.1}}}",
+            "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \"mode\": \"{}\", \"batch\": {}, \"fetch\": \"{}\", \"shards\": {}, \"threads\": {}, \"backend_latency_us\": {}, \"throughput_rps\": {:.0}, \"hit_rate\": {:.4}, \"coalescing_rate\": {:.4}, \"fetch_p50_us\": {:.1}, \"fetch_p99_us\": {:.1}}}",
             self.scenario,
             self.policy,
+            self.mode,
+            self.batch,
+            self.fetch,
             self.shards,
             self.threads,
             self.backend_latency_us,
@@ -102,28 +123,41 @@ impl Row {
     }
 }
 
-/// Run one configuration `reps` times on fresh runtimes, keep the rep with
-/// the best throughput (the one least disturbed by the OS), and fold its
-/// stats into a report row.
-#[allow(clippy::too_many_arguments)]
-fn measure(
+/// One measurement configuration: workload knobs plus the runtime
+/// execution configuration under test.
+struct Cell<'a> {
     scenario: &'static str,
-    kind: &PolicyKind,
+    kind: &'a PolicyKind,
     capacity: usize,
-    trace: &Trace,
-    map: &BlockMap,
-    shards: usize,
+    trace: &'a Trace,
+    map: &'a BlockMap,
+    cfg: RuntimeConfig,
     threads: usize,
     latency: Duration,
     reps: usize,
-) -> Row {
+}
+
+/// Run one configuration `reps + 1` times on fresh runtimes (the first
+/// pass warms the trace and allocator and is discarded), keep the rep
+/// with the best throughput, and fold its stats into a report row.
+fn measure(cell: &Cell) -> Row {
     let mut best: Option<ServeReport> = None;
-    for _ in 0..reps {
-        let backend =
-            Arc::new(SyntheticBackend::new(map.clone()).with_latency(latency, latency / 4));
-        let rt = GcRuntime::new(kind, capacity, map.clone(), shards, backend)
-            .expect("valid runtime configuration");
-        let report = serve_trace(&rt, trace, threads).expect("synthetic serve cannot fail");
+    for rep in 0..=cell.reps {
+        let backend = Arc::new(
+            SyntheticBackend::new(cell.map.clone()).with_latency(cell.latency, cell.latency / 4),
+        );
+        let rt = GcRuntime::with_config(
+            cell.kind,
+            cell.capacity,
+            cell.map.clone(),
+            cell.cfg.clone(),
+            backend,
+        )
+        .expect("valid runtime configuration");
+        let report = serve_trace(&rt, cell.trace, cell.threads).expect("synthetic serve");
+        if rep == 0 {
+            continue; // untimed warm-up
+        }
         if best
             .as_ref()
             .map(|b| report.throughput_rps > b.throughput_rps)
@@ -132,20 +166,39 @@ fn measure(
             best = Some(report);
         }
     }
-    let report = best.expect("at least one rep");
+    let report = best.expect("at least one timed rep");
     let s = &report.stats;
     Row {
-        scenario,
-        policy: kind.label(),
-        shards,
-        threads,
-        backend_latency_us: latency.as_micros() as u64,
+        scenario: cell.scenario,
+        policy: cell.kind.label(),
+        mode: cell.cfg.mode,
+        batch: cell.cfg.batch,
+        fetch: cell.cfg.fetch,
+        shards: cell.cfg.shards,
+        threads: cell.threads,
+        backend_latency_us: cell.latency.as_micros() as u64,
         throughput_rps: report.throughput_rps,
         hit_rate: s.hit_rate(),
         coalescing_rate: s.coalescing_rate(),
         fetch_p50_us: s.fetch_latency.quantile_nanos(0.50) as f64 / 1_000.0,
         fetch_p99_us: s.fetch_latency.quantile_nanos(0.99) as f64 / 1_000.0,
     }
+}
+
+fn print_row(row: &Row) {
+    println!(
+        "{:<10} {:<10} {:<6} b{:<4} {:<9} sh{:<2} t{:<2} {:>12.0} req/s  hit {:.3}  coal {:.3}",
+        row.scenario,
+        row.policy,
+        row.mode,
+        row.batch,
+        row.fetch,
+        row.shards,
+        row.threads,
+        row.throughput_rps,
+        row.hit_rate,
+        row.coalescing_rate,
+    );
 }
 
 fn main() {
@@ -161,32 +214,106 @@ fn main() {
     } else {
         (TRACE_LEN, COALESCE_LEN, REPS)
     };
-    let threads = max_threads();
+    let seed_threads = seed_threads();
     let mut rows: Vec<Row> = Vec::new();
 
-    // Scenario 1: lock-bound shard scaling. Zero backend latency, the
-    // standard mixed workload, all threads hammering; sweep shard count.
+    // Scenario 1: coordination-bound scaling. Zero backend latency, the
+    // standard mixed workload, the paper-relevant block-aware policy.
     let (trace, map) = standard_workload(trace_len, 5);
+    let zero = Duration::ZERO;
+
+    // 1a. Seed-comparable shard sweep: v1 execution semantics (locked,
+    // unbatched, coalesced fetches) so the tracked history stays readable.
     for shards in shard_sweep() {
-        let row = measure(
-            "scaling",
-            &PolicyKind::IblpBalanced,
-            CAPACITY,
-            &trace,
-            &map,
-            shards,
-            threads,
-            Duration::ZERO,
+        let row = measure(&Cell {
+            scenario: "scaling",
+            kind: &PolicyKind::IblpBalanced,
+            capacity: CAPACITY,
+            trace: &trace,
+            map: &map,
+            cfg: RuntimeConfig::new(shards),
+            threads: seed_threads,
+            latency: zero,
             reps,
-        );
-        println!(
-            "scaling   shards {:>2}  threads {threads}  {:>12.0} req/s  hit {:.3}",
-            shards, row.throughput_rps, row.hit_rate
-        );
+        });
+        print_row(&row);
         rows.push(row);
     }
 
-    // Scenario 2: latency-bound coalescing. Few large hot blocks behind a
+    // 1b. Mode × batch matrix at the sweep's top shard count: what the
+    // execution-mode knobs buy on the same policy and workload.
+    for mode in [ExecMode::Locked, ExecMode::Owner] {
+        for batch in [1usize, BATCH] {
+            let row = measure(&Cell {
+                scenario: "scaling",
+                kind: &PolicyKind::IblpBalanced,
+                capacity: CAPACITY,
+                trace: &trace,
+                map: &map,
+                cfg: RuntimeConfig::new(SHARDS_MAX)
+                    .with_mode(mode)
+                    .with_batch(batch)
+                    .with_fetch(FetchPath::Inline),
+                threads: seed_threads,
+                latency: zero,
+                reps,
+            });
+            print_row(&row);
+            rows.push(row);
+        }
+    }
+
+    // 1c. Thread sweep in both modes, batched + inline, so mode scaling
+    // with concurrency is visible (on multi-core boxes the owner mode's
+    // pinned shards stop paying lock hand-offs; on a single core it pays
+    // queue hops with nothing to recoup them).
+    for mode in [ExecMode::Locked, ExecMode::Owner] {
+        for &threads in &THREADS_SWEEP {
+            let row = measure(&Cell {
+                scenario: "scaling",
+                kind: &PolicyKind::IblpBalanced,
+                capacity: CAPACITY,
+                trace: &trace,
+                map: &map,
+                cfg: RuntimeConfig::new(SHARDS_MAX)
+                    .with_mode(mode)
+                    .with_batch(BATCH)
+                    .with_fetch(FetchPath::Inline),
+                threads,
+                latency: zero,
+                reps,
+            });
+            print_row(&row);
+            rows.push(row);
+        }
+    }
+
+    // Scenario 2: the hot-path ceiling. Cheap item-granular policies
+    // (their offline engine ceilings are the BENCH_engine.json `mixed`
+    // rows — same trace family) through the batched inline path, shard
+    // sweep at one closed-loop worker: this is the configuration where
+    // per-request coordination overhead is the whole story.
+    for kind in [PolicyKind::ItemLru, PolicyKind::ItemFifo] {
+        for shards in shard_sweep() {
+            let row = measure(&Cell {
+                scenario: "hotpath",
+                kind: &kind,
+                capacity: CAPACITY,
+                trace: &trace,
+                map: &map,
+                cfg: RuntimeConfig::new(shards)
+                    .with_batch(BATCH)
+                    .with_fetch(FetchPath::Inline),
+                threads: 1,
+                latency: zero,
+                reps,
+            });
+            print_row(&row);
+            rows.push(row);
+        }
+    }
+
+    // Scenario 3: latency-bound coalescing. Few large hot blocks behind a
     // slow backend; item-granular admission keeps re-missing on the hot
     // blocks, and concurrent misses coalesce. Sweep thread count — the
     // coalescing rate should grow with concurrency.
@@ -197,33 +324,29 @@ fn main() {
     // their time parked in the synthetic sleep), so the thread sweep runs
     // past the core count on purpose — oversubscription is the regime
     // where misses actually pile onto in-flight fetches.
-    let coalesce_threads = [1usize, 2, 4, 8];
-    for &t in &coalesce_threads {
+    for &t in &THREADS_SWEEP {
         // Scale request count with threads so every row takes comparable
         // wall-clock time despite the closed loop.
         let len = (coalesce_len * t / 8).max(coalesce_len / 8);
         let sub = Trace::from_ids(hot_trace.iter().take(len).map(|i| i.0));
-        let row = measure(
-            "coalescing",
-            &PolicyKind::ItemLru,
-            64,
-            &sub,
-            &hot_map,
-            4.min(t),
-            t,
+        let row = measure(&Cell {
+            scenario: "coalescing",
+            kind: &PolicyKind::ItemLru,
+            capacity: 64,
+            trace: &sub,
+            map: &hot_map,
+            cfg: RuntimeConfig::new(4.min(t)),
+            threads: t,
             latency,
-            1,
-        );
-        println!(
-            "coalesce  threads {:>2}  {:>12.0} req/s  coalesced {:.3}  p99 fetch {:.0} µs",
-            t, row.throughput_rps, row.coalescing_rate, row.fetch_p99_us
-        );
+            reps: 1,
+        });
+        print_row(&row);
         rows.push(row);
     }
 
     let body: Vec<String> = rows.iter().map(Row::json).collect();
     let report = format!(
-        "{{\n  \"schema\": \"gc-bench/serve_report/v1\",\n  \"quick\": {quick},\n  \"trace_len\": {trace_len},\n  \"capacity\": {CAPACITY},\n  \"threads\": {threads},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"gc-bench/serve_report/v2\",\n  \"quick\": {quick},\n  \"trace_len\": {trace_len},\n  \"capacity\": {CAPACITY},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
         body.join(",\n"),
     );
     std::fs::write(&out_path, report).expect("write report");

@@ -53,8 +53,9 @@ COMMANDS:
              --capacity <h> [workload flags as above]
   serve      replay a trace through the concurrent sharded runtime
              --policy <label> --capacity <k> [--shards S] [--threads T]
-             [--backend-latency-us L] [--jitter-us J] [--json]
-             [--trace <file> | workload flags as above]
+             [--mode locked|owner] [--batch N] [--fetch coalesced|inline]
+             [--queue-depth D] [--backend-latency-us L] [--jitter-us J]
+             [--json] [--trace <file> | workload flags as above]
   generate   write a workload to a trace file
              --out <path> [--format json|text] [workload flags as above]
   stats      locality diagnostics of a workload (reuse distances, block
@@ -233,7 +234,9 @@ fn simulate_cmd(args: &Args) -> Result<(), String> {
 }
 
 fn serve_cmd(args: &Args) -> Result<(), String> {
-    use gc_cache::gc_runtime::{serve_trace, GcRuntime, SyntheticBackend};
+    use gc_cache::gc_runtime::{
+        serve_trace, ExecMode, FetchPath, GcRuntime, RuntimeConfig, SyntheticBackend,
+    };
     use std::time::Duration;
 
     let label = args.get_str("policy").unwrap_or("iblp");
@@ -241,14 +244,31 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
     let capacity: usize = args.require("capacity")?;
     let shards: usize = args.get_or("shards", 4usize)?;
     let threads: usize = args.get_or("threads", 4usize)?;
+    let mode: ExecMode = args
+        .get_str("mode")
+        .unwrap_or("locked")
+        .parse()
+        .map_err(|e: gc_cache::gc_types::GcError| e.to_string())?;
+    let batch: usize = args.get_or("batch", 1usize)?;
+    let fetch: FetchPath = args
+        .get_str("fetch")
+        .unwrap_or("coalesced")
+        .parse()
+        .map_err(|e: gc_cache::gc_types::GcError| e.to_string())?;
+    let queue_depth: usize = args.get_or("queue-depth", 4usize)?;
     let latency = Duration::from_micros(args.get_or("backend-latency-us", 0u64)?);
     let jitter = Duration::from_micros(args.get_or("jitter-us", 0u64)?);
     let Workload { trace, map, .. } = workload(args)?;
 
+    let config = RuntimeConfig::new(shards)
+        .with_mode(mode)
+        .with_batch(batch)
+        .with_fetch(fetch)
+        .with_queue_depth(queue_depth);
     let backend =
         std::sync::Arc::new(SyntheticBackend::new(map.clone()).with_latency(latency, jitter));
     let runtime =
-        GcRuntime::new(&kind, capacity, map, shards, backend).map_err(|e| e.to_string())?;
+        GcRuntime::with_config(&kind, capacity, map, config, backend).map_err(|e| e.to_string())?;
     let report = serve_trace(&runtime, &trace, threads).map_err(|e| e.to_string())?;
     let s = &report.stats;
 
@@ -267,7 +287,7 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             })
             .collect();
         println!(
-            "{{\n  \"workload\": \"{}\",\n  \"policy\": \"{}\",\n  \"capacity\": {capacity},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"backend_latency_us\": {},\n  \"requests\": {},\n  \"wall_seconds\": {:.6},\n  \"throughput_rps\": {:.0},\n  \"hit_rate\": {:.6},\n  \"temporal_hits\": {},\n  \"spatial_hits\": {},\n  \"misses\": {},\n  \"backend_fetches\": {},\n  \"coalesced_fetches\": {},\n  \"coalescing_rate\": {:.6},\n  \"fetched_items\": {},\n  \"admitted_items\": {},\n  \"admission_ratio\": {:.6},\n  \"fetch_p50_us\": {:.1},\n  \"fetch_p99_us\": {:.1},\n  \"per_shard\": [\n{}\n  ]\n}}",
+            "{{\n  \"workload\": \"{}\",\n  \"policy\": \"{}\",\n  \"capacity\": {capacity},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"mode\": \"{mode}\",\n  \"batch\": {batch},\n  \"fetch\": \"{fetch}\",\n  \"backend_latency_us\": {},\n  \"requests\": {},\n  \"wall_seconds\": {:.6},\n  \"throughput_rps\": {:.0},\n  \"hit_rate\": {:.6},\n  \"temporal_hits\": {},\n  \"spatial_hits\": {},\n  \"misses\": {},\n  \"backend_fetches\": {},\n  \"coalesced_fetches\": {},\n  \"coalescing_rate\": {:.6},\n  \"fetched_items\": {},\n  \"admitted_items\": {},\n  \"admission_ratio\": {:.6},\n  \"fetch_p50_us\": {:.1},\n  \"fetch_p99_us\": {:.1},\n  \"per_shard\": [\n{}\n  ]\n}}",
             trace.name,
             kind.label(),
             latency.as_micros(),
@@ -293,7 +313,7 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
 
     println!("workload: {} ({} requests)", trace.name, trace.len());
     println!(
-        "runtime:  {} | capacity {capacity} | {shards} shard(s) | {threads} thread(s) | backend {} µs",
+        "runtime:  {} | capacity {capacity} | {shards} shard(s) | {threads} thread(s) | mode {mode} | batch {batch} | fetch {fetch} | backend {} µs",
         kind.label(),
         latency.as_micros()
     );

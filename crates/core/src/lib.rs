@@ -80,7 +80,8 @@ pub mod prelude {
         TwoQ, WTinyLfu,
     };
     pub use gc_runtime::{
-        serve_trace, BlockBackend, GcRuntime, ServeOutcome, ServeReport, SyntheticBackend,
+        serve_trace, BlockBackend, ExecMode, FetchPath, GcRuntime, RuntimeConfig, ServeOutcome,
+        ServeReport, Session, SyntheticBackend,
     };
     pub use gc_sim::{simulate, simulate_with_warmup, ProbeAdapter, SimStats, SpatialSet};
     pub use gc_types::{

@@ -1,0 +1,135 @@
+//! The per-shard critical section, shared verbatim by both execution
+//! modes.
+//!
+//! [`ShardCore::access`] is exactly the offline engine's loop body —
+//! policy access through the zero-alloc `AccessScratch` path, spatial
+//! candidate bookkeeping, counters — which is what keeps the
+//! 1-shard/1-thread runtime **bit-identical** to `gc_sim::simulate` in
+//! every mode and at every batch size: locked mode runs this under a
+//! mutex, owner mode runs it on the shard's owner thread, and neither adds
+//! or removes a single policy-visible operation.
+//!
+//! The core is generic over the policy's unsized type so owner threads,
+//! which build and drive their policy entirely on one thread, do not need
+//! the `Send` bound that locked mode's cross-thread mutex requires.
+
+use crate::backend::BlockBackend;
+use gc_policies::GcPolicy;
+use gc_sim::SpatialSet;
+use gc_types::{AccessKind, AccessScratch, BlockId, GcError, ItemId, RuntimeStats};
+
+/// Phase-1 result of one access: what happened under the shard's critical
+/// section, before any fetch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AccessPhase {
+    /// Resident; no fetch needed.
+    Hit {
+        /// First touch of a co-loaded item (spatial hit).
+        spatial: bool,
+    },
+    /// Absent; the policy admitted `admitted` items and the caller must
+    /// pay for (or join) a fetch of the item's block.
+    MissNeedsFetch {
+        /// Items the policy chose to admit from the block.
+        admitted: usize,
+    },
+}
+
+/// One shard's policy state plus exactly the bookkeeping the offline
+/// engine keeps per simulation.
+pub(crate) struct ShardCore<P: GcPolicy + ?Sized> {
+    pub policy: Box<P>,
+    scratch: AccessScratch,
+    /// Items resident only by virtue of a co-load, not yet re-requested.
+    candidates: SpatialSet,
+    /// Reuse buffer for inline fetches (empty in coalesced mode).
+    fetch_buf: Vec<ItemId>,
+    /// Access-path counters; inline mode also accounts fetches here.
+    pub stats: RuntimeStats,
+}
+
+impl<P: GcPolicy + ?Sized> ShardCore<P> {
+    pub fn new(policy: Box<P>) -> Self {
+        ShardCore {
+            policy,
+            scratch: AccessScratch::new(),
+            candidates: SpatialSet::new(),
+            fetch_buf: Vec::new(),
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    /// The engine's loop body: run one access and classify it.
+    #[inline]
+    pub fn access(&mut self, item: ItemId) -> AccessPhase {
+        match self.policy.access_into(item, &mut self.scratch) {
+            AccessKind::Hit => {
+                let spatial = self.candidates.remove(item);
+                self.stats.accesses += 1;
+                if spatial {
+                    self.stats.spatial_hits += 1;
+                } else {
+                    self.stats.temporal_hits += 1;
+                }
+                self.stats.peak_len = self.stats.peak_len.max(self.policy.len());
+                AccessPhase::Hit { spatial }
+            }
+            AccessKind::Miss => {
+                debug_assert!(
+                    self.scratch.loaded.contains(&item),
+                    "a miss must load the requested item"
+                );
+                for &z in &self.scratch.loaded {
+                    if z != item {
+                        self.candidates.insert(z);
+                    }
+                }
+                self.candidates.remove(item);
+                for &z in &self.scratch.evicted {
+                    self.candidates.remove(z);
+                }
+                self.stats.accesses += 1;
+                self.stats.misses += 1;
+                self.stats.admitted_items += self.scratch.loaded.len() as u64;
+                self.stats.evicted_items += self.scratch.evicted.len() as u64;
+                self.stats.peak_len = self.stats.peak_len.max(self.policy.len());
+                AccessPhase::MissNeedsFetch {
+                    admitted: self.scratch.loaded.len(),
+                }
+            }
+        }
+    }
+
+    /// Inline fetch: materialize `block` into the shard's reuse buffer and
+    /// account it, all inside the critical section. No allocation after
+    /// the buffer warms up, no flight-table traffic, no timestamps.
+    ///
+    /// Trusts the [`BlockBackend`] contract that a successful load returns
+    /// every item of the block — membership of the requested item is a
+    /// debug assertion, not a per-miss release-mode scan (the coalesced
+    /// path, which faces arbitrary concurrent backends behind real
+    /// latency, keeps the hard check).
+    #[inline]
+    pub fn fetch_inline(
+        &mut self,
+        backend: &dyn BlockBackend,
+        block: BlockId,
+        item: ItemId,
+    ) -> Result<usize, GcError> {
+        backend.load_block_into(block, &mut self.fetch_buf)?;
+        debug_assert!(
+            self.fetch_buf.contains(&item),
+            "fetched block {block} does not contain requested item {item}"
+        );
+        self.stats.backend_fetches += 1;
+        self.stats.fetched_items += self.fetch_buf.len() as u64;
+        Ok(self.fetch_buf.len())
+    }
+
+    /// Return the shard to its post-construction state.
+    pub fn reset(&mut self) {
+        self.policy.reset();
+        self.candidates.clear();
+        self.stats = RuntimeStats::default();
+    }
+}

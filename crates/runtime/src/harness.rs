@@ -2,11 +2,13 @@
 //! `T` concurrent workers and report wall-clock throughput.
 //!
 //! Worker `w` replays requests `w, w+T, w+2T, …` of the trace (a strided
-//! partition), issuing the next request as soon as the previous one
-//! completes — a *closed loop*: offered load adapts to service rate, so
-//! the numbers measure capacity, not queueing under a fixed arrival rate.
-//! With `threads == 1` the replay order is exactly the trace order, which
-//! is what the differential tests rely on.
+//! partition) through its own batched [`Session`](crate::Session), issuing
+//! the next request as soon as the previous batch completes — a *closed
+//! loop*: offered load adapts to service rate, so the numbers measure
+//! capacity, not queueing under a fixed arrival rate. With `threads == 1`
+//! the replay order is exactly the trace order, which is what the
+//! differential tests rely on (per-shard order is preserved at every batch
+//! size, so batching never changes single-threaded results).
 
 use crate::runtime::GcRuntime;
 use gc_types::{GcError, RuntimeStats, Trace};
@@ -27,7 +29,9 @@ pub struct ServeReport {
     pub per_shard: Vec<RuntimeStats>,
 }
 
-/// Replay `trace` against `runtime` from `threads` closed-loop workers.
+/// Replay `trace` against `runtime` from `threads` closed-loop workers,
+/// each batching through a [`Session`](crate::Session) sized by the
+/// runtime's [`RuntimeConfig::batch`](crate::RuntimeConfig).
 ///
 /// Counters accumulate in the runtime (call [`GcRuntime::reset`] between
 /// runs to measure each independently). The first error any worker hits is
@@ -36,8 +40,8 @@ pub struct ServeReport {
 ///
 /// # Errors
 ///
-/// Propagates the first [`GcError`] produced by any worker's `get` —
-/// backend failures and unknown trace items surface here.
+/// Propagates the first [`GcError`] produced by any worker — backend
+/// failures and unknown trace items surface here.
 pub fn serve_trace(
     runtime: &GcRuntime,
     trace: &Trace,
@@ -47,10 +51,15 @@ pub fn serve_trace(
     let t0 = Instant::now();
     let worker_results: Vec<Result<(), GcError>> =
         gc_sim::pool::run_indexed(threads, threads, |w| {
-            for item in trace.iter().skip(w).step_by(threads) {
-                runtime.get(item)?;
+            let mut session = runtime.session();
+            if threads == 1 {
+                // Skip the `step_by` adapter's per-item stride bookkeeping
+                // when the single worker replays the whole trace.
+                session.run(trace.iter())?;
+            } else {
+                session.run(trace.iter().skip(w).step_by(threads))?;
             }
-            Ok(())
+            session.finish()
         });
     let wall = t0.elapsed();
     for r in worker_results {
@@ -77,14 +86,19 @@ pub fn serve_trace(
 mod tests {
     use super::*;
     use crate::backend::SyntheticBackend;
+    use crate::config::{ExecMode, FetchPath, RuntimeConfig};
     use gc_policies::PolicyKind;
     use gc_types::{BlockMap, ItemId};
     use std::sync::Arc;
 
     fn runtime(shards: usize) -> GcRuntime {
+        runtime_with(RuntimeConfig::new(shards))
+    }
+
+    fn runtime_with(cfg: RuntimeConfig) -> GcRuntime {
         let map = BlockMap::strided(4);
         let backend = Arc::new(SyntheticBackend::new(map.clone()));
-        GcRuntime::new(&PolicyKind::IblpBalanced, 64, map, shards, backend).unwrap()
+        GcRuntime::with_config(&PolicyKind::IblpBalanced, 64, map, cfg, backend).unwrap()
     }
 
     #[test]
@@ -113,6 +127,35 @@ mod tests {
             report.stats.misses,
             report.stats.backend_fetches + report.stats.coalesced_fetches
         );
+    }
+
+    #[test]
+    fn conservation_holds_in_every_mode_and_batch() {
+        let ids: Vec<u64> = (0..8_000u64).map(|i| (i * 17) % 768).collect();
+        let trace = Trace::from_ids(ids);
+        for mode in [ExecMode::Locked, ExecMode::Owner] {
+            for fetch in [FetchPath::Coalesced, FetchPath::Inline] {
+                for batch in [1usize, 64] {
+                    let cfg = RuntimeConfig::new(4)
+                        .with_mode(mode)
+                        .with_fetch(fetch)
+                        .with_batch(batch);
+                    let rt = runtime_with(cfg.clone());
+                    let report = serve_trace(&rt, &trace, 4).unwrap();
+                    assert_eq!(report.stats.accesses, 8_000, "{cfg:?}");
+                    assert_eq!(
+                        report.stats.hits() + report.stats.misses,
+                        report.stats.accesses,
+                        "{cfg:?}"
+                    );
+                    assert_eq!(
+                        report.stats.misses,
+                        report.stats.backend_fetches + report.stats.coalesced_fetches,
+                        "{cfg:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

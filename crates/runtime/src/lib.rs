@@ -6,11 +6,19 @@
 //! to block-granular storage?"* It assembles three pieces:
 //!
 //! - [`GcRuntime`] — keys hash-sharded **by block** to `S` shards, each an
-//!   independent policy instance behind its own lock. Hits complete under
-//!   the shard lock; the critical section is byte-for-byte the offline
-//!   engine's loop body, so a 1-shard runtime driven by 1 thread produces
-//!   **bit-identical** statistics to [`gc_sim::simulate`].
-//! - [`SingleFlight`] — misses fetch the whole block through a
+//!   independent policy instance. The per-access critical section is
+//!   byte-for-byte the offline engine's loop body, so a 1-shard runtime
+//!   driven by 1 thread produces **bit-identical** statistics to
+//!   [`gc_sim::simulate`] — in every execution mode and at every batch
+//!   size.
+//! - [`RuntimeConfig`] — how requests reach the shards: mutex-guarded
+//!   shards driven in place by callers ([`ExecMode::Locked`]) or one owner
+//!   thread per shard fed by bounded queues ([`ExecMode::Owner`], policy
+//!   runs lock-free); misses fetched inside the critical section
+//!   ([`FetchPath::Inline`]) or coalesced through the flight table
+//!   ([`FetchPath::Coalesced`]); and the [`Session`] batch window that
+//!   amortizes synchronization over many requests.
+//! - [`SingleFlight`] — misses fetch the whole block through a striped
 //!   single-flight table: concurrent misses on items of the same block
 //!   coalesce into **one** backend load (the paper's unit-cost
 //!   granularity-change rule, operationalized), and every coalesced miss
@@ -24,16 +32,24 @@
 //! [`RuntimeStats`](gc_types::RuntimeStats) distinguishes what the backend
 //! *fetched* (whole blocks) from what the policies *admitted* (chosen
 //! subsets), and counts coalesced fetches separately from led ones, so
-//! `misses == backend_fetches + coalesced_fetches` always holds.
+//! `misses == backend_fetches + coalesced_fetches` always holds. Counters
+//! are accumulated shard-locally and session-locally — the request hot
+//! path shares no atomics — and snapshots are consistent cross-shard cuts.
 
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod config;
+mod core;
 pub mod harness;
+mod owner;
 pub mod runtime;
+pub mod session;
 pub mod singleflight;
 
-pub use backend::{BlockBackend, SyntheticBackend};
+pub use backend::{BlockBackend, CountingBackend, SyntheticBackend};
+pub use config::{ExecMode, FetchPath, RuntimeConfig};
 pub use harness::{serve_trace, ServeReport};
 pub use runtime::{shard_capacities, GcRuntime, ServeOutcome};
+pub use session::Session;
 pub use singleflight::{FetchResult, FetchRole, SingleFlight};

@@ -1,0 +1,365 @@
+//! Owner-thread shard execution: one thread per shard, fed by a bounded
+//! MPSC queue, with completions returned through per-session reply slots.
+//!
+//! In this mode the policy runs **lock-free**: only the owner thread ever
+//! touches its [`ShardCore`], so there is no `Mutex<ShardState>` and no
+//! cache line ping-pong on the policy's hot structures. The owner builds
+//! its policy *on its own thread* (via `PolicyKind::build`), so the
+//! architecture needs no `Send` bound on the policy object — the only
+//! things that cross threads are plain request/reply buffers.
+//!
+//! The hand-off protocol is allocation-recycling: a producer sends a
+//! [`BatchJob`] (an items vector plus a replies vector), the owner fills
+//! the replies in request order and sends the *same* job back through the
+//! producer's [`ReplySlot`]; steady state moves two `Vec`s back and forth
+//! with no allocation. Queues are bounded (`queue_depth` messages), so a
+//! fast producer blocks in `send` instead of growing memory — closed-loop
+//! backpressure.
+//!
+//! Shutdown is by channel disconnect: dropping the [`OwnerPool`] drops the
+//! senders; each owner drains every message already queued (std MPSC
+//! guarantees `recv` only errors once the queue is empty *and* all senders
+//! are gone), fills any outstanding reply slots, and exits; the pool's
+//! `Drop` then joins every owner. No reply is ever lost and no side can
+//! deadlock: owners never block on a slot (filling is non-blocking) and
+//! producers never hold anything an owner needs while waiting.
+
+use crate::backend::BlockBackend;
+use crate::config::FetchPath;
+use crate::core::{AccessPhase, ShardCore};
+use gc_policies::PolicyKind;
+use gc_types::{BlockMap, GcError, ItemId, RuntimeStats};
+use parking_lot::{Condvar, Mutex};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+
+/// Per-request reply, in request order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum BatchReply {
+    /// Resident (spatial = first touch of a co-loaded item).
+    Hit { spatial: bool },
+    /// Missed; the producer must pay for (or join) the block fetch.
+    MissNeedsFetch { admitted: usize },
+    /// Missed; the owner already fetched the block inline.
+    MissFetched { admitted: usize, fetched: usize },
+    /// Missed and the owner's inline fetch failed.
+    MissFailed(GcError),
+}
+
+/// A recyclable request/reply exchange: producers fill `items`, owners
+/// fill `replies` (one per item, same order) and send the job back.
+#[derive(Debug, Default)]
+pub(crate) struct BatchJob {
+    pub items: Vec<ItemId>,
+    pub replies: Vec<BatchReply>,
+}
+
+/// A single-producer reply slot: the owner deposits the finished job, the
+/// producer picks it up. One slot per (session, shard) pair, reused for
+/// every exchange, so the rendezvous allocates nothing in steady state.
+#[derive(Default)]
+pub(crate) struct ReplySlot {
+    slot: Mutex<Option<BatchJob>>,
+    cv: Condvar,
+}
+
+impl ReplySlot {
+    pub fn new() -> Arc<Self> {
+        Arc::new(ReplySlot::default())
+    }
+
+    /// Deposit a finished job (owner side; never blocks).
+    pub fn fill(&self, job: BatchJob) {
+        let mut slot = self.slot.lock();
+        debug_assert!(slot.is_none(), "reply slot reused while occupied");
+        *slot = Some(job);
+        self.cv.notify_one();
+    }
+
+    /// Block until a job is deposited and take it (producer side).
+    pub fn wait(&self) -> BatchJob {
+        let mut slot = self.slot.lock();
+        while slot.is_none() {
+            self.cv.wait(&mut slot);
+        }
+        slot.take().expect("slot filled before wake")
+    }
+
+    /// Non-blocking probe used by shutdown tests.
+    #[cfg(test)]
+    pub fn try_take(&self) -> Option<BatchJob> {
+        self.slot.lock().take()
+    }
+}
+
+pub(crate) enum Msg {
+    /// Run a batch of accesses and return the job through `slot`.
+    Batch { job: BatchJob, slot: Arc<ReplySlot> },
+    /// Write this shard's stats into `out[idx]`, then rendezvous on
+    /// `barrier` so the coordinator reads one consistent cross-shard cut
+    /// (no shard serves new batches while any shard is still writing).
+    Snapshot {
+        idx: usize,
+        out: Arc<Mutex<Vec<Option<RuntimeStats>>>>,
+        barrier: Arc<Barrier>,
+    },
+    /// Reset the shard, then rendezvous on `barrier`.
+    Reset { barrier: Arc<Barrier> },
+}
+
+/// The owner-mode engine: one bounded sender per shard plus the join
+/// handles of the owner threads.
+pub(crate) struct OwnerPool {
+    txs: Vec<SyncSender<Msg>>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl OwnerPool {
+    /// Spawn one owner per capacity entry. Each owner builds its own
+    /// policy instance on its own thread.
+    pub fn new(
+        kind: &PolicyKind,
+        capacities: &[usize],
+        map: &BlockMap,
+        backend: &Arc<dyn BlockBackend>,
+        fetch: FetchPath,
+        queue_depth: usize,
+    ) -> Self {
+        let mut txs = Vec::with_capacity(capacities.len());
+        let mut joins = Vec::with_capacity(capacities.len());
+        for (i, &capacity) in capacities.iter().enumerate() {
+            let (tx, rx) = std::sync::mpsc::sync_channel(queue_depth);
+            let kind = kind.clone();
+            let map = map.clone();
+            let backend = Arc::clone(backend);
+            let join = std::thread::Builder::new()
+                .name(format!("gc-shard-{i}"))
+                .spawn(move || {
+                    // Built here, on the owner thread: the policy never
+                    // crosses a thread boundary, so no `Send` bound.
+                    let core = ShardCore::new(kind.build(capacity, &map));
+                    owner_loop(rx, core, map, backend, fetch);
+                })
+                .expect("spawn shard owner thread");
+            txs.push(tx);
+            joins.push(join);
+        }
+        OwnerPool { txs, joins }
+    }
+
+    /// Send a message to shard `shard`, blocking if its queue is full.
+    pub fn send(&self, shard: usize, msg: Msg) {
+        self.txs[shard]
+            .send(msg)
+            .expect("shard owner exited while runtime alive");
+    }
+
+    /// Number of owner threads.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// One consistent cross-shard stats cut: every owner pauses at the
+    /// same barrier after writing its snapshot, so no shard's counters
+    /// move while another's are being read.
+    pub fn snapshot_all(&self) -> Vec<RuntimeStats> {
+        let n = self.txs.len();
+        let out = Arc::new(Mutex::new(vec![None; n]));
+        let barrier = Arc::new(Barrier::new(n + 1));
+        for (idx, _) in self.txs.iter().enumerate() {
+            self.send(
+                idx,
+                Msg::Snapshot {
+                    idx,
+                    out: Arc::clone(&out),
+                    barrier: Arc::clone(&barrier),
+                },
+            );
+        }
+        barrier.wait();
+        let mut out = out.lock();
+        out.iter_mut()
+            .map(|s| s.take().expect("every owner wrote its snapshot"))
+            .collect()
+    }
+
+    /// Reset every shard at one barrier-aligned point.
+    pub fn reset_all(&self) {
+        let barrier = Arc::new(Barrier::new(self.txs.len() + 1));
+        for idx in 0..self.txs.len() {
+            self.send(
+                idx,
+                Msg::Reset {
+                    barrier: Arc::clone(&barrier),
+                },
+            );
+        }
+        barrier.wait();
+    }
+}
+
+impl Drop for OwnerPool {
+    fn drop(&mut self) {
+        // Disconnect: owners drain their queues (std MPSC delivers every
+        // queued message before reporting disconnect), then exit.
+        self.txs.clear();
+        for join in self.joins.drain(..) {
+            // A panicked owner already poisoned the run via missing
+            // replies; surface it here instead of hiding it.
+            if let Err(payload) = join.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// The owner thread body: drain messages until disconnect.
+fn owner_loop(
+    rx: Receiver<Msg>,
+    mut core: ShardCore<dyn gc_policies::GcPolicy>,
+    map: BlockMap,
+    backend: Arc<dyn BlockBackend>,
+    fetch: FetchPath,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Batch { mut job, slot } => {
+                job.replies.clear();
+                for i in 0..job.items.len() {
+                    let item = job.items[i];
+                    let reply = match core.access(item) {
+                        AccessPhase::Hit { spatial } => BatchReply::Hit { spatial },
+                        AccessPhase::MissNeedsFetch { admitted } => match fetch {
+                            FetchPath::Coalesced => BatchReply::MissNeedsFetch { admitted },
+                            FetchPath::Inline => {
+                                let block = map
+                                    .try_block_of(item)
+                                    .expect("runtime verified the item before enqueueing");
+                                match core.fetch_inline(backend.as_ref(), block, item) {
+                                    Ok(fetched) => BatchReply::MissFetched { admitted, fetched },
+                                    Err(e) => BatchReply::MissFailed(e),
+                                }
+                            }
+                        },
+                    };
+                    job.replies.push(reply);
+                }
+                slot.fill(job);
+            }
+            Msg::Snapshot { idx, out, barrier } => {
+                out.lock()[idx] = Some(core.stats.clone());
+                barrier.wait();
+            }
+            Msg::Reset { barrier } => {
+                core.reset();
+                barrier.wait();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SyntheticBackend;
+
+    fn pool(fetch: FetchPath, queue_depth: usize) -> (OwnerPool, BlockMap) {
+        let map = BlockMap::strided(4);
+        let backend: Arc<dyn BlockBackend> = Arc::new(SyntheticBackend::new(map.clone()));
+        let pool = OwnerPool::new(
+            &PolicyKind::ItemLru,
+            &[8, 8],
+            &map,
+            &backend,
+            fetch,
+            queue_depth,
+        );
+        (pool, map)
+    }
+
+    #[test]
+    fn batch_roundtrip_fills_replies_in_order() {
+        let (pool, _) = pool(FetchPath::Inline, 2);
+        let slot = ReplySlot::new();
+        let job = BatchJob {
+            items: vec![ItemId(0), ItemId(1), ItemId(0)],
+            replies: Vec::new(),
+        };
+        pool.send(
+            0,
+            Msg::Batch {
+                job,
+                slot: Arc::clone(&slot),
+            },
+        );
+        let job = slot.wait();
+        assert_eq!(job.replies.len(), 3);
+        assert!(matches!(
+            job.replies[0],
+            BatchReply::MissFetched {
+                admitted: 1,
+                fetched: 4
+            }
+        ));
+        assert!(matches!(
+            job.replies[1],
+            BatchReply::MissFetched {
+                admitted: 1,
+                fetched: 4
+            }
+        ));
+        assert_eq!(job.replies[2], BatchReply::Hit { spatial: false });
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs_and_fills_every_slot() {
+        // Queue several jobs without collecting replies, then drop the
+        // pool: every queued job must still be executed and every slot
+        // filled (no lost replies), and drop must not deadlock.
+        let (pool, _) = pool(FetchPath::Inline, 8);
+        let slots: Vec<Arc<ReplySlot>> = (0..6).map(|_| ReplySlot::new()).collect();
+        for (i, slot) in slots.iter().enumerate() {
+            pool.send(
+                i % 2,
+                Msg::Batch {
+                    job: BatchJob {
+                        items: vec![ItemId(i as u64)],
+                        replies: Vec::new(),
+                    },
+                    slot: Arc::clone(slot),
+                },
+            );
+        }
+        drop(pool); // joins both owners
+        for slot in &slots {
+            let job = slot.try_take().expect("reply delivered before join");
+            assert_eq!(job.replies.len(), 1);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_a_consistent_cut() {
+        let (pool, _) = pool(FetchPath::Inline, 2);
+        let slot = ReplySlot::new();
+        pool.send(
+            0,
+            Msg::Batch {
+                job: BatchJob {
+                    items: vec![ItemId(0), ItemId(4), ItemId(8)],
+                    replies: Vec::new(),
+                },
+                slot: Arc::clone(&slot),
+            },
+        );
+        slot.wait();
+        let stats = pool.snapshot_all();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].accesses + stats[1].accesses, 3);
+        pool.reset_all();
+        let stats = pool.snapshot_all();
+        assert_eq!(stats[0].accesses + stats[1].accesses, 0);
+    }
+}

@@ -1,33 +1,53 @@
 //! The sharded, thread-safe GC-cache front end.
 //!
 //! Keys are hash-sharded **by block** to `S` independent shards, each
-//! wrapping one policy instance behind its own lock, so items of the same
-//! block always land on the same shard and the policy's block-granular
-//! decisions (co-loads, block evictions, spatial attribution) stay
-//! coherent. The per-access critical section is exactly the offline
-//! engine's loop body — policy access, spatial-candidate bookkeeping,
-//! counters — which is what makes the 1-shard/1-thread runtime
-//! bit-identical to `gc_sim::simulate` on the same trace.
+//! wrapping one policy instance, so items of the same block always land on
+//! the same shard and the policy's block-granular decisions (co-loads,
+//! block evictions, spatial attribution) stay coherent. The per-access
+//! critical section is exactly the offline engine's loop body
+//! ([`ShardCore::access`](crate::core::ShardCore)), which is what makes
+//! the 1-shard/1-thread runtime bit-identical to `gc_sim::simulate` on the
+//! same trace — in **both** execution modes and at every batch size.
 //!
-//! Misses leave the shard lock before touching storage: the backend load
-//! goes through a [`SingleFlight`] table keyed by block, so concurrent
-//! misses on items of the same block coalesce into **one** backend fetch.
-//! The fetcher returns the whole block (the paper's "rest of the block is
-//! free" rule); each miss's policy has already chosen the subset it
-//! admits, and the runtime counts admitted vs fetched items to measure
-//! that subset-selection.
+//! How that critical section is reached is configured by
+//! [`RuntimeConfig`]: locked shards driven in place by caller threads, or
+//! owner threads fed through bounded queues (see [`config`](crate::config)
+//! for the trade-offs). Misses either fetch inline inside the critical
+//! section ([`FetchPath::Inline`]) or leave the shard and fetch through
+//! the striped [`SingleFlight`] table ([`FetchPath::Coalesced`]), where
+//! concurrent misses on items of the same block coalesce into **one**
+//! backend load. The fetcher returns the whole block (the paper's "rest of
+//! the block is free" rule); each miss's policy has already chosen the
+//! subset it admits, and the runtime counts admitted vs fetched items to
+//! measure that subset-selection.
+//!
+//! # Stats without shared atomics
+//!
+//! Access-path counters live inside each shard's critical section (mutex-
+//! or owner-protected — private cache lines, no cross-core sharing).
+//! Coalesced-path fetch counters are accumulated **session-locally** by
+//! each caller and folded into per-shard accumulators at batch boundaries,
+//! so the request hot path touches no shared `AtomicU64` at all.
+//! [`per_shard_stats`](GcRuntime::per_shard_stats) takes a consistent
+//! cross-shard cut: all shard locks held at once (locked mode) or a
+//! barrier-aligned owner rendezvous (owner mode) — no more torn aggregates
+//! from snapshotting shards one at a time mid-run. Fetch folds from
+//! batches still in flight land at their next batch boundary; counters are
+//! exact whenever callers are quiesced (which is when the harness reads
+//! them).
 
 use crate::backend::BlockBackend;
+use crate::config::{ExecMode, FetchPath, RuntimeConfig};
+use crate::core::{AccessPhase, ShardCore};
+use crate::owner::{BatchJob, BatchReply, Msg, OwnerPool, ReplySlot};
+use crate::session::Session;
 use crate::singleflight::{FetchRole, SingleFlight};
 use gc_policies::{GcPolicy, PolicyKind};
-use gc_sim::{SimStats, SpatialSet};
-use gc_types::runtime_stats::LATENCY_BUCKETS;
-use gc_types::{
-    mix64, AccessKind, AccessScratch, BlockMap, GcError, ItemId, LatencyHistogram, RuntimeStats,
-};
+use gc_sim::SimStats;
+use gc_types::{mix64, BlockId, BlockMap, GcError, ItemId, LatencyHistogram, RuntimeStats};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The outcome of one runtime access, as seen by the calling thread.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,68 +82,60 @@ impl ServeOutcome {
     }
 }
 
-/// Lock-guarded per-shard state: the policy plus exactly the bookkeeping
-/// the offline engine keeps per simulation.
-struct ShardState {
-    policy: Box<dyn GcPolicy + Send>,
-    scratch: AccessScratch,
-    /// Items resident only by virtue of a co-load, not yet re-requested.
-    candidates: SpatialSet,
-    /// Access-path counters (the fetch-path fields stay zero here; they
-    /// live in the shard's atomic [`FetchCounters`]).
-    stats: RuntimeStats,
+/// Session-local accumulator for coalesced-path fetch telemetry. Lives in
+/// caller-private memory on the hot path; folded into the per-shard
+/// accumulator at batch boundaries.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FetchStats {
+    pub backend_fetches: u64,
+    pub coalesced_fetches: u64,
+    pub fetched_items: u64,
+    pub latency: LatencyHistogram,
 }
 
-/// Fetch-path counters, updated outside the shard lock by single-flight
-/// leaders and waiters.
-struct FetchCounters {
-    backend_fetches: AtomicU64,
-    coalesced_fetches: AtomicU64,
-    fetched_items: AtomicU64,
-    latency_buckets: [AtomicU64; LATENCY_BUCKETS],
-    latency_sum: AtomicU64,
-    latency_max: AtomicU64,
-}
-
-impl FetchCounters {
-    fn new() -> Self {
-        FetchCounters {
-            backend_fetches: AtomicU64::new(0),
-            coalesced_fetches: AtomicU64::new(0),
-            fetched_items: AtomicU64::new(0),
-            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            latency_sum: AtomicU64::new(0),
-            latency_max: AtomicU64::new(0),
-        }
+impl FetchStats {
+    #[inline]
+    pub fn record_lead(&mut self, fetched: usize, latency: Duration) {
+        self.backend_fetches += 1;
+        self.fetched_items += fetched as u64;
+        self.latency
+            .record(latency.as_nanos().min(u64::MAX as u128) as u64);
     }
 
-    fn record_lead(&self, fetched: usize, latency_nanos: u64) {
-        self.backend_fetches.fetch_add(1, Ordering::Relaxed);
-        self.fetched_items
-            .fetch_add(fetched as u64, Ordering::Relaxed);
-        let bucket = gc_types::runtime_stats::latency_bucket(latency_nanos);
-        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum.fetch_add(latency_nanos, Ordering::Relaxed);
-        self.latency_max.fetch_max(latency_nanos, Ordering::Relaxed);
+    #[inline]
+    pub fn record_coalesced(&mut self) {
+        self.coalesced_fetches += 1;
     }
 
-    fn histogram(&self) -> LatencyHistogram {
-        let buckets: Vec<u64> = self
-            .latency_buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        LatencyHistogram::from_buckets(
-            &buckets,
-            self.latency_sum.load(Ordering::Relaxed),
-            self.latency_max.load(Ordering::Relaxed),
-        )
+    pub fn is_empty(&self) -> bool {
+        self.backend_fetches == 0 && self.coalesced_fetches == 0 && self.fetched_items == 0
+    }
+
+    pub fn merge(&mut self, other: &FetchStats) {
+        self.backend_fetches += other.backend_fetches;
+        self.coalesced_fetches += other.coalesced_fetches;
+        self.fetched_items += other.fetched_items;
+        self.latency.merge(&other.latency);
+    }
+
+    pub fn clear(&mut self) {
+        *self = FetchStats::default();
+    }
+
+    fn fold_into(&self, stats: &mut RuntimeStats) {
+        stats.backend_fetches += self.backend_fetches;
+        stats.coalesced_fetches += self.coalesced_fetches;
+        stats.fetched_items += self.fetched_items;
+        stats.fetch_latency.merge(&self.latency);
     }
 }
 
-struct Shard {
-    state: Mutex<ShardState>,
-    fetch: FetchCounters,
+/// The two shard execution engines behind one API.
+enum Engine {
+    /// Shards behind mutexes; caller threads run the policy in place.
+    Locked(Vec<Mutex<ShardCore<dyn GcPolicy + Send>>>),
+    /// One owner thread per shard, fed by bounded MPSC queues.
+    Owner(OwnerPool),
 }
 
 /// A thread-safe, shard-partitioned GC cache runtime.
@@ -144,10 +156,39 @@ struct Shard {
 /// assert_eq!(stats.hits() + stats.misses, 2);
 /// ```
 pub struct GcRuntime {
-    shards: Vec<Shard>,
+    config: RuntimeConfig,
     map: BlockMap,
     backend: Arc<dyn BlockBackend>,
     flight: SingleFlight,
+    engine: Engine,
+    /// Strength-reduced block → shard routing (hot path: one request ≈
+    /// tens of ns, so an integer division here is measurable).
+    route: ShardRoute,
+    /// Per-shard folds of session-local coalesced-path fetch stats.
+    fetch_folds: Vec<Mutex<FetchStats>>,
+}
+
+/// Block → shard routing, strength-reduced at construction.
+#[derive(Clone, Copy)]
+enum ShardRoute {
+    /// One shard: no hash, no division.
+    Single,
+    /// Power-of-two shard count: hash then mask.
+    Mask(u64),
+    /// General shard count: hash then modulo.
+    Mod(u64),
+}
+
+impl ShardRoute {
+    fn new(shards: usize) -> ShardRoute {
+        if shards == 1 {
+            ShardRoute::Single
+        } else if shards.is_power_of_two() {
+            ShardRoute::Mask(shards as u64 - 1)
+        } else {
+            ShardRoute::Mod(shards as u64)
+        }
+    }
 }
 
 /// Split `capacity` lines over `shards` shards as evenly as possible
@@ -159,8 +200,10 @@ pub fn shard_capacities(capacity: usize, shards: usize) -> Vec<usize> {
 }
 
 impl GcRuntime {
-    /// Build a runtime: `shards` independent instances of `kind`, each
-    /// sized to its share of `capacity`, serving blocks from `backend`.
+    /// Build a runtime with default execution knobs (locked shards, no
+    /// batching, coalesced fetches): `shards` independent instances of
+    /// `kind`, each sized to its share of `capacity`, serving blocks from
+    /// `backend`.
     ///
     /// With `shards == 1` the lone shard gets the full capacity, which is
     /// what makes single-shard runs directly comparable (bit-identical on
@@ -178,103 +221,178 @@ impl GcRuntime {
         shards: usize,
         backend: Arc<dyn BlockBackend>,
     ) -> Result<GcRuntime, GcError> {
-        if shards == 0 {
-            return Err(GcError::ZeroShards);
-        }
-        if capacity == 0 {
-            return Err(GcError::ZeroCapacity);
-        }
-        if capacity < shards {
-            return Err(GcError::CapacityTooSmall {
-                capacity,
-                required: shards,
-            });
-        }
-        let shards = shard_capacities(capacity, shards)
-            .into_iter()
-            .map(|shard_capacity| Shard {
-                state: Mutex::new(ShardState {
-                    policy: kind.build_send(shard_capacity, &map),
-                    scratch: AccessScratch::new(),
-                    candidates: SpatialSet::new(),
-                    stats: RuntimeStats::default(),
-                }),
-                fetch: FetchCounters::new(),
-            })
+        GcRuntime::with_config(kind, capacity, map, RuntimeConfig::new(shards), backend)
+    }
+
+    /// Build a runtime with explicit execution knobs (mode, batching,
+    /// fetch path, queue depth). See [`RuntimeConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`new`](Self::new) rejects, plus invalid `batch` /
+    /// `queue_depth` values.
+    pub fn with_config(
+        kind: &PolicyKind,
+        capacity: usize,
+        map: BlockMap,
+        config: RuntimeConfig,
+        backend: Arc<dyn BlockBackend>,
+    ) -> Result<GcRuntime, GcError> {
+        config.validate(capacity)?;
+        let capacities = shard_capacities(capacity, config.shards);
+        let engine = match config.mode {
+            ExecMode::Locked => Engine::Locked(
+                capacities
+                    .iter()
+                    .map(|&c| Mutex::new(ShardCore::new(kind.build_send(c, &map))))
+                    .collect(),
+            ),
+            ExecMode::Owner => Engine::Owner(OwnerPool::new(
+                kind,
+                &capacities,
+                &map,
+                &backend,
+                config.fetch,
+                config.queue_depth,
+            )),
+        };
+        let fetch_folds = (0..config.shards)
+            .map(|_| Mutex::new(FetchStats::default()))
             .collect();
         Ok(GcRuntime {
-            shards,
+            route: ShardRoute::new(config.shards),
+            config,
             map,
             backend,
             flight: SingleFlight::new(),
+            engine,
+            fetch_folds,
         })
+    }
+
+    /// The runtime's execution configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.config.shards
+    }
+
+    pub(crate) fn map(&self) -> &BlockMap {
+        &self.map
+    }
+
+    /// Shard index of a block (block-affine hash). For power-of-two shard
+    /// counts `hash & (S-1) == hash % S`, so the strength reduction never
+    /// changes placement.
+    #[inline]
+    pub(crate) fn shard_index(&self, block: BlockId) -> usize {
+        match self.route {
+            ShardRoute::Single => 0,
+            ShardRoute::Mask(mask) => (mix64(block.0) & mask) as usize,
+            ShardRoute::Mod(n) => (mix64(block.0) % n) as usize,
+        }
     }
 
     /// The shard serving `item` — block-affine: every item of a block maps
     /// to the same shard, so block-granular policy decisions stay local.
     pub fn shard_of(&self, item: ItemId) -> Option<usize> {
         let block = self.map.try_block_of(item)?;
-        Some((mix64(block.0) % self.shards.len() as u64) as usize)
+        Some(self.shard_index(block))
+    }
+
+    /// Open a batched session: the hot-path handle that groups requests
+    /// per shard and amortizes synchronization over
+    /// [`RuntimeConfig::batch`] accesses. Sessions are cheap but not free
+    /// (a few vectors per shard); open one per worker thread, not one per
+    /// request.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
     }
 
     /// Serve one request.
     ///
-    /// Hits complete entirely under the shard lock. Misses run the policy
-    /// (admission + eviction) under the lock, then release it and fetch
-    /// the block through the single-flight table: one backend load per
-    /// in-flight block, no matter how many threads miss on it.
+    /// Convenience single-request path (one synchronization event per
+    /// call); throughput-sensitive callers should use [`session`]
+    /// (Self::session). Hits complete inside the shard's critical section.
+    /// Misses run the policy (admission + eviction) there too, then fetch
+    /// the block inline or through the single-flight table depending on
+    /// [`RuntimeConfig::fetch`].
     pub fn get(&self, item: ItemId) -> Result<ServeOutcome, GcError> {
         let block = self.map.try_block_of(item).ok_or_else(|| {
             GcError::InvalidParameter(format!("item {item} is not in the runtime's block map"))
         })?;
-        let shard = &self.shards[(mix64(block.0) % self.shards.len() as u64) as usize];
+        let shard = self.shard_index(block);
 
-        // Phase 1 — the offline engine's loop body, under the shard lock.
-        let admitted = {
-            let mut guard = shard.state.lock();
-            let st = &mut *guard;
-            match st.policy.access_into(item, &mut st.scratch) {
-                AccessKind::Hit => {
-                    let spatial = st.candidates.remove(item);
-                    st.stats.accesses += 1;
-                    if spatial {
-                        st.stats.spatial_hits += 1;
-                    } else {
-                        st.stats.temporal_hits += 1;
-                    }
-                    st.stats.peak_len = st.stats.peak_len.max(st.policy.len());
-                    return Ok(ServeOutcome::Hit { spatial });
-                }
-                AccessKind::Miss => {
-                    debug_assert!(
-                        st.scratch.loaded.contains(&item),
-                        "a miss must load the requested item"
-                    );
-                    for &z in &st.scratch.loaded {
-                        if z != item {
-                            st.candidates.insert(z);
+        // Phase 1 — the engine's loop body inside the shard's critical
+        // section; inline fetches complete there as well.
+        let admitted = match &self.engine {
+            Engine::Locked(shards) => {
+                let mut core = shards[shard].lock();
+                match core.access(item) {
+                    AccessPhase::Hit { spatial } => return Ok(ServeOutcome::Hit { spatial }),
+                    AccessPhase::MissNeedsFetch { admitted } => match self.config.fetch {
+                        FetchPath::Inline => {
+                            let fetched = core.fetch_inline(self.backend.as_ref(), block, item)?;
+                            return Ok(ServeOutcome::Miss {
+                                coalesced: false,
+                                fetched_items: fetched,
+                                admitted_items: admitted,
+                            });
                         }
+                        FetchPath::Coalesced => admitted,
+                    },
+                }
+            }
+            Engine::Owner(pool) => {
+                let slot = ReplySlot::new();
+                pool.send(
+                    shard,
+                    Msg::Batch {
+                        job: BatchJob {
+                            items: vec![item],
+                            replies: Vec::new(),
+                        },
+                        slot: Arc::clone(&slot),
+                    },
+                );
+                let job = slot.wait();
+                match job.replies.first().expect("one reply per request") {
+                    BatchReply::Hit { spatial } => {
+                        return Ok(ServeOutcome::Hit { spatial: *spatial })
                     }
-                    st.candidates.remove(item);
-                    for &z in &st.scratch.evicted {
-                        st.candidates.remove(z);
+                    BatchReply::MissFetched { admitted, fetched } => {
+                        return Ok(ServeOutcome::Miss {
+                            coalesced: false,
+                            fetched_items: *fetched,
+                            admitted_items: *admitted,
+                        })
                     }
-                    st.stats.accesses += 1;
-                    st.stats.misses += 1;
-                    st.stats.admitted_items += st.scratch.loaded.len() as u64;
-                    st.stats.evicted_items += st.scratch.evicted.len() as u64;
-                    st.stats.peak_len = st.stats.peak_len.max(st.policy.len());
-                    st.scratch.loaded.len()
+                    BatchReply::MissFailed(e) => return Err(e.clone()),
+                    BatchReply::MissNeedsFetch { admitted } => *admitted,
                 }
             }
         };
 
-        // Phase 2 — the unit-cost block fetch, outside the shard lock.
+        // Phase 2 — the unit-cost block fetch through the single-flight
+        // table, outside the shard.
+        let mut local = FetchStats::default();
+        let outcome = self.coalesced_fetch(block, item, admitted, &mut local);
+        self.fold_fetch(shard, &local);
+        outcome
+    }
+
+    /// The shared coalesced-path fetch: one single-flight exchange,
+    /// telemetry recorded into a caller-local accumulator.
+    pub(crate) fn coalesced_fetch(
+        &self,
+        block: BlockId,
+        item: ItemId,
+        admitted: usize,
+        local: &mut FetchStats,
+    ) -> Result<ServeOutcome, GcError> {
         let (result, role) = self
             .flight
             .fetch(block.0, || self.backend.load_block(block));
@@ -287,10 +405,7 @@ impl GcRuntime {
         }
         match role {
             FetchRole::Led { latency } => {
-                shard.fetch.record_lead(
-                    payload.len(),
-                    latency.as_nanos().min(u64::MAX as u128) as u64,
-                );
+                local.record_lead(payload.len(), latency);
                 Ok(ServeOutcome::Miss {
                     coalesced: false,
                     fetched_items: payload.len(),
@@ -298,10 +413,9 @@ impl GcRuntime {
                 })
             }
             FetchRole::Coalesced => {
-                shard
-                    .fetch
-                    .coalesced_fetches
-                    .fetch_add(1, Ordering::Relaxed);
+                // `fetched_items` counts backend supply, so only the led
+                // fetch accounts the payload; waiters share it for free.
+                local.record_coalesced();
                 Ok(ServeOutcome::Miss {
                     coalesced: true,
                     fetched_items: payload.len(),
@@ -311,29 +425,62 @@ impl GcRuntime {
         }
     }
 
-    /// Snapshot one shard's counters (access path + fetch path).
+    /// Fold a caller-local fetch accumulator into its shard's fold.
+    pub(crate) fn fold_fetch(&self, shard: usize, local: &FetchStats) {
+        if !local.is_empty() {
+            self.fetch_folds[shard].lock().merge(local);
+        }
+    }
+
+    pub(crate) fn engine_locked(&self) -> Option<&[Mutex<ShardCore<dyn GcPolicy + Send>>]> {
+        match &self.engine {
+            Engine::Locked(shards) => Some(shards),
+            Engine::Owner(_) => None,
+        }
+    }
+
+    pub(crate) fn engine_owner(&self) -> Option<&OwnerPool> {
+        match &self.engine {
+            Engine::Locked(_) => None,
+            Engine::Owner(pool) => Some(pool),
+        }
+    }
+
+    pub(crate) fn backend(&self) -> &dyn BlockBackend {
+        self.backend.as_ref()
+    }
+
+    /// Snapshot one shard's counters (access path + fetch path). Taken
+    /// from the same consistent cut as [`per_shard_stats`]
+    /// (Self::per_shard_stats).
     pub fn shard_stats(&self, shard: usize) -> RuntimeStats {
-        let s = &self.shards[shard];
-        let mut stats = s.state.lock().stats.clone();
-        stats.backend_fetches = s.fetch.backend_fetches.load(Ordering::Relaxed);
-        stats.coalesced_fetches = s.fetch.coalesced_fetches.load(Ordering::Relaxed);
-        stats.fetched_items = s.fetch.fetched_items.load(Ordering::Relaxed);
-        stats.fetch_latency = s.fetch.histogram();
+        self.per_shard_stats().swap_remove(shard)
+    }
+
+    /// Snapshot every shard's counters, in shard order, from one
+    /// consistent cross-shard cut: locked mode holds every shard lock at
+    /// once; owner mode pauses every owner at a shared barrier. Fetch
+    /// folds from caller batches still in flight land at their next batch
+    /// boundary — counters are exact at quiescent points.
+    pub fn per_shard_stats(&self) -> Vec<RuntimeStats> {
+        let mut stats: Vec<RuntimeStats> = match &self.engine {
+            Engine::Locked(shards) => {
+                let guards: Vec<_> = shards.iter().map(|s| s.lock()).collect();
+                guards.iter().map(|g| g.stats.clone()).collect()
+            }
+            Engine::Owner(pool) => pool.snapshot_all(),
+        };
+        for (i, st) in stats.iter_mut().enumerate() {
+            self.fetch_folds[i].lock().fold_into(st);
+        }
         stats
     }
 
-    /// Snapshot every shard's counters, in shard order.
-    pub fn per_shard_stats(&self) -> Vec<RuntimeStats> {
-        (0..self.shards.len())
-            .map(|i| self.shard_stats(i))
-            .collect()
-    }
-
-    /// Aggregate counters over all shards.
+    /// Aggregate counters over all shards (one consistent cut).
     pub fn aggregate_stats(&self) -> RuntimeStats {
         let mut total = RuntimeStats::default();
-        for i in 0..self.shards.len() {
-            total.merge(&self.shard_stats(i));
+        for s in self.per_shard_stats() {
+            total.merge(&s);
         }
         total
     }
@@ -366,19 +513,16 @@ impl GcRuntime {
     /// Reset every shard to its post-construction state and zero all
     /// counters. Not linearizable with concurrent `get`s; quiesce first.
     pub fn reset(&self) {
-        for s in &self.shards {
-            let mut st = s.state.lock();
-            st.policy.reset();
-            st.candidates.clear();
-            st.stats = RuntimeStats::default();
-            s.fetch.backend_fetches.store(0, Ordering::Relaxed);
-            s.fetch.coalesced_fetches.store(0, Ordering::Relaxed);
-            s.fetch.fetched_items.store(0, Ordering::Relaxed);
-            for b in &s.fetch.latency_buckets {
-                b.store(0, Ordering::Relaxed);
+        match &self.engine {
+            Engine::Locked(shards) => {
+                for s in shards {
+                    s.lock().reset();
+                }
             }
-            s.fetch.latency_sum.store(0, Ordering::Relaxed);
-            s.fetch.latency_max.store(0, Ordering::Relaxed);
+            Engine::Owner(pool) => pool.reset_all(),
+        }
+        for fold in &self.fetch_folds {
+            fold.lock().clear();
         }
     }
 }
@@ -392,6 +536,23 @@ mod tests {
         let map = BlockMap::strided(block_size);
         let backend = Arc::new(SyntheticBackend::new(map.clone()));
         GcRuntime::new(kind, capacity, map, shards, backend).unwrap()
+    }
+
+    fn all_configs(shards: usize) -> Vec<RuntimeConfig> {
+        let mut cfgs = Vec::new();
+        for mode in [ExecMode::Locked, ExecMode::Owner] {
+            for fetch in [FetchPath::Coalesced, FetchPath::Inline] {
+                for batch in [1usize, 4] {
+                    cfgs.push(
+                        RuntimeConfig::new(shards)
+                            .with_mode(mode)
+                            .with_fetch(fetch)
+                            .with_batch(batch),
+                    );
+                }
+            }
+        }
+        cfgs
     }
 
     #[test]
@@ -451,22 +612,36 @@ mod tests {
     }
 
     #[test]
-    fn hit_miss_and_spatial_attribution() {
+    fn hit_miss_and_spatial_attribution_in_every_config() {
         // Mirrors the engine's doctest: BlockLru co-loads, first touches of
-        // co-loaded items are spatial hits.
-        let rt = runtime(&PolicyKind::BlockLru, 16, 4, 1);
-        for id in [0u64, 1, 2, 1] {
-            rt.get(ItemId(id)).unwrap();
+        // co-loaded items are spatial hits. Must hold in every mode, fetch
+        // path, and batch size.
+        let map = BlockMap::strided(4);
+        for cfg in all_configs(1) {
+            let backend = Arc::new(SyntheticBackend::new(map.clone()));
+            let rt = GcRuntime::with_config(
+                &PolicyKind::BlockLru,
+                16,
+                map.clone(),
+                cfg.clone(),
+                backend,
+            )
+            .unwrap();
+            for id in [0u64, 1, 2, 1] {
+                rt.get(ItemId(id)).unwrap();
+            }
+            let s = rt.aggregate_stats();
+            assert_eq!(s.accesses, 4, "{cfg:?}");
+            assert_eq!(s.misses, 1, "{cfg:?}");
+            assert_eq!(s.spatial_hits, 2, "{cfg:?}");
+            assert_eq!(s.temporal_hits, 1, "{cfg:?}");
+            assert_eq!(s.backend_fetches, 1, "{cfg:?}");
+            assert_eq!(s.coalesced_fetches, 0, "{cfg:?}");
+            assert_eq!(s.fetched_items, 4, "{cfg:?}");
+            if cfg.fetch == FetchPath::Coalesced {
+                assert_eq!(s.fetch_latency.count(), 1, "{cfg:?}");
+            }
         }
-        let s = rt.aggregate_stats();
-        assert_eq!(s.accesses, 4);
-        assert_eq!(s.misses, 1);
-        assert_eq!(s.spatial_hits, 2);
-        assert_eq!(s.temporal_hits, 1);
-        assert_eq!(s.backend_fetches, 1);
-        assert_eq!(s.coalesced_fetches, 0);
-        assert_eq!(s.fetched_items, 4);
-        assert_eq!(s.fetch_latency.count(), 1);
     }
 
     #[test]
@@ -511,26 +686,40 @@ mod tests {
     #[test]
     fn unknown_item_is_a_clean_error() {
         let map = BlockMap::from_groups(vec![vec![ItemId(1), ItemId(2)]]).unwrap();
-        let backend = Arc::new(SyntheticBackend::new(map.clone()));
-        let rt = GcRuntime::new(&PolicyKind::ItemLru, 8, map, 1, backend).unwrap();
-        assert!(matches!(
-            rt.get(ItemId(99)),
-            Err(GcError::InvalidParameter(_))
-        ));
-        assert!(rt.get(ItemId(1)).unwrap().is_miss());
+        for cfg in all_configs(1) {
+            let backend = Arc::new(SyntheticBackend::new(map.clone()));
+            let rt =
+                GcRuntime::with_config(&PolicyKind::ItemLru, 8, map.clone(), cfg, backend).unwrap();
+            assert!(matches!(
+                rt.get(ItemId(99)),
+                Err(GcError::InvalidParameter(_))
+            ));
+            assert!(rt.get(ItemId(1)).unwrap().is_miss());
+        }
     }
 
     #[test]
-    fn reset_returns_to_empty() {
-        let rt = runtime(&PolicyKind::ItemLru, 8, 4, 2);
-        for id in 0..8u64 {
-            rt.get(ItemId(id)).unwrap();
+    fn reset_returns_to_empty_in_both_modes() {
+        let map = BlockMap::strided(4);
+        for mode in [ExecMode::Locked, ExecMode::Owner] {
+            let backend = Arc::new(SyntheticBackend::new(map.clone()));
+            let rt = GcRuntime::with_config(
+                &PolicyKind::ItemLru,
+                8,
+                map.clone(),
+                RuntimeConfig::new(2).with_mode(mode),
+                backend,
+            )
+            .unwrap();
+            for id in 0..8u64 {
+                rt.get(ItemId(id)).unwrap();
+            }
+            assert!(rt.aggregate_stats().accesses > 0);
+            rt.reset();
+            let s = rt.aggregate_stats();
+            assert_eq!(s, RuntimeStats::default());
+            assert!(rt.get(ItemId(0)).unwrap().is_miss(), "cache emptied");
         }
-        assert!(rt.aggregate_stats().accesses > 0);
-        rt.reset();
-        let s = rt.aggregate_stats();
-        assert_eq!(s, RuntimeStats::default());
-        assert!(rt.get(ItemId(0)).unwrap().is_miss(), "cache emptied");
     }
 
     #[test]
@@ -546,5 +735,27 @@ mod tests {
         }
         assert_eq!(folded, rt.aggregate_stats());
         assert_eq!(folded.accesses, 256);
+    }
+
+    #[test]
+    fn inline_fetch_skips_latency_histogram() {
+        let map = BlockMap::strided(4);
+        let backend = Arc::new(SyntheticBackend::new(map.clone()));
+        let rt = GcRuntime::with_config(
+            &PolicyKind::ItemLru,
+            16,
+            map,
+            RuntimeConfig::new(1).with_fetch(FetchPath::Inline),
+            backend,
+        )
+        .unwrap();
+        for id in 0..8u64 {
+            rt.get(ItemId(id)).unwrap();
+        }
+        let s = rt.aggregate_stats();
+        assert_eq!(s.misses, 8);
+        assert_eq!(s.backend_fetches, 8);
+        assert_eq!(s.coalesced_fetches, 0);
+        assert!(s.fetch_latency.is_empty(), "inline fetches are not timed");
     }
 }

@@ -1,4 +1,4 @@
-//! The single-flight block fetch table.
+//! The single-flight block fetch table, striped for the hot path.
 //!
 //! When several threads miss on items of the same block while a fetch of
 //! that block is in flight, exactly one of them (the *leader*) performs
@@ -9,19 +9,37 @@
 //! always returns the whole block, and each waiter's policy independently
 //! decides which subset to admit.
 //!
-//! The table holds one entry per in-flight block. Leaders insert the
-//! entry, run the load **without any lock held**, publish the result under
-//! the entry's own mutex, wake all waiters, and retire the entry. Errors
-//! are first-class: a failed load propagates the same [`GcError`] to the
-//! leader and every waiter, and the entry is still retired so a later miss
-//! can retry.
+//! # Why stripes
+//!
+//! The table used to be one global `Mutex<HashMap>`: every miss locked it
+//! twice on the leader path (insert, then a second global acquire to
+//! retire the completed flight) and `len()` locked it too, so under load
+//! the *coordination* table became the contended resource it was meant to
+//! remove. Flights are now spread over [`STRIPES`] independent
+//! mutex-guarded maps keyed by a hash of the block id:
+//!
+//! - leaders and waiters for different blocks almost never share a lock;
+//! - the completed-flight retire touches only the flight's own stripe, and
+//!   runs *before* publishing (two short uncontended sections on disjoint
+//!   objects — the old publish-then-re-lock-the-world sequence is gone);
+//! - [`in_flight`](SingleFlight::in_flight) reads an atomic counter
+//!   maintained on insert/remove instead of locking any table.
+//!
+//! Retiring before publishing changes one boundary case, documented at the
+//! call site: a miss that arrives between retire and publish leads a fresh
+//! fetch instead of joining the finished one. That is strictly more
+//! conservative (never serves a stale result, costs at most one extra
+//! load) and keeps the conservation law `misses == led + coalesced` exact.
 
-use gc_types::{FxHashMap, GcError, ItemId};
+use gc_types::{mix64, FxHashMap, GcError, ItemId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::hash_map::Entry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Number of independent flight-table stripes (power of two).
+pub const STRIPES: usize = 16;
 
 /// The shared fetch result: the whole block's items, or the load failure.
 pub type FetchResult = Result<Arc<Vec<ItemId>>, GcError>;
@@ -67,12 +85,26 @@ impl FetchRole {
 /// Keys are generic in principle but the runtime only ever uses block ids;
 /// to keep the dependency surface small the table is keyed by `u64` (the
 /// raw block id).
-#[derive(Default)]
 pub struct SingleFlight {
-    table: Mutex<FxHashMap<u64, Arc<Flight>>>,
+    stripes: Vec<Mutex<FxHashMap<u64, Arc<Flight>>>>,
+    /// Flights currently in the table, maintained on insert/remove so
+    /// [`in_flight`](Self::in_flight) never takes a lock.
+    in_flight: AtomicUsize,
     /// Calls currently blocked waiting on another call's load — a
     /// diagnostic for deterministic interleaving tests.
     pending_waiters: AtomicUsize,
+}
+
+impl Default for SingleFlight {
+    fn default() -> Self {
+        SingleFlight {
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            in_flight: AtomicUsize::new(0),
+            pending_waiters: AtomicUsize::new(0),
+        }
+    }
 }
 
 impl SingleFlight {
@@ -81,24 +113,31 @@ impl SingleFlight {
         SingleFlight::default()
     }
 
+    #[inline]
+    fn stripe(&self, key: u64) -> &Mutex<FxHashMap<u64, Arc<Flight>>> {
+        &self.stripes[(mix64(key) as usize) & (STRIPES - 1)]
+    }
+
     /// Fetch under `key`: if no load for `key` is in flight, run `load`
     /// as the leader and publish its result; otherwise block until the
     /// in-flight leader publishes, and return its result.
     ///
-    /// The leader runs `load` with **no** table or entry lock held, so
+    /// The leader runs `load` with **no** stripe or entry lock held, so
     /// loads for different keys proceed in parallel and waiters for other
     /// keys are unaffected.
     pub fn fetch<F>(&self, key: u64, load: F) -> (FetchResult, FetchRole)
     where
         F: FnOnce() -> Result<Vec<ItemId>, GcError>,
     {
+        let stripe = self.stripe(key);
         let (flight, is_leader) = {
-            let mut table = self.table.lock();
+            let mut table = stripe.lock();
             match table.entry(key) {
                 Entry::Occupied(e) => (Arc::clone(e.get()), false),
                 Entry::Vacant(v) => {
                     let flight = Arc::new(Flight::new());
                     v.insert(Arc::clone(&flight));
+                    self.in_flight.fetch_add(1, Ordering::Relaxed);
                     (flight, true)
                 }
             }
@@ -108,16 +147,21 @@ impl SingleFlight {
             let t0 = Instant::now();
             let result: FetchResult = load().map(Arc::new);
             let latency = t0.elapsed();
+            // Retire first, publish second. A miss arriving in between
+            // leads its own fresh fetch (the block is no longer listed as
+            // in flight); the waiters already holding this flight observe
+            // the published result the moment it lands. The old order
+            // (publish, then re-lock the global table to retire) made
+            // every completion contend with every other miss in flight.
+            {
+                stripe.lock().remove(&key);
+                self.in_flight.fetch_sub(1, Ordering::Relaxed);
+            }
             {
                 let mut slot = flight.slot.lock();
                 *slot = Some(result.clone());
                 flight.cv.notify_all();
             }
-            // Retire the entry only after publishing: a miss arriving in
-            // between joins as a waiter and observes the fresh result
-            // immediately; a miss arriving after retirement leads its own
-            // fetch (the block is no longer in flight).
-            self.table.lock().remove(&key);
             (result, FetchRole::Led { latency })
         } else {
             self.pending_waiters.fetch_add(1, Ordering::SeqCst);
@@ -140,9 +184,9 @@ impl SingleFlight {
         self.pending_waiters.load(Ordering::SeqCst)
     }
 
-    /// Number of fetches currently in flight.
+    /// Number of fetches currently in flight (lock-free; momentary).
     pub fn in_flight(&self) -> usize {
-        self.table.lock().len()
+        self.in_flight.load(Ordering::Relaxed)
     }
 }
 
@@ -239,5 +283,18 @@ mod tests {
         let (_, b) = sf.fetch(2, || Ok(vec![ItemId(2)]));
         assert!(!a.is_coalesced());
         assert!(!b.is_coalesced());
+    }
+
+    #[test]
+    fn many_keys_spread_over_stripes_without_interference() {
+        // Keys far apart must all lead independently and the in-flight
+        // gauge must return to zero — exercises every stripe.
+        let sf = SingleFlight::new();
+        for key in 0..(STRIPES as u64 * 4) {
+            let (result, role) = sf.fetch(key, || Ok(vec![ItemId(key)]));
+            assert!(!role.is_coalesced());
+            assert_eq!(*result.unwrap(), vec![ItemId(key)]);
+        }
+        assert_eq!(sf.in_flight(), 0);
     }
 }

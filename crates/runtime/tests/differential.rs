@@ -1,13 +1,18 @@
 //! Differential tests: the runtime with one shard driven by one thread
-//! must be **bit-identical** to the offline engine on the same trace.
+//! must be **bit-identical** to the offline engine on the same trace —
+//! in every execution mode, on both fetch paths, and at every batch size.
 //!
 //! This is the correctness anchor for the whole serving path: the shard's
 //! critical section claims to be exactly the engine's loop body, and these
 //! tests hold it to that claim across every policy in the extended roster,
-//! multiple trace shapes, and (via proptest) randomized seeds.
+//! multiple trace shapes, every `RuntimeConfig` execution variant, and
+//! (via proptest) randomized seeds. Batching must be invisible here
+//! because per-shard request order is arrival order no matter the window;
+//! owner mode must be invisible because the owner thread runs the same
+//! `ShardCore::access` body the locked path runs.
 
 use gc_policies::PolicyKind;
-use gc_runtime::{serve_trace, GcRuntime, SyntheticBackend};
+use gc_runtime::{serve_trace, ExecMode, FetchPath, GcRuntime, RuntimeConfig, SyntheticBackend};
 use gc_sim::SimStats;
 use gc_trace::synthetic;
 use gc_types::{BlockMap, Trace};
@@ -16,27 +21,48 @@ use std::sync::Arc;
 const CAPACITY: usize = 96;
 const BLOCK_SIZE: usize = 8;
 
+/// Every execution variant a 1-shard runtime can run in.
+fn all_configs() -> Vec<RuntimeConfig> {
+    let mut cfgs = Vec::new();
+    for mode in [ExecMode::Locked, ExecMode::Owner] {
+        for fetch in [FetchPath::Coalesced, FetchPath::Inline] {
+            for batch in [1usize, 7, 64] {
+                cfgs.push(
+                    RuntimeConfig::new(1)
+                        .with_mode(mode)
+                        .with_fetch(fetch)
+                        .with_batch(batch),
+                );
+            }
+        }
+    }
+    cfgs
+}
+
 /// Offline reference: the engine over a fresh policy instance.
 fn offline(kind: &PolicyKind, trace: &Trace, map: &BlockMap) -> SimStats {
     let mut policy = kind.build(CAPACITY, map);
     gc_sim::simulate(&mut policy, trace)
 }
 
-/// Runtime under test: one shard, one thread, zero-latency backend.
-fn online(kind: &PolicyKind, trace: &Trace, map: &BlockMap) -> SimStats {
+/// Runtime under test: one shard, one thread, zero-latency backend, under
+/// an explicit execution config.
+fn online(kind: &PolicyKind, trace: &Trace, map: &BlockMap, cfg: RuntimeConfig) -> SimStats {
     let backend = Arc::new(SyntheticBackend::new(map.clone()));
-    let rt = GcRuntime::new(kind, CAPACITY, map.clone(), 1, backend).unwrap();
+    let rt = GcRuntime::with_config(kind, CAPACITY, map.clone(), cfg, backend).unwrap();
     serve_trace(&rt, trace, 1).unwrap();
     rt.drain()
 }
 
 fn assert_identical(kind: &PolicyKind, trace: &Trace, map: &BlockMap, label: &str) {
     let expect = offline(kind, trace, map);
-    let got = online(kind, trace, map);
-    assert_eq!(
-        got, expect,
-        "runtime diverged from engine for {kind:?} on {label}"
-    );
+    for cfg in all_configs() {
+        let got = online(kind, trace, map, cfg.clone());
+        assert_eq!(
+            got, expect,
+            "runtime diverged from engine for {kind:?} on {label} under {cfg:?}"
+        );
+    }
 }
 
 #[test]
@@ -90,7 +116,8 @@ mod randomized {
 
     proptest! {
         // A handful of cases is plenty: each case already sweeps the whole
-        // extended roster, and CI time matters more than extra seeds.
+        // extended roster and every execution variant, and CI time matters
+        // more than extra seeds.
         #![proptest_config(ProptestConfig::with_cases(4))]
 
         #[test]
@@ -106,15 +133,18 @@ mod randomized {
             let trace = synthetic::zipfian(2048, theta, 10_000, trace_seed);
             for kind in PolicyKind::extended_roster(roster_seed) {
                 let expect = offline(&kind, &trace, &map);
-                let got = online(&kind, &trace, &map);
-                prop_assert_eq!(
-                    got,
-                    expect,
-                    "runtime diverged from engine for {:?} (trace_seed={}, theta={})",
-                    kind,
-                    trace_seed,
-                    theta
-                );
+                for cfg in all_configs() {
+                    let got = online(&kind, &trace, &map, cfg.clone());
+                    prop_assert_eq!(
+                        got,
+                        expect,
+                        "runtime diverged from engine for {:?} under {:?} (trace_seed={}, theta={})",
+                        kind,
+                        cfg,
+                        trace_seed,
+                        theta
+                    );
+                }
             }
         }
     }

@@ -11,9 +11,11 @@
 //! in debug.
 
 use gc_policies::PolicyKind;
-use gc_runtime::{BlockBackend, GcRuntime, ServeOutcome, SyntheticBackend};
-use gc_types::{BlockId, BlockMap, GcError, ItemId};
-use std::sync::atomic::{AtomicU64, Ordering};
+use gc_runtime::{
+    BlockBackend, ExecMode, FetchPath, GcRuntime, RuntimeConfig, ServeOutcome, SyntheticBackend,
+};
+use gc_types::{mix64, BlockId, BlockMap, GcError, ItemId};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -253,4 +255,214 @@ fn hot_block_storm_coalesces() {
         s.backend_fetches,
         s.misses
     );
+}
+
+fn config_matrix(shards: usize) -> Vec<RuntimeConfig> {
+    let mut cfgs = Vec::new();
+    for mode in [ExecMode::Locked, ExecMode::Owner] {
+        for fetch in [FetchPath::Coalesced, FetchPath::Inline] {
+            for batch in [1usize, 64] {
+                cfgs.push(
+                    RuntimeConfig::new(shards)
+                        .with_mode(mode)
+                        .with_fetch(fetch)
+                        .with_batch(batch),
+                );
+            }
+        }
+    }
+    cfgs
+}
+
+/// Drive `rt` from `threads` session workers over a strided partition of
+/// `ids`, returning the callers' hit/miss tallies.
+fn drive_sessions(rt: &GcRuntime, ids: &[u64], threads: u64) -> u64 {
+    let served = AtomicU64::new(0);
+    thread::scope(|s| {
+        for w in 0..threads as usize {
+            let served = &served;
+            s.spawn(move || {
+                let mut session = rt.session();
+                let n = session
+                    .run(
+                        ids.iter()
+                            .skip(w)
+                            .step_by(threads as usize)
+                            .map(|&id| ItemId(id)),
+                    )
+                    .expect("synthetic backend never fails");
+                session.finish().unwrap();
+                served.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    });
+    served.load(Ordering::Relaxed)
+}
+
+/// 8 session workers, batched and unbatched, in both modes and on both
+/// fetch paths: no lost or duplicated accesses and every conservation law
+/// holds at every point of the matrix.
+#[test]
+fn stress_batched_sessions_conserve_in_every_config() {
+    const THREADS: u64 = 8;
+    let ids: Vec<u64> = (0..24_000u64).map(|i| (i * 13 + i / 7) % 1536).collect();
+    let map = BlockMap::strided(8);
+
+    for cfg in config_matrix(4) {
+        let backend = Arc::new(SyntheticBackend::new(map.clone()));
+        let rt = GcRuntime::with_config(
+            &PolicyKind::IblpBalanced,
+            192,
+            map.clone(),
+            cfg.clone(),
+            backend,
+        )
+        .unwrap();
+        let served = drive_sessions(&rt, &ids, THREADS);
+        assert_eq!(served, ids.len() as u64, "{cfg:?}");
+
+        let s = rt.aggregate_stats();
+        assert_eq!(s.accesses, ids.len() as u64, "{cfg:?}");
+        assert_eq!(s.hits() + s.misses, s.accesses, "{cfg:?}");
+        assert_eq!(s.misses, s.backend_fetches + s.coalesced_fetches, "{cfg:?}");
+        assert!(s.admitted_items >= s.misses, "{cfg:?}");
+        assert!(s.fetched_items >= s.backend_fetches, "{cfg:?}");
+        if cfg.fetch == FetchPath::Coalesced {
+            assert_eq!(s.fetch_latency.count(), s.backend_fetches, "{cfg:?}");
+        } else {
+            // Inline fetches complete inside the critical section: nothing
+            // ever coalesces and nothing is timed.
+            assert_eq!(s.coalesced_fetches, 0, "{cfg:?}");
+            assert!(s.fetch_latency.is_empty(), "{cfg:?}");
+        }
+    }
+}
+
+/// Deterministic 8-thread cross-mode equality: each worker owns exactly
+/// one shard's blocks, so per-shard request order is deterministic and the
+/// policy-visible statistics must be **bit-identical** across every mode,
+/// fetch path, and batch size — concurrency and batching change only how
+/// requests travel, never what the policies see.
+#[test]
+fn shard_partitioned_workers_are_bit_identical_across_configs() {
+    const SHARDS: usize = 8;
+    let map = BlockMap::strided(4);
+
+    // Worker w's trace: the (i*5 % len)-th walk over only shard w's items.
+    let probe = {
+        let backend = Arc::new(SyntheticBackend::new(map.clone()));
+        GcRuntime::new(&PolicyKind::IblpBalanced, 64, map.clone(), SHARDS, backend).unwrap()
+    };
+    let mut per_worker: Vec<Vec<u64>> = vec![Vec::new(); SHARDS];
+    for id in 0..2048u64 {
+        per_worker[probe.shard_of(ItemId(id)).unwrap()].push(id);
+    }
+    let traces: Vec<Vec<u64>> = per_worker
+        .iter()
+        .map(|own| {
+            (0..4_000u64)
+                .map(|i| own[((i * 5 + i / 11) % own.len() as u64) as usize])
+                .collect()
+        })
+        .collect();
+
+    let mut reference = None;
+    for cfg in config_matrix(SHARDS) {
+        let backend = Arc::new(SyntheticBackend::new(map.clone()));
+        let rt = GcRuntime::with_config(
+            &PolicyKind::IblpBalanced,
+            64,
+            map.clone(),
+            cfg.clone(),
+            backend,
+        )
+        .unwrap();
+        thread::scope(|s| {
+            for own in &traces {
+                let rt = &rt;
+                s.spawn(move || {
+                    let mut session = rt.session();
+                    session.run(own.iter().map(|&id| ItemId(id))).unwrap();
+                    session.finish().unwrap();
+                });
+            }
+        });
+        let got = rt.drain();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "{cfg:?}"),
+        }
+    }
+}
+
+/// Seeded handshake stress (loom is unavailable offline, so this drives
+/// many schedules the brute-force way): owner mode with depth-1 queues —
+/// the maximal-backpressure configuration — while a snapshot thread
+/// concurrently forces barrier-aligned stats cuts through the same queues.
+/// Every cut must be internally consistent and the final tallies exact.
+#[test]
+fn owner_mode_interleaving_smoke_under_snapshot_pressure() {
+    const THREADS: u64 = 4;
+    const OPS: u64 = 4_000;
+
+    for seed in 0..4u64 {
+        let map = BlockMap::strided(4);
+        let backend = Arc::new(SyntheticBackend::new(map.clone()));
+        let rt = Arc::new(
+            GcRuntime::with_config(
+                &PolicyKind::ItemLru,
+                64,
+                map,
+                RuntimeConfig::new(3)
+                    .with_mode(ExecMode::Owner)
+                    .with_fetch(FetchPath::Inline)
+                    .with_batch(1 + (seed as usize % 3) * 7)
+                    .with_queue_depth(1),
+                backend,
+            )
+            .unwrap(),
+        );
+
+        let done = AtomicBool::new(false);
+        thread::scope(|outer| {
+            // Snapshot pressure: consistent cuts race the batch traffic
+            // through the same owner queues.
+            let snap_rt = Arc::clone(&rt);
+            let done = &done;
+            outer.spawn(move || {
+                let mut cuts = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let cut = snap_rt.aggregate_stats();
+                    assert_eq!(cut.hits() + cut.misses, cut.accesses);
+                    assert!(cut.misses >= cut.backend_fetches);
+                    cuts += 1;
+                }
+                assert!(cuts > 0, "snapshot thread must observe some cuts");
+            });
+            // Inner scope joins the workers, then the outer scope releases
+            // the snapshot thread.
+            thread::scope(|s| {
+                for t in 0..THREADS {
+                    let rt = Arc::clone(&rt);
+                    s.spawn(move || {
+                        let mut session = rt.session();
+                        for i in 0..OPS {
+                            // Seeded schedule: item choice and flush
+                            // cadence both derive from the seed.
+                            let r = mix64(seed ^ (t << 32) ^ i);
+                            session.push(ItemId(r % 512)).unwrap();
+                            if r % 97 == 0 {
+                                session.flush().unwrap();
+                            }
+                        }
+                        session.finish().unwrap();
+                    });
+                }
+            });
+            done.store(true, Ordering::Release);
+        });
+        let s = rt.aggregate_stats();
+        assert_eq!(s.accesses, THREADS * OPS);
+        assert_eq!(s.misses, s.backend_fetches);
+    }
 }

@@ -171,6 +171,19 @@ impl BlockMap {
     pub fn is_traditional(&self) -> bool {
         self.max_block_size() == 1
     }
+
+    /// The stride of a strided partition (`None` for explicit maps).
+    ///
+    /// Hot paths use this to strength-reduce the per-item block lookup:
+    /// a strided map's `block_of` is a division the caller can turn into a
+    /// shift when the stride is a power of two.
+    #[inline]
+    pub fn stride(&self) -> Option<u64> {
+        match &self.repr {
+            Repr::Strided { block_size } => Some(*block_size),
+            Repr::Explicit(_) => None,
+        }
+    }
 }
 
 /// Iterator over the items of one block. See [`BlockMap::items_of`].
