@@ -258,6 +258,31 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
     let queue_depth: usize = args.get_or("queue-depth", 4usize)?;
     let latency = Duration::from_micros(args.get_or("backend-latency-us", 0u64)?);
     let jitter = Duration::from_micros(args.get_or("jitter-us", 0u64)?);
+
+    // Reject nonsense up front with structured errors. The config
+    // builders floor `batch`/`queue_depth` at 1, which would silently
+    // rewrite an explicit `--batch 0` instead of refusing it; and a
+    // `--queue-depth` under `--mode locked` would be accepted and then
+    // ignored (the queue exists only in owner mode).
+    let invalid = |msg: String| gc_cache::gc_types::GcError::InvalidParameter(msg).to_string();
+    if threads == 0 {
+        return Err(invalid("--threads must be >= 1".into()));
+    }
+    if batch == 0 {
+        return Err(invalid(
+            "--batch must be >= 1 (a batch window of 1 disables batching)".into(),
+        ));
+    }
+    if queue_depth == 0 {
+        return Err(invalid("--queue-depth must be >= 1".into()));
+    }
+    if mode == ExecMode::Locked && args.get_str("queue-depth").is_some() {
+        return Err(invalid(
+            "--queue-depth only applies to --mode owner; drop the flag or select --mode owner"
+                .into(),
+        ));
+    }
+
     let Workload { trace, map, .. } = workload(args)?;
 
     let config = RuntimeConfig::new(shards)

@@ -158,3 +158,83 @@ fn serve_rejects_zero_shards() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("shard"), "{err}");
 }
+
+/// Knob values the config builders would silently floor to 1 must be
+/// refused at the CLI boundary with a structured `invalid parameter`
+/// error naming the flag.
+#[test]
+fn serve_rejects_zero_valued_knobs() {
+    for (flag, value) in [("--batch", "0"), ("--threads", "0"), ("--queue-depth", "0")] {
+        let out = run(&[
+            "serve",
+            "--policy",
+            "iblp",
+            "--capacity",
+            "64",
+            "--mode",
+            "owner",
+            flag,
+            value,
+            "--len",
+            "100",
+        ]);
+        assert!(!out.status.success(), "{flag} 0 must be rejected");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("invalid parameter") && err.contains(flag),
+            "structured error naming {flag}: {err}"
+        );
+    }
+}
+
+/// `--queue-depth` is an owner-mode knob; passing it under the default
+/// locked mode would be accepted and then ignored, so it is an error.
+#[test]
+fn serve_rejects_queue_depth_in_locked_mode() {
+    let out = run(&[
+        "serve",
+        "--policy",
+        "iblp",
+        "--capacity",
+        "64",
+        "--mode",
+        "locked",
+        "--queue-depth",
+        "8",
+        "--len",
+        "100",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("invalid parameter") && err.contains("--queue-depth"),
+        "{err}"
+    );
+
+    // The same flag under owner mode is accepted. (Capacity must be
+    // large enough for IBLP's block layer to hold one default-size
+    // block — a too-small capacity is a *policy* panic, covered by
+    // `owner::tests::constructor_panic_propagates_to_caller`.)
+    let ok = run(&[
+        "serve",
+        "--policy",
+        "iblp",
+        "--capacity",
+        "512",
+        "--mode",
+        "owner",
+        "--queue-depth",
+        "8",
+        "--workload",
+        "zipf",
+        "--items",
+        "512",
+        "--len",
+        "2000",
+    ]);
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+}

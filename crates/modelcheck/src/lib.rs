@@ -1,0 +1,223 @@
+//! # gc-modelcheck — systematic interleaving exploration for sync protocols
+//!
+//! A small, dependency-free model checker in the spirit of
+//! [`loom`](https://docs.rs/loom): programs written against this crate's
+//! [`sync`] and [`thread`] primitives can be run under [`model`], which
+//! executes the closure over and over, forcing a **different thread
+//! interleaving each time**, until the (preemption-bounded) space of
+//! schedules is exhausted. A test assertion that fails in *any* explored
+//! interleaving fails the model run and reports the schedule that broke it;
+//! a schedule in which every live thread is blocked is reported as a
+//! deadlock. This turns "the stress test didn't trip" into "every
+//! interleaving up to the preemption bound was enumerated".
+//!
+//! ## How it works
+//!
+//! Model executions are **serialized**: exactly one model thread runs at a
+//! time, and control can only change hands at a *decision point* — a lock
+//! acquisition, a condvar wait, an atomic access, a channel operation, a
+//! spawn, a join, or an explicit [`thread::yield_now`]. At each decision
+//! point the scheduler consults a DFS trail: on the first visit it runs the
+//! current thread onward (the schedule with no preemptions is explored
+//! first) and records the runnable alternatives; when an execution
+//! finishes, the deepest decision with unexplored alternatives is advanced
+//! and the prefix replayed. Because all cross-thread communication in a
+//! well-formed model flows through these primitives, scheduling only at
+//! decision points loses no behaviors (plain-memory races are out of
+//! scope — see *Limitations*).
+//!
+//! Blocking is scheduler-mediated: a thread that would block (contended
+//! mutex, empty channel, condvar wait) parks in the scheduler and becomes
+//! runnable again only when another thread enables it. If no thread is
+//! runnable while some are still live, the execution — and the model run —
+//! fails with a deadlock report. This is what catches lost-wakeup and
+//! shutdown-ordering bugs that stress tests almost never hit.
+//!
+//! ## Bounds
+//!
+//! Full DFS is exponential, so exploration is **preemption-bounded**
+//! (default 3, override with [`Builder::max_preemptions`] or the
+//! `GC_LOOM_PREEMPTIONS` env var): a schedule may switch away from a
+//! runnable thread at most `p` times. Context-bound research and loom's
+//! own defaults agree that almost all real ordering bugs need ≤ 2
+//! preemptions. An execution-count ceiling ([`Builder::max_executions`],
+//! `GC_LOOM_MAX_EXECUTIONS`) is a backstop for accidentally huge models:
+//! hitting it prints a warning — bounded exploration, honestly reported —
+//! rather than failing the run.
+//!
+//! ## Fallback mode
+//!
+//! Outside [`model`] the primitives degrade to plain `std::sync`-backed
+//! implementations with identical semantics, so code compiled against this
+//! crate (e.g. `gc-runtime` with its `loom` feature enabled) still runs
+//! normally in doctests, integration tests, and downstream crates that did
+//! not opt into model checking.
+//!
+//! ## Limitations (vs. real loom)
+//!
+//! - **Sequential consistency only.** Atomics are modeled as `SeqCst`
+//!   regardless of the ordering argument; weak-memory reorderings are not
+//!   explored. The runtime's protocols use locks, channels and SeqCst/
+//!   monotonic counters, so interleaving-level bugs are the target class.
+//! - **No data-race detection for plain memory.** Unsynchronized shared
+//!   access is invisible to the scheduler (that is ThreadSanitizer's job —
+//!   see the `tsan` CI lane).
+//! - `notify_one` wakes the lowest-id waiter (deterministic, not explored
+//!   as a choice).
+
+#![warn(missing_docs)]
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+use sched::Scheduler;
+use std::panic::resume_unwind;
+use std::sync::Arc;
+
+pub(crate) use sched::ctx;
+
+/// Statistics from one [`model`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Report {
+    /// Number of distinct executions (interleavings) explored.
+    pub executions: usize,
+    /// Total scheduling decisions taken across all executions.
+    pub decisions: u64,
+    /// Whether exploration stopped at [`Builder::max_executions`] rather
+    /// than exhausting the (preemption-bounded) schedule space.
+    pub truncated: bool,
+}
+
+/// Exploration bounds for a model run.
+#[derive(Clone, Copy, Debug)]
+pub struct Builder {
+    /// Maximum number of times a schedule may switch away from a thread
+    /// that is still runnable. Exploration is exhaustive *up to this
+    /// bound*.
+    pub max_preemptions: usize,
+    /// Hard ceiling on explored executions; exceeding it stops exploration
+    /// with a warning instead of failing.
+    pub max_executions: usize,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    match std::env::var(key) {
+        Ok(raw) => raw.parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_preemptions: env_usize("GC_LOOM_PREEMPTIONS", 3),
+            max_executions: env_usize("GC_LOOM_MAX_EXECUTIONS", 200_000),
+        }
+    }
+}
+
+impl Builder {
+    /// Default bounds (env-overridable; see the struct fields).
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Set the preemption bound.
+    pub fn preemptions(mut self, p: usize) -> Self {
+        self.max_preemptions = p;
+        self
+    }
+
+    /// Set the execution ceiling.
+    pub fn executions(mut self, n: usize) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    /// Run `f` under every interleaving within this builder's bounds.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic any model thread produced (with the
+    /// failing schedule printed to stderr), and panics with a
+    /// `deadlock:`-prefixed message when an explored schedule blocks every
+    /// live thread.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(
+            ctx().is_none(),
+            "gc-modelcheck: model() may not be nested inside a model thread"
+        );
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut trail = Vec::new();
+        let mut report = Report::default();
+        loop {
+            report.executions += 1;
+            let sched = Scheduler::new(trail, self.max_preemptions);
+            let root = {
+                let sched = Arc::clone(&sched);
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || sched::run_thread_body(sched, 0, move || f()))
+            };
+            sched.wait_all_finished();
+            let _ = root.join();
+            let outcome = sched.into_outcome();
+            trail = outcome.trail;
+            report.decisions += outcome.decisions;
+            if let Some(reason) = outcome.abort_reason {
+                eprintln!(
+                    "gc-modelcheck: failing schedule found on execution {} \
+                     ({} decisions along this path):\n  {}\n  trail: {}",
+                    report.executions,
+                    trail.len(),
+                    reason,
+                    sched::format_trail(&trail),
+                );
+                match outcome.panic_payload {
+                    Some(payload) => resume_unwind(payload),
+                    None => panic!("{reason}"),
+                }
+            }
+            if !sched::backtrack(&mut trail) {
+                break;
+            }
+            if report.executions >= self.max_executions {
+                report.truncated = true;
+                eprintln!(
+                    "gc-modelcheck: stopping after {} executions \
+                     (GC_LOOM_MAX_EXECUTIONS reached; exploration is bounded, not exhausted)",
+                    report.executions
+                );
+                break;
+            }
+        }
+        report
+    }
+}
+
+/// Explore every interleaving of `f` under the default [`Builder`] bounds.
+///
+/// ```
+/// use gc_modelcheck::sync::Mutex;
+/// use gc_modelcheck::thread;
+/// use std::sync::Arc;
+///
+/// let report = gc_modelcheck::model(|| {
+///     let m = Arc::new(Mutex::new(0u64));
+///     let m2 = Arc::clone(&m);
+///     let t = thread::spawn(move || *m2.lock() += 1);
+///     *m.lock() += 1;
+///     t.join().unwrap();
+///     assert_eq!(*m.lock(), 2);
+/// });
+/// assert!(report.executions >= 2, "both acquisition orders explored");
+/// ```
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}

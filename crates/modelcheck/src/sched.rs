@@ -1,0 +1,432 @@
+//! The serializing DFS scheduler behind [`model`](crate::model).
+//!
+//! Exactly one model thread runs at a time; control changes hands only at
+//! decision points ([`Scheduler::schedule`], [`Scheduler::block_on`], …).
+//! Each decision consults the replay trail: within the replayed prefix the
+//! recorded choice is taken, past it a new [`Choice`] is appended with the
+//! current thread preferred (so the no-preemption schedule is explored
+//! first) and the runnable alternatives recorded for backtracking.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// One scheduling decision: the runnable thread ids at that point (the
+/// preferred continuation first) and which option this execution takes.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    pub options: Vec<usize>,
+    pub taken: usize,
+}
+
+/// Render a trail as the sequence of chosen thread ids.
+pub(crate) fn format_trail(trail: &[Choice]) -> String {
+    let ids: Vec<String> = trail
+        .iter()
+        .map(|c| c.options[c.taken].to_string())
+        .collect();
+    format!("[{}]", ids.join(" "))
+}
+
+/// Advance the deepest decision with unexplored alternatives; `false` when
+/// the whole (bounded) space is exhausted.
+pub(crate) fn backtrack(trail: &mut Vec<Choice>) -> bool {
+    while let Some(last) = trail.last_mut() {
+        if last.taken + 1 < last.options.len() {
+            last.taken += 1;
+            return true;
+        }
+        trail.pop();
+    }
+    false
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Parked until [`Scheduler::unblock_all`]/[`unblock_one`] on this key.
+    Blocked(u64),
+    Finished,
+}
+
+struct SchedState {
+    status: Vec<Status>,
+    /// Human-readable labels for blocked resources, for deadlock reports.
+    block_labels: HashMap<u64, &'static str>,
+    current: usize,
+    step: usize,
+    preemptions: usize,
+    live: usize,
+    trail: Vec<Choice>,
+    decisions: u64,
+    abort_reason: Option<String>,
+    panic_payload: Option<Box<dyn Any + Send>>,
+}
+
+/// What one execution produced.
+pub(crate) struct Outcome {
+    pub trail: Vec<Choice>,
+    pub decisions: u64,
+    pub abort_reason: Option<String>,
+    pub panic_payload: Option<Box<dyn Any + Send>>,
+}
+
+/// The per-execution serializing scheduler (fresh for every interleaving).
+pub(crate) struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+    max_preemptions: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// A model thread's handle to its scheduler.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub sched: Arc<Scheduler>,
+    pub tid: usize,
+}
+
+/// The calling thread's model context, if it is a model thread.
+pub(crate) fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Run `body` as model thread `tid`: installs the context, waits for the
+/// first turn, and reports completion (or aborts the model) at the end.
+pub(crate) fn run_thread_body<T>(
+    sched: Arc<Scheduler>,
+    tid: usize,
+    body: impl FnOnce() -> T,
+) -> Option<T> {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            sched: Arc::clone(&sched),
+            tid,
+        })
+    });
+    sched.wait_turn(tid);
+    let result = catch_unwind(AssertUnwindSafe(body));
+    match result {
+        Ok(value) => {
+            sched.finish(tid);
+            Some(value)
+        }
+        Err(payload) => {
+            sched.abort_with_payload(payload);
+            sched.finish(tid);
+            None
+        }
+    }
+}
+
+impl Scheduler {
+    /// A scheduler for one execution, replaying `trail` then exploring.
+    /// Thread 0 (the root closure) is registered and scheduled first.
+    pub fn new(trail: Vec<Choice>, max_preemptions: usize) -> Arc<Scheduler> {
+        Arc::new(Scheduler {
+            state: StdMutex::new(SchedState {
+                status: vec![Status::Runnable],
+                block_labels: HashMap::new(),
+                current: 0,
+                step: 0,
+                preemptions: 0,
+                live: 1,
+                trail,
+                decisions: 0,
+                abort_reason: None,
+                panic_payload: None,
+            }),
+            cv: StdCondvar::new(),
+            max_preemptions,
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        // The scheduler's own mutex is never held across user code, so
+        // poisoning can only come from a panic inside this module.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Register a newly spawned model thread; returns its id.
+    pub fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.status.push(Status::Runnable);
+        st.live += 1;
+        st.status.len() - 1
+    }
+
+    /// Roll back a [`register_thread`](Self::register_thread) whose OS-level
+    /// spawn failed. The caller is still the current thread, so no
+    /// rescheduling is needed.
+    pub fn unregister_thread(&self, tid: usize) {
+        let mut st = self.lock();
+        st.status[tid] = Status::Finished;
+        st.live -= 1;
+    }
+
+    /// Decision point: offer the scheduler a chance to switch threads,
+    /// then return once it is `tid`'s turn again.
+    pub fn schedule(&self, tid: usize) {
+        let mut st = self.lock();
+        if st.abort_reason.is_some() {
+            drop(st);
+            self.panic_aborted();
+            return;
+        }
+        self.pick_next(&mut st);
+        self.wait_runnable(st, tid);
+    }
+
+    /// Park `tid` until [`unblock_all`](Self::unblock_all) on `key`, ceding
+    /// control. `label` names the resource in deadlock reports.
+    pub fn block_on(&self, tid: usize, key: u64, label: &'static str) {
+        let mut st = self.lock();
+        if st.abort_reason.is_some() {
+            drop(st);
+            self.panic_aborted();
+            return;
+        }
+        st.status[tid] = Status::Blocked(key);
+        st.block_labels.insert(key, label);
+        self.pick_next(&mut st);
+        self.wait_runnable(st, tid);
+    }
+
+    /// Make every thread blocked on `key` runnable again (they re-contend
+    /// at their blocking site). Not a decision point.
+    pub fn unblock_all(&self, key: u64) {
+        let mut st = self.lock();
+        for s in st.status.iter_mut() {
+            if *s == Status::Blocked(key) {
+                *s = Status::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Make the lowest-id thread blocked on `key` runnable (deterministic
+    /// `notify_one`). Not a decision point.
+    pub fn unblock_one(&self, key: u64) {
+        let mut st = self.lock();
+        if let Some(s) = st.status.iter_mut().find(|s| **s == Status::Blocked(key)) {
+            *s = Status::Runnable;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Mark `tid` finished, wake joiners, and cede control.
+    pub fn finish(&self, tid: usize) {
+        let mut st = self.lock();
+        st.status[tid] = Status::Finished;
+        st.live -= 1;
+        let join_key = join_key(tid);
+        for s in st.status.iter_mut() {
+            if *s == Status::Blocked(join_key) {
+                *s = Status::Runnable;
+            }
+        }
+        if st.live == 0 {
+            self.cv.notify_all();
+        } else if st.abort_reason.is_none() {
+            self.pick_next(&mut st);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until thread `target` has finished (used by join).
+    pub fn wait_thread_exit(&self, tid: usize, target: usize) {
+        let finished = { self.lock().status[target] == Status::Finished };
+        if !finished {
+            self.block_on(tid, join_key(target), "thread join");
+        } else {
+            // Still a decision point: joining a finished thread must not
+            // silently extend the joiner's atomic step.
+            self.schedule(tid);
+        }
+    }
+
+    /// Abort the model with a panic payload (first panic wins).
+    pub fn abort_with_payload(&self, payload: Box<dyn Any + Send>) {
+        let mut st = self.lock();
+        if st.abort_reason.is_none() {
+            st.abort_reason = Some(format!(
+                "model thread {} panicked: {}",
+                st.current,
+                payload_message(&payload)
+            ));
+            st.panic_payload = Some(payload);
+        }
+        // Wake everything: blocked threads panic out of their blocking
+        // sites; the rest notice at their next decision point.
+        for s in st.status.iter_mut() {
+            if matches!(*s, Status::Blocked(_)) {
+                *s = Status::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn abort_with_reason(&self, st: &mut SchedState, reason: String) {
+        if st.abort_reason.is_none() {
+            st.abort_reason = Some(reason);
+        }
+        for s in st.status.iter_mut() {
+            if matches!(*s, Status::Blocked(_)) {
+                *s = Status::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn panic_aborted(&self) {
+        if !std::thread::panicking() {
+            panic!("gc-modelcheck: execution aborted (see first failure)");
+        }
+    }
+
+    /// Choose the next thread to run. Must be called with the state lock
+    /// held by the thread currently in control.
+    fn pick_next(&self, st: &mut SchedState) {
+        let runnable: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.live > 0 {
+                let stuck: Vec<String> = st
+                    .status
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| match s {
+                        Status::Blocked(k) => Some(format!(
+                            "thread {i} blocked on {}",
+                            st.block_labels.get(k).copied().unwrap_or("resource")
+                        )),
+                        _ => None,
+                    })
+                    .collect();
+                let reason = format!(
+                    "deadlock: all {} live threads are blocked ({})",
+                    st.live,
+                    stuck.join("; ")
+                );
+                self.abort_with_reason(st, reason);
+            }
+            return;
+        }
+        st.decisions += 1;
+        let chosen = if st.step < st.trail.len() {
+            let c = &st.trail[st.step];
+            let chosen = c.options[c.taken];
+            if !runnable.contains(&chosen) {
+                let reason = format!(
+                    "replay divergence at step {}: recorded thread {} is not runnable \
+                     (the model closure is nondeterministic)",
+                    st.step, chosen
+                );
+                self.abort_with_reason(st, reason);
+                return;
+            }
+            chosen
+        } else {
+            let mut options = runnable.clone();
+            if let Some(pos) = options.iter().position(|&t| t == st.current) {
+                options.swap(0, pos);
+                // Re-sort the tail so alternative order is deterministic.
+                options[1..].sort_unstable();
+                if st.preemptions >= self.max_preemptions {
+                    // Budget spent: switching away from a runnable current
+                    // thread is no longer offered as an alternative.
+                    options.truncate(1);
+                }
+            }
+            let chosen = options[0];
+            st.trail.push(Choice { options, taken: 0 });
+            chosen
+        };
+        st.step += 1;
+        if chosen != st.current && st.status.get(st.current) == Some(&Status::Runnable) {
+            st.preemptions += 1;
+        }
+        st.current = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Wait until it is `tid`'s turn to run (or the execution aborted).
+    fn wait_runnable(&self, mut st: std::sync::MutexGuard<'_, SchedState>, tid: usize) {
+        loop {
+            if st.abort_reason.is_some() {
+                drop(st);
+                self.panic_aborted();
+                return;
+            }
+            if st.current == tid && st.status[tid] == Status::Runnable {
+                return;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// First wait of a freshly spawned thread (it holds no decision yet).
+    pub fn wait_turn(&self, tid: usize) {
+        let st = self.lock();
+        self.wait_runnable(st, tid);
+    }
+
+    /// Controller side: block until every model thread has finished.
+    pub fn wait_all_finished(&self) {
+        let mut st = self.lock();
+        while st.live > 0 {
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Consume the execution's results (controller side, after
+    /// [`wait_all_finished`](Self::wait_all_finished)).
+    pub fn into_outcome(self: Arc<Self>) -> Outcome {
+        // All model threads are finished, so the Arc strong count is the
+        // controller's plus any exiting thread's short-lived clone; take
+        // the state by locking rather than unwrapping the Arc.
+        let mut st = self.lock();
+        Outcome {
+            trail: std::mem::take(&mut st.trail),
+            decisions: st.decisions,
+            abort_reason: st.abort_reason.take(),
+            panic_payload: st.panic_payload.take(),
+        }
+    }
+}
+
+fn join_key(tid: usize) -> u64 {
+    // Join keys live in a reserved range; object keys are heap addresses,
+    // which are never this small.
+    0x1000 + tid as u64
+}
+
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

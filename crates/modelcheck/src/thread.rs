@@ -1,0 +1,140 @@
+//! Model-aware thread spawning and joining.
+//!
+//! Inside a [`model`](crate::model) run, [`spawn`] registers the new thread
+//! with the scheduler (spawning is itself a decision point — the child may
+//! be scheduled before the parent continues) and [`JoinHandle::join`] parks
+//! the joiner until the target thread's model execution finishes. Outside a
+//! model run these are thin wrappers over `std::thread`.
+
+use crate::ctx;
+use crate::sched::{run_thread_body, Scheduler};
+use std::any::Any;
+use std::io;
+use std::sync::Arc;
+
+/// Configure a thread before spawning (name only, matching the subset of
+/// `std::thread::Builder` the runtime uses).
+pub struct Builder {
+    inner: std::thread::Builder,
+}
+
+impl Builder {
+    /// A new builder with default settings.
+    pub fn new() -> Builder {
+        Builder {
+            inner: std::thread::Builder::new(),
+        }
+    }
+
+    /// Name the thread (shows up in OS-level debuggers and panic messages).
+    pub fn name(self, name: String) -> Builder {
+        Builder {
+            inner: self.inner.name(name),
+        }
+    }
+
+    /// Spawn `f` on a new thread.
+    ///
+    /// In model mode the OS thread is real but its execution is
+    /// scheduler-serialized like every other model thread.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match ctx() {
+            Some(c) if !std::thread::panicking() => {
+                let tid = c.sched.register_thread();
+                let sched = Arc::clone(&c.sched);
+                match self.inner.spawn(move || run_thread_body(sched, tid, f)) {
+                    Ok(inner) => {
+                        // Decision point: the child may run before the
+                        // parent's next step.
+                        c.sched.schedule(c.tid);
+                        Ok(JoinHandle {
+                            inner,
+                            model: Some((Arc::clone(&c.sched), tid)),
+                        })
+                    }
+                    Err(e) => {
+                        c.sched.unregister_thread(tid);
+                        Err(e)
+                    }
+                }
+            }
+            _ => {
+                let inner = self.inner.spawn(move || Some(f()))?;
+                Ok(JoinHandle { inner, model: None })
+            }
+        }
+    }
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder::new()
+    }
+}
+
+/// Spawn `f` on a new (model-scheduled) thread.
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn a thread, as `std::thread::spawn`
+/// does.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new()
+        .spawn(f)
+        .expect("gc-modelcheck: failed to spawn model thread")
+}
+
+/// Cede the processor: a pure decision point in model mode, a real
+/// `yield_now` otherwise.
+pub fn yield_now() {
+    match ctx() {
+        Some(c) if !std::thread::panicking() => c.sched.schedule(c.tid),
+        _ => std::thread::yield_now(),
+    }
+}
+
+/// Owned permission to join a thread, mirroring `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<Option<T>>,
+    model: Option<(Arc<Scheduler>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish, returning its result.
+    ///
+    /// In model mode the join parks in the scheduler (so join cycles and
+    /// never-scheduled children surface as deadlocks, not hangs). If the
+    /// target thread panicked, the model run as a whole reports that panic
+    /// with its failing schedule; this call then returns a placeholder
+    /// `Err` payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((_, target)) = &self.model {
+            if let Some(c) = ctx() {
+                if !std::thread::panicking() {
+                    c.sched.wait_thread_exit(c.tid, *target);
+                }
+            }
+        }
+        match self.inner.join() {
+            Ok(Some(value)) => Ok(value),
+            Ok(None) => Err(
+                Box::new("model thread panicked; the model checker reports the failure")
+                    as Box<dyn Any + Send>,
+            ),
+            Err(payload) => Err(payload),
+        }
+    }
+
+    /// Whether the underlying OS thread has exited.
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}

@@ -9,8 +9,8 @@
 //! configurable latency and jitter, so the serving harness can explore
 //! latency-bound and lock-bound regimes without real devices.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use gc_types::{mix64, BlockId, BlockMap, GcError, ItemId};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// A block-granular storage backend.

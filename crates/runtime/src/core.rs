@@ -60,6 +60,7 @@ impl<P: GcPolicy + ?Sized> ShardCore<P> {
     }
 
     /// The engine's loop body: run one access and classify it.
+    // lint: hot-path
     #[inline]
     pub fn access(&mut self, item: ItemId) -> AccessPhase {
         match self.policy.access_into(item, &mut self.scratch) {
@@ -109,6 +110,7 @@ impl<P: GcPolicy + ?Sized> ShardCore<P> {
     /// debug assertion, not a per-miss release-mode scan (the coalesced
     /// path, which faces arbitrary concurrent backends behind real
     /// latency, keeps the hard check).
+    // lint: hot-path
     #[inline]
     pub fn fetch_inline(
         &mut self,

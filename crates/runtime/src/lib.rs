@@ -35,6 +35,15 @@
 //! `misses == backend_fetches + coalesced_fetches` always holds. Counters
 //! are accumulated shard-locally and session-locally — the request hot
 //! path shares no atomics — and snapshots are consistent cross-shard cuts.
+//!
+//! # Concurrency correctness
+//!
+//! All synchronization goes through the [`sync`] facade module; building
+//! with `--features loom` swaps in `gc-modelcheck`'s scheduler-mediated
+//! primitives and enables an in-crate suite that exhaustively
+//! model-checks the runtime's protocols (`cargo test -p gc-runtime
+//! --features loom`). See DESIGN.md's "Concurrency invariants" section for
+//! the protocol-by-protocol claims and which check enforces each.
 
 #![warn(missing_docs)]
 
@@ -46,6 +55,10 @@ mod owner;
 pub mod runtime;
 pub mod session;
 pub mod singleflight;
+pub mod sync;
+
+#[cfg(all(test, feature = "loom"))]
+mod loom_tests;
 
 pub use backend::{BlockBackend, CountingBackend, SyntheticBackend};
 pub use config::{ExecMode, FetchPath, RuntimeConfig};

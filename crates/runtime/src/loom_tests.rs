@@ -1,0 +1,345 @@
+//! Model-checked interleaving tests for the runtime's four sync protocols.
+//!
+//! Compiled only under `--features loom`; run with
+//!
+//! ```text
+//! cargo test -p gc-runtime --features loom loom_tests
+//! ```
+//!
+//! Every test builds its state *inside* the [`gc_modelcheck`] closure and
+//! spawns threads through [`crate::sync::thread`], so the checker owns the
+//! schedule and explores every interleaving up to the preemption bound.
+//! Bounds are explicit per test (not env-dependent): models small enough to
+//! exhaust assert `!report.truncated`, so a regression that blows up the
+//! schedule space is itself a failure.
+//!
+//! The protocols under check, and what each test would catch:
+//!
+//! 1. **Single-flight leader/waiter handshake** (`singleflight_*`): a lost
+//!    wakeup between publish and wait, a waiter observing an unpublished
+//!    slot, an error not reaching a coalesced waiter, or a completed flight
+//!    left in the table (retire-before-publish violated).
+//! 2. **ReplySlot rendezvous** (`reply_slot_*`): a deposit the producer
+//!    never observes, or a wakeup consumed without the job being taken.
+//! 3. **Owner shutdown-by-disconnect** (`owner_pool_*`): a queued job
+//!    dropped on shutdown, a reply slot left unfilled, or a join that
+//!    deadlocks against a still-blocked owner.
+//! 4. **Consistent-cut stats** (`locked_mode_*`, `owner_mode_*`): a stats
+//!    read observing a shard mid-update (conservation laws broken at the
+//!    cut).
+//!
+//! `seeded_notify_before_publish_deadlocks` keeps the checker honest: it
+//! model-checks a deliberately broken copy of the single-flight publish
+//! protocol (notify *before* publish) and asserts the checker reports the
+//! deadlock. The same bug planted in `singleflight.rs` itself is caught by
+//! test 1 — see EXPERIMENTS.md.
+
+use crate::backend::{BlockBackend, SyntheticBackend};
+use crate::config::{ExecMode, FetchPath, RuntimeConfig};
+use crate::owner::{BatchJob, Msg, OwnerPool, ReplySlot};
+use crate::runtime::GcRuntime;
+use crate::singleflight::SingleFlight;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{thread, Arc, Condvar, Mutex};
+use gc_modelcheck::Builder;
+use gc_policies::PolicyKind;
+use gc_types::{BlockMap, GcError, ItemId};
+
+fn small_model() -> Builder {
+    // Two preemptions covers the overwhelming majority of ordering bugs
+    // (loom's own default context bound); the ceiling is a regression
+    // tripwire, not a working bound — models here explore far fewer.
+    Builder::new().preemptions(2).executions(150_000)
+}
+
+/// Protocol 1: two concurrent fetches of the same key must agree — exactly
+/// one backend load per `Led` role, identical payloads, the flight retired
+/// by the time both calls return, and a later fetch leading fresh.
+#[test]
+fn singleflight_concurrent_fetches_coalesce_or_serialize() {
+    let report = small_model().check(|| {
+        let sf = Arc::new(SingleFlight::new());
+        let loads = Arc::new(AtomicUsize::new(0));
+
+        let t = {
+            let sf = Arc::clone(&sf);
+            let loads = Arc::clone(&loads);
+            thread::spawn(move || {
+                sf.fetch(9, || {
+                    loads.fetch_add(1, Ordering::SeqCst);
+                    Ok(vec![ItemId(36), ItemId(37)])
+                })
+            })
+        };
+        let (r_main, role_main) = sf.fetch(9, || {
+            loads.fetch_add(1, Ordering::SeqCst);
+            Ok(vec![ItemId(36), ItemId(37)])
+        });
+        let (r_spawned, role_spawned) = t.join().expect("model thread");
+
+        // One load per leader; a coalesced call rode a leader's load.
+        let led = [role_main, role_spawned]
+            .iter()
+            .filter(|r| !r.is_coalesced())
+            .count();
+        assert!(led >= 1, "someone must lead");
+        assert_eq!(loads.load(Ordering::SeqCst), led, "loads == leaders");
+        // Both observe the same complete payload, never a torn slot.
+        let expect = vec![ItemId(36), ItemId(37)];
+        assert_eq!(*r_main.expect("load never fails"), expect);
+        assert_eq!(*r_spawned.expect("load never fails"), expect);
+        // Retire-before-publish: the table is empty once both returned,
+        // and a fresh miss leads its own fetch instead of joining a
+        // finished flight.
+        assert_eq!(sf.in_flight(), 0);
+        assert_eq!(sf.pending_waiters(), 0);
+        let (_, role) = sf.fetch(9, || Ok(vec![ItemId(36), ItemId(37)]));
+        assert!(!role.is_coalesced(), "finished flights must not be joined");
+    });
+    assert!(!report.truncated, "model must be exhausted, not truncated");
+    assert!(report.executions > 1, "concurrency was actually explored");
+}
+
+/// Protocol 1, failure path: when the leader's load fails, *every* call on
+/// that flight (leader and any coalesced waiter) observes the error, the
+/// flight is retired, and the next fetch leads fresh and can succeed.
+#[test]
+fn singleflight_error_reaches_every_waiter_and_retires() {
+    let report = small_model().check(|| {
+        let sf = Arc::new(SingleFlight::new());
+        let fail = || Err(GcError::InvalidParameter("backend down".into()));
+
+        let t = {
+            let sf = Arc::clone(&sf);
+            thread::spawn(move || sf.fetch(3, fail))
+        };
+        let (r_main, _) = sf.fetch(3, fail);
+        let (r_spawned, _) = t.join().expect("model thread");
+
+        // Regardless of who led and who coalesced, both see the failure.
+        assert!(r_main.is_err(), "leader and waiter alike observe the error");
+        assert!(r_spawned.is_err());
+        // The failed flight must not wedge the key.
+        assert_eq!(sf.in_flight(), 0);
+        let (r, role) = sf.fetch(3, || Ok(vec![ItemId(12)]));
+        assert!(!role.is_coalesced(), "retry leads a fresh fetch");
+        assert_eq!(*r.expect("fresh fetch succeeds"), vec![ItemId(12)]);
+    });
+    assert!(!report.truncated);
+    assert!(report.executions > 1);
+}
+
+/// Protocol 2: the ReplySlot mutex+condvar rendezvous never loses a job —
+/// whichever side runs first, `wait` returns exactly the deposited job,
+/// and the slot is reusable for the next exchange.
+#[test]
+fn reply_slot_handshake_never_loses_a_job() {
+    let report = small_model().check(|| {
+        let slot = ReplySlot::new();
+        for round in 0..2u64 {
+            let filler = {
+                let slot = Arc::clone(&slot);
+                thread::spawn(move || {
+                    slot.fill(BatchJob {
+                        items: vec![ItemId(round)],
+                        replies: Vec::new(),
+                    });
+                })
+            };
+            let job = slot.wait();
+            assert_eq!(job.items, vec![ItemId(round)], "job arrived intact");
+            filler.join().expect("model thread");
+            assert!(slot.try_take().is_none(), "slot drained after wait");
+        }
+    });
+    assert!(!report.truncated);
+    assert!(report.executions > 1);
+}
+
+/// Protocol 3: dropping the pool disconnects the channel; the owner must
+/// drain every already-queued job (filling its slot) before exiting, and
+/// the drop-side join must never deadlock against it.
+#[test]
+fn owner_pool_shutdown_drains_every_queued_job() {
+    let report = small_model().check(|| {
+        let map = BlockMap::strided(4);
+        let backend: Arc<dyn BlockBackend> = Arc::new(SyntheticBackend::new(map.clone()));
+        let pool = OwnerPool::new(
+            &PolicyKind::ItemLru,
+            &[8],
+            &map,
+            &backend,
+            FetchPath::Inline,
+            4,
+        );
+        let slots: Vec<_> = (0..2).map(|_| ReplySlot::new()).collect();
+        for (i, slot) in slots.iter().enumerate() {
+            pool.send(
+                0,
+                Msg::Batch {
+                    job: BatchJob {
+                        items: vec![ItemId(i as u64)],
+                        replies: Vec::new(),
+                    },
+                    slot: Arc::clone(slot),
+                },
+            );
+        }
+        drop(pool); // disconnect, drain, join
+        for slot in &slots {
+            let job = slot.try_take().expect("no reply may be lost on shutdown");
+            assert_eq!(job.replies.len(), 1, "one reply per queued item");
+        }
+    });
+    assert!(!report.truncated);
+    assert!(report.executions > 1);
+}
+
+/// Protocol 4, locked engine: a stats read concurrent with a serving
+/// thread must observe a consistent cut — conservation laws hold in every
+/// snapshot, not just at quiescence. Inline fetches keep all fetch
+/// accounting inside the shard critical section, so the invariants are
+/// exact at *any* cut.
+#[test]
+fn locked_mode_stats_are_a_consistent_cut() {
+    let report = small_model().check(|| {
+        let map = BlockMap::strided(4);
+        let backend = Arc::new(SyntheticBackend::new(map.clone()));
+        let rt = Arc::new(
+            GcRuntime::with_config(
+                &PolicyKind::ItemLru,
+                8,
+                map,
+                RuntimeConfig::new(1).with_fetch(FetchPath::Inline),
+                backend,
+            )
+            .expect("valid config"),
+        );
+
+        let server = {
+            let rt = Arc::clone(&rt);
+            thread::spawn(move || {
+                // Miss (fetch block 0), then temporal hit on the same item
+                // (ItemLru admits only the requested item, not co-loaded
+                // neighbours).
+                rt.get(ItemId(0)).expect("serve");
+                rt.get(ItemId(0)).expect("serve");
+            })
+        };
+        // Concurrent cut: taken mid-trace in some schedules.
+        for s in rt.per_shard_stats() {
+            assert_eq!(
+                s.accesses,
+                s.temporal_hits + s.spatial_hits + s.misses,
+                "every access is classified at every cut"
+            );
+            assert_eq!(
+                s.misses, s.backend_fetches,
+                "inline fetches settle inside the access critical section"
+            );
+        }
+        server.join().expect("model thread");
+        // Quiescent cut: exact totals.
+        let agg = rt.aggregate_stats();
+        assert_eq!(agg.accesses, 2);
+        assert_eq!(agg.misses, 1);
+        assert_eq!(agg.temporal_hits, 1);
+        assert_eq!(agg.backend_fetches, 1);
+        let sim = rt.drain();
+        assert_eq!(sim.accesses, 2, "drain folds the same cut");
+    });
+    assert!(!report.truncated);
+    assert!(report.executions > 1);
+}
+
+/// Protocol 4, owner engine: `per_shard_stats` pauses every owner at a
+/// barrier; a snapshot racing a single-item `get` must still satisfy the
+/// conservation laws, and shutdown after the race must be clean.
+#[test]
+fn owner_mode_snapshot_is_consistent_under_concurrent_gets() {
+    let report = small_model().check(|| {
+        let map = BlockMap::strided(4);
+        let backend = Arc::new(SyntheticBackend::new(map.clone()));
+        let rt = Arc::new(
+            GcRuntime::with_config(
+                &PolicyKind::ItemLru,
+                8,
+                map,
+                RuntimeConfig::new(1)
+                    .with_mode(ExecMode::Owner)
+                    .with_fetch(FetchPath::Inline)
+                    .with_queue_depth(2),
+                backend,
+            )
+            .expect("valid config"),
+        );
+
+        let server = {
+            let rt = Arc::clone(&rt);
+            thread::spawn(move || {
+                rt.get(ItemId(0)).expect("serve");
+            })
+        };
+        for s in rt.per_shard_stats() {
+            assert_eq!(
+                s.accesses,
+                s.temporal_hits + s.spatial_hits + s.misses,
+                "barrier snapshot never splits an access"
+            );
+            assert_eq!(s.misses, s.backend_fetches);
+        }
+        server.join().expect("model thread");
+        let agg = rt.aggregate_stats();
+        assert_eq!(agg.accesses, 1);
+        assert_eq!(agg.misses, 1);
+        // Drop joins the owner; a lost disconnect would deadlock here and
+        // be reported by the checker.
+    });
+    assert!(!report.truncated);
+    assert!(report.executions > 1);
+}
+
+/// The checker catches the classic bug class these protocols avoid: a
+/// leader that notifies *before* publishing. The waiter can wake on the
+/// notification, find the slot still empty, and re-wait — after which no
+/// further notification ever comes. Stress tests essentially never hit
+/// this window; exhaustive interleaving finds it and reports the deadlock.
+///
+/// This is the permanent, in-tree record of the bug-seeding experiment in
+/// EXPERIMENTS.md (same bug, planted in `singleflight.rs` itself).
+#[test]
+#[should_panic(expected = "deadlock")]
+fn seeded_notify_before_publish_deadlocks() {
+    struct BuggyFlight {
+        slot: Mutex<Option<u64>>,
+        cv: Condvar,
+    }
+
+    small_model().check(|| {
+        let flight = Arc::new(BuggyFlight {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+
+        let leader = {
+            let flight = Arc::clone(&flight);
+            thread::spawn(move || {
+                // BUG: wake waiters first, publish second. The correct
+                // protocol publishes and notifies under one lock section.
+                flight.cv.notify_all();
+                *flight.slot.lock() = Some(7);
+            })
+        };
+        let value = {
+            let mut slot = flight.slot.lock();
+            loop {
+                if let Some(v) = *slot {
+                    break v;
+                }
+                flight.cv.wait(&mut slot);
+            }
+        };
+        assert_eq!(value, 7);
+        leader.join().expect("model thread");
+    });
+}

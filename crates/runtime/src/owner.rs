@@ -27,12 +27,11 @@
 use crate::backend::BlockBackend;
 use crate::config::FetchPath;
 use crate::core::{AccessPhase, ShardCore};
+use crate::sync::mpsc::{Receiver, SyncSender};
+use crate::sync::thread::JoinHandle;
+use crate::sync::{self, Arc, Barrier, Condvar, Mutex};
 use gc_policies::PolicyKind;
 use gc_types::{BlockMap, GcError, ItemId, RuntimeStats};
-use parking_lot::{Condvar, Mutex};
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Barrier};
-use std::thread::JoinHandle;
 
 /// Per-request reply, in request order.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -80,10 +79,14 @@ impl ReplySlot {
     /// Block until a job is deposited and take it (producer side).
     pub fn wait(&self) -> BatchJob {
         let mut slot = self.slot.lock();
-        while slot.is_none() {
+        loop {
+            // Take-under-lock: if the slot is filled when the wait
+            // returns, the owner's deposit happened before our wakeup.
+            if let Some(job) = slot.take() {
+                return job;
+            }
             self.cv.wait(&mut slot);
         }
-        slot.take().expect("slot filled before wake")
     }
 
     /// Non-blocking probe used by shutdown tests.
@@ -118,6 +121,16 @@ pub(crate) struct OwnerPool {
 impl OwnerPool {
     /// Spawn one owner per capacity entry. Each owner builds its own
     /// policy instance on its own thread.
+    ///
+    /// # Panics
+    /// A policy constructor that panics (e.g. IBLP refusing a capacity
+    /// too small for one block) panics **on the owner thread**; without
+    /// care that panic would be swallowed by the dead thread and every
+    /// later `get` would park forever on a reply that never comes. Each
+    /// owner therefore sends a readiness ack after its policy is built,
+    /// and `new` re-raises a missing ack as the original panic on the
+    /// calling thread — the same surface a locked-mode constructor
+    /// failure has.
     pub fn new(
         kind: &PolicyKind,
         capacities: &[usize],
@@ -127,21 +140,48 @@ impl OwnerPool {
         queue_depth: usize,
     ) -> Self {
         let mut txs = Vec::with_capacity(capacities.len());
-        let mut joins = Vec::with_capacity(capacities.len());
+        let mut joins: Vec<JoinHandle<()>> = Vec::with_capacity(capacities.len());
         for (i, &capacity) in capacities.iter().enumerate() {
-            let (tx, rx) = std::sync::mpsc::sync_channel(queue_depth);
+            let (tx, rx) = sync::mpsc::sync_channel(queue_depth);
+            let (ready_tx, ready_rx) = sync::mpsc::sync_channel::<()>(1);
             let kind = kind.clone();
             let map = map.clone();
             let backend = Arc::clone(backend);
-            let join = std::thread::Builder::new()
+            let join = sync::thread::Builder::new()
                 .name(format!("gc-shard-{i}"))
                 .spawn(move || {
                     // Built here, on the owner thread: the policy never
                     // crosses a thread boundary, so no `Send` bound.
                     let core = ShardCore::new(kind.build(capacity, &map));
+                    // Ack construction; if `build` panicked, `ready_tx`
+                    // drops un-sent and `new` re-raises on the caller.
+                    let _ = ready_tx.send(());
                     owner_loop(rx, core, map, backend, fetch);
                 })
+                // lint: allow(panic): a failed OS thread spawn leaves the
+                // runtime unbuildable; there is no degraded mode to fall
+                // back to.
                 .expect("spawn shard owner thread");
+            if ready_rx.recv().is_err() {
+                // The owner died before acking: harvest its panic and
+                // re-raise it here so the constructor fails loudly
+                // instead of leaving producers to block on dead shards.
+                // Drop the queued txs first so already-spawned owners
+                // disconnect and exit before we unwind.
+                drop(tx);
+                txs.clear();
+                for join in joins.drain(..) {
+                    let _ = join.join();
+                }
+                match join.join() {
+                    Err(payload) => std::panic::resume_unwind(payload),
+                    // lint: allow(panic): an owner that exits cleanly
+                    // without acking readiness is unreachable — the ack
+                    // precedes `owner_loop`, which cannot return while
+                    // `tx` is alive above.
+                    Ok(()) => unreachable!("owner exited without readiness ack"),
+                }
+            }
             txs.push(tx);
             joins.push(join);
         }
@@ -152,6 +192,11 @@ impl OwnerPool {
     pub fn send(&self, shard: usize, msg: Msg) {
         self.txs[shard]
             .send(msg)
+            // lint: allow(panic): owners exit only on disconnect, and
+            // disconnect only happens in `Drop` after `txs` is cleared —
+            // a send that finds a dead owner means the owner panicked,
+            // which `Drop` surfaces; propagating here is the only honest
+            // option.
             .expect("shard owner exited while runtime alive");
     }
 
@@ -180,6 +225,8 @@ impl OwnerPool {
         barrier.wait();
         let mut out = out.lock();
         out.iter_mut()
+            // lint: allow(panic): the barrier has `n + 1` parties, so
+            // `wait` returning proves all `n` owners passed their write.
             .map(|s| s.take().expect("every owner wrote its snapshot"))
             .collect()
     }
@@ -237,6 +284,9 @@ fn owner_loop(
                             FetchPath::Inline => {
                                 let block = map
                                     .try_block_of(item)
+                                    // lint: allow(panic): `Session::push` /
+                                    // `GcRuntime::get` reject unmapped items
+                                    // before anything is enqueued.
                                     .expect("runtime verified the item before enqueueing");
                                 match core.fetch_inline(backend.as_ref(), block, item) {
                                     Ok(fetched) => BatchReply::MissFetched { admitted, fetched },
@@ -338,6 +388,26 @@ mod tests {
             let job = slot.try_take().expect("reply delivered before join");
             assert_eq!(job.replies.len(), 1);
         }
+    }
+
+    /// A policy constructor that panics on the owner thread must re-raise
+    /// on the constructing thread (liveness: otherwise every later `get`
+    /// parks forever on a shard that no longer exists). IBLP refuses a
+    /// block layer smaller than one block, which makes it a natural
+    /// panicking constructor here.
+    #[test]
+    #[should_panic(expected = "cannot hold a block")]
+    fn constructor_panic_propagates_to_caller() {
+        let map = BlockMap::strided(64);
+        let backend: Arc<dyn BlockBackend> = Arc::new(SyntheticBackend::new(map.clone()));
+        let _pool = OwnerPool::new(
+            &PolicyKind::IblpBalanced,
+            &[8, 8],
+            &map,
+            &backend,
+            FetchPath::Inline,
+            2,
+        );
     }
 
     #[test]

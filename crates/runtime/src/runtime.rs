@@ -42,11 +42,10 @@ use crate::core::{AccessPhase, ShardCore};
 use crate::owner::{BatchJob, BatchReply, Msg, OwnerPool, ReplySlot};
 use crate::session::Session;
 use crate::singleflight::{FetchRole, SingleFlight};
+use crate::sync::{Arc, Mutex};
 use gc_policies::{GcPolicy, PolicyKind};
 use gc_sim::SimStats;
 use gc_types::{mix64, BlockId, BlockMap, GcError, ItemId, LatencyHistogram, RuntimeStats};
-use parking_lot::Mutex;
-use std::sync::Arc;
 use std::time::Duration;
 
 /// The outcome of one runtime access, as seen by the calling thread.
@@ -359,6 +358,8 @@ impl GcRuntime {
                     },
                 );
                 let job = slot.wait();
+                // lint: allow(panic): the owner loop pushes exactly one
+                // reply per item and this job carried exactly one item.
                 match job.replies.first().expect("one reply per request") {
                     BatchReply::Hit { spatial } => {
                         return Ok(ServeOutcome::Hit { spatial: *spatial })

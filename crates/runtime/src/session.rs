@@ -27,8 +27,8 @@
 use crate::config::FetchPath;
 use crate::owner::{BatchJob, BatchReply, Msg, ReplySlot};
 use crate::runtime::{FetchStats, GcRuntime};
+use crate::sync::Arc;
 use gc_types::{BlockId, FxHashMap, GcError, ItemId};
-use std::sync::Arc;
 
 /// Per-item block lookup, strength-reduced at session creation. Strided
 /// maps turn the `item / stride` division into a shift when the stride is
@@ -158,6 +158,8 @@ impl<'rt> Session<'rt> {
     #[inline]
     pub fn push(&mut self, item: ItemId) -> Result<(), GcError> {
         let block = self.lookup.block_of(self.rt.map(), item).ok_or_else(|| {
+            // lint: allow(alloc): error path only — a push of an unmapped
+            // item aborts the session, so the format! never runs hot.
             GcError::InvalidParameter(format!("item {item} is not in the runtime's block map"))
         })?;
         let shard = self.rt.shard_index(block);
@@ -209,6 +211,8 @@ impl<'rt> Session<'rt> {
         // Drain anything buffered by earlier explicit `push` calls so the
         // per-shard order stays arrival order.
         self.flush()?;
+        // lint: allow(panic): run_single is only reachable through the
+        // locked-mode constructor path; the engine variant is fixed at build.
         let core_mutex = &self.rt.engine_locked().expect("locked mode")[0];
         let fetch = self.fetch;
         let lookup = self.lookup;
@@ -252,6 +256,8 @@ impl<'rt> Session<'rt> {
                             let block = match lookup {
                                 BlockLookup::Shift(sh) => BlockId(item.0 >> sh),
                                 BlockLookup::Div(s) => BlockId(item.0 / s),
+                                // lint: allow(panic): the fast-path guard
+                                // above admits only Shift/Div lookups.
                                 BlockLookup::Map => unreachable!("fast path is strided-only"),
                             };
                             match fetch {
@@ -350,6 +356,8 @@ impl<'rt> Session<'rt> {
     /// first (so owners overlap across shards), then collect replies in
     /// send order. Jobs and their vectors are recycled roundtrip.
     fn flush_owner(&mut self) -> Result<(), GcError> {
+        // lint: allow(panic): flush_owner is only called when the runtime
+        // was built in owner mode; the engine variant is fixed at build.
         let pool = self.rt.engine_owner().expect("owner mode");
         self.sent.clear();
         for shard in 0..pool.shards() {

@@ -31,11 +31,10 @@
 //! conservative (never serves a stale result, costs at most one extra
 //! load) and keeps the conservation law `misses == led + coalesced` exact.
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Arc, Condvar, Mutex};
 use gc_types::{mix64, FxHashMap, GcError, ItemId};
-use parking_lot::{Condvar, Mutex};
 use std::collections::hash_map::Entry;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Number of independent flight-table stripes (power of two).
@@ -167,10 +166,15 @@ impl SingleFlight {
             self.pending_waiters.fetch_add(1, Ordering::SeqCst);
             let result = {
                 let mut slot = flight.slot.lock();
-                while slot.is_none() {
+                loop {
+                    // Take-by-clone under the lock: when the wait returns
+                    // with the slot filled, the leader's publish happened
+                    // before our wakeup, so the value is complete.
+                    if let Some(published) = slot.as_ref() {
+                        break published.clone();
+                    }
                     flight.cv.wait(&mut slot);
                 }
-                slot.clone().expect("leader published before waking")
             };
             self.pending_waiters.fetch_sub(1, Ordering::SeqCst);
             (result, FetchRole::Coalesced)
@@ -274,6 +278,57 @@ mod tests {
         assert_eq!(*wr.unwrap(), vec![ItemId(36)]);
         assert_eq!(loads.load(Ordering::SeqCst), 1, "exactly one backend load");
         assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn leader_failure_reaches_parked_waiter_and_next_miss_leads_fresh() {
+        use std::sync::mpsc;
+
+        let sf = Arc::new(SingleFlight::new());
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+
+        // Leader: parks inside the load, then fails.
+        let leader = {
+            let sf = Arc::clone(&sf);
+            std::thread::spawn(move || {
+                sf.fetch(5, move || {
+                    release_rx.recv().expect("release signal");
+                    Err(GcError::Backend {
+                        block: BlockId(5),
+                        message: "device fault".into(),
+                    })
+                })
+            })
+        };
+        while sf.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        // Waiter: provably parked on the in-flight fetch before the
+        // leader is released, so the error must flow through the
+        // publish/wakeup path, not a fast return.
+        let waiter = {
+            let sf = Arc::clone(&sf);
+            std::thread::spawn(move || sf.fetch(5, || panic!("waiter must never load")))
+        };
+        while sf.pending_waiters() == 0 {
+            std::thread::yield_now();
+        }
+        release_tx.send(()).unwrap();
+
+        let (lr, lrole) = leader.join().unwrap();
+        let (wr, wrole) = waiter.join().unwrap();
+        assert!(matches!(lrole, FetchRole::Led { .. }));
+        assert_eq!(wrole, FetchRole::Coalesced);
+        assert!(lr.is_err(), "leader observes its own failure");
+        assert!(wr.is_err(), "parked waiter observes the leader's failure");
+
+        // The failed flight is retired: nothing in flight, no waiters,
+        // and the next miss leads a fresh fetch that can succeed.
+        assert_eq!(sf.in_flight(), 0);
+        assert_eq!(sf.pending_waiters(), 0);
+        let (r, role) = sf.fetch(5, || Ok(vec![ItemId(20)]));
+        assert!(!role.is_coalesced(), "retry leads fresh");
+        assert_eq!(*r.unwrap(), vec![ItemId(20)]);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! The crate's **only** gateway to synchronization primitives.
+//!
+//! Every module in `gc-runtime` imports its locks, condvars, channels,
+//! barriers, atomics, and thread-spawning through this facade — never from
+//! `std::sync` or `parking_lot` directly (the repository lint,
+//! `cargo run -p xtask -- lint`, enforces this). That single import seam is
+//! what makes the runtime model-checkable:
+//!
+//! - **Normally** (no `loom` feature): re-exports `parking_lot`'s
+//!   `Mutex`/`Condvar` (the production locks) and `std::sync`'s `Arc`,
+//!   `Barrier`, `mpsc`, atomics, and `std::thread` spawning.
+//! - **Under `--features loom`**: re-exports `gc-modelcheck`'s
+//!   scheduler-mediated equivalents, so the in-crate loom test suite
+//!   ([`crate::loom_tests`] on `cfg(all(test, feature = "loom"))`) can
+//!   exhaustively explore thread interleavings of the runtime's four core
+//!   protocols (single-flight handshake, reply slots, owner shutdown
+//!   drain, consistent-cut snapshots). Outside a model run the
+//!   model-checked primitives degrade to `std`-backed blocking versions
+//!   with identical semantics, so enabling the feature never changes
+//!   behavior of ordinary tests.
+//!
+//! The two bindings expose the same API surface (the `parking_lot` lock
+//! shape: `lock()` returns the guard, no poisoning; `Condvar::wait(&mut
+//! guard)`), so no call site changes between configurations.
+
+#[cfg(not(feature = "loom"))]
+mod imp {
+    pub use parking_lot::{Condvar, Mutex};
+    pub use std::sync::{Arc, Barrier, BarrierWaitResult};
+
+    /// Bounded MPSC channels (`std::sync::mpsc`'s `sync_channel` family).
+    pub mod mpsc {
+        pub use std::sync::mpsc::{
+            sync_channel, Receiver, RecvError, SendError, SyncSender, TryRecvError,
+        };
+    }
+
+    /// Shared atomics.
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    }
+
+    /// Thread spawning and joining.
+    pub mod thread {
+        pub use std::thread::{spawn, yield_now, Builder, JoinHandle};
+    }
+}
+
+#[cfg(feature = "loom")]
+mod imp {
+    pub use gc_modelcheck::sync::{Arc, Barrier, BarrierWaitResult, Condvar, Mutex};
+
+    /// Bounded MPSC channels (model-checked).
+    pub mod mpsc {
+        pub use gc_modelcheck::sync::mpsc::{
+            sync_channel, Receiver, RecvError, SendError, SyncSender, TryRecvError,
+        };
+    }
+
+    /// Shared atomics (model-checked; SeqCst regardless of ordering).
+    pub mod atomic {
+        pub use gc_modelcheck::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    }
+
+    /// Thread spawning and joining (model-checked).
+    pub mod thread {
+        pub use gc_modelcheck::thread::{spawn, yield_now, Builder, JoinHandle};
+    }
+}
+
+pub use imp::*;

@@ -132,9 +132,15 @@ impl GatedBackend {
     }
 }
 
-// mpsc::Receiver is Send but not Sync; the test serializes access by
-// construction (only the single-flight leader ever reaches the gate).
-// A Mutex would also do, but would hide that guarantee.
+// SAFETY: `mpsc::Receiver` is `Send` but not `Sync`, which is the only
+// reason `GatedBackend` is not auto-`Sync`. The receiver (`gate`) is only
+// ever touched from `load_block`, and the single-flight table guarantees
+// exactly one leader per block is inside `load_block` at a time; the test
+// drives a single block, so access to the receiver is serialized by
+// construction. The other fields (`SyntheticBackend`, `AtomicU64`) are
+// `Sync` on their own. A `Mutex<Receiver>` would also satisfy the
+// compiler, but would hide the single-leader guarantee this test exists
+// to verify.
 unsafe impl Sync for GatedBackend {}
 
 impl BlockBackend for GatedBackend {

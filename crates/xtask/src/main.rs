@@ -1,0 +1,58 @@
+//! `cargo run -p xtask -- lint [--root <path>]`
+//!
+//! Runs the workspace lint pass and prints one `path:line: [rule] message`
+//! diagnostic per violation.
+//!
+//! Exit codes (machine-readable; CI gates on them):
+//! - `0` — clean tree
+//! - `1` — violations found (one diagnostic per line on stdout)
+//! - `2` — usage or I/O error (message on stderr)
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--root <path>]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let root = match args {
+        [] => {
+            // Compiled-in manifest dir: crates/xtask → workspace root is
+            // two levels up, independent of the invocation cwd.
+            let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            p.pop();
+            p.pop();
+            p
+        }
+        [flag, path] if flag == "--root" => PathBuf::from(path),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--root <path>]");
+            return ExitCode::from(2);
+        }
+    };
+    match xtask::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("xtask lint: {} violation(s)", diags.len());
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,6 @@
+// Test code: exempt from every rule except unsafe-doc.
+use std::sync::Arc;
+
+fn helper(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

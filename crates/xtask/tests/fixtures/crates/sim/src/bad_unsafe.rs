@@ -1,0 +1,6 @@
+struct X;
+unsafe impl Send for X {}
+
+struct Y;
+// SAFETY: fixture — Y owns no thread-affine state.
+unsafe impl Send for Y {}
