@@ -2,9 +2,10 @@
 //!
 //! Drives the concurrent [`GcRuntime`] with the multi-threaded closed-loop
 //! harness and writes `BENCH_runtime.json` (override the path with the
-//! first non-flag CLI argument). Schema `serve_report/v2`: every row
+//! first non-flag CLI argument). Schema `serve_report/v3`: every row
 //! records the full execution configuration — `mode` (locked | owner),
-//! `batch` (session window), `fetch` (inline | coalesced) — alongside the
+//! `batch` (session window), `fetch` (inline | coalesced), `compiled`
+//! (dense-ID compiled serving path vs sparse keys) — alongside the
 //! v1 columns, because since the lock-light hot path landed those knobs
 //! move throughput by an order of magnitude. Three scenario families:
 //!
@@ -16,7 +17,9 @@
 //! - **hotpath** — the same zero-latency workload through a cheap
 //!   item-granular policy, batched + inline, where the session fast path
 //!   approaches the offline engine's single-threaded ceiling
-//!   (BENCH_engine.json `mixed` rows — same trace family).
+//!   (BENCH_engine.json `mixed` rows — same trace family). Each cell runs
+//!   twice: sparse keys, then the dense-ID compiled serving path
+//!   (`compiled: true`), which precomputes every block id and shard route.
 //! - **coalescing** — a slow backend (hundreds of µs per block) under a
 //!   hot-block workload makes concurrent misses on one block pile up; the
 //!   single-flight table folds them into one load and the
@@ -35,6 +38,7 @@
 //! queue hand-offs with no parallelism to recoup them; its advantage is
 //! only visible with shards ≤ cores.
 
+use gc_bench::measure::best_of_reps;
 use gc_bench::standard_workload;
 use gc_cache::gc_trace::synthetic;
 use gc_cache::prelude::*;
@@ -94,6 +98,7 @@ struct Row {
     fetch: FetchPath,
     shards: usize,
     threads: usize,
+    compiled: bool,
     backend_latency_us: u64,
     throughput_rps: f64,
     hit_rate: f64,
@@ -105,7 +110,7 @@ struct Row {
 impl Row {
     fn json(&self) -> String {
         format!(
-            "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \"mode\": \"{}\", \"batch\": {}, \"fetch\": \"{}\", \"shards\": {}, \"threads\": {}, \"backend_latency_us\": {}, \"throughput_rps\": {:.0}, \"hit_rate\": {:.4}, \"coalescing_rate\": {:.4}, \"fetch_p50_us\": {:.1}, \"fetch_p99_us\": {:.1}}}",
+            "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \"mode\": \"{}\", \"batch\": {}, \"fetch\": \"{}\", \"shards\": {}, \"threads\": {}, \"compiled\": {}, \"backend_latency_us\": {}, \"throughput_rps\": {:.0}, \"hit_rate\": {:.4}, \"coalescing_rate\": {:.4}, \"fetch_p50_us\": {:.1}, \"fetch_p99_us\": {:.1}}}",
             self.scenario,
             self.policy,
             self.mode,
@@ -113,6 +118,7 @@ impl Row {
             self.fetch,
             self.shards,
             self.threads,
+            self.compiled,
             self.backend_latency_us,
             self.throughput_rps,
             self.hit_rate,
@@ -124,49 +130,55 @@ impl Row {
 }
 
 /// One measurement configuration: workload knobs plus the runtime
-/// execution configuration under test.
+/// execution configuration under test. When `compiled` is set the runtime
+/// is built against the trace's dense map and served through
+/// [`serve_trace_compiled`]; the sparse `trace`/`map` pair stays the
+/// source of truth for what workload the row represents.
 struct Cell<'a> {
     scenario: &'static str,
     kind: &'a PolicyKind,
     capacity: usize,
     trace: &'a Trace,
     map: &'a BlockMap,
+    compiled: Option<&'a CompiledTrace>,
     cfg: RuntimeConfig,
     threads: usize,
     latency: Duration,
     reps: usize,
 }
 
-/// Run one configuration `reps + 1` times on fresh runtimes (the first
-/// pass warms the trace and allocator and is discarded), keep the rep
-/// with the best throughput, and fold its stats into a report row.
+/// Run one configuration through the shared warm-up + best-of-reps
+/// scaffolding (fresh runtime per pass; the untimed warm-up pass warms
+/// the trace and allocator) and fold the best rep into a report row.
 fn measure(cell: &Cell) -> Row {
-    let mut best: Option<ServeReport> = None;
-    for rep in 0..=cell.reps {
-        let backend = Arc::new(
-            SyntheticBackend::new(cell.map.clone()).with_latency(cell.latency, cell.latency / 4),
-        );
-        let rt = GcRuntime::with_config(
-            cell.kind,
-            cell.capacity,
-            cell.map.clone(),
-            cell.cfg.clone(),
-            backend,
-        )
-        .expect("valid runtime configuration");
-        let report = serve_trace(&rt, cell.trace, cell.threads).expect("synthetic serve");
-        if rep == 0 {
-            continue; // untimed warm-up
-        }
-        if best
-            .as_ref()
-            .map(|b| report.throughput_rps > b.throughput_rps)
-            .unwrap_or(true)
-        {
-            best = Some(report);
-        }
-    }
-    let report = best.expect("at least one timed rep");
+    let serve_map = match cell.compiled {
+        Some(ct) => ct.map(),
+        None => cell.map,
+    };
+    let report = best_of_reps(
+        cell.reps,
+        || {
+            let backend = Arc::new(
+                SyntheticBackend::new(serve_map.clone())
+                    .with_latency(cell.latency, cell.latency / 4),
+            );
+            let rt = GcRuntime::with_config(
+                cell.kind,
+                cell.capacity,
+                serve_map.clone(),
+                cell.cfg.clone(),
+                backend,
+            )
+            .expect("valid runtime configuration");
+            match cell.compiled {
+                Some(ct) => serve_trace_compiled(&rt, ct, cell.threads),
+                None => serve_trace(&rt, cell.trace, cell.threads),
+            }
+            .expect("synthetic serve")
+        },
+        |r| r.throughput_rps,
+    )
+    .best;
     let s = &report.stats;
     Row {
         scenario: cell.scenario,
@@ -176,6 +188,7 @@ fn measure(cell: &Cell) -> Row {
         fetch: cell.cfg.fetch,
         shards: cell.cfg.shards,
         threads: cell.threads,
+        compiled: cell.compiled.is_some(),
         backend_latency_us: cell.latency.as_micros() as u64,
         throughput_rps: report.throughput_rps,
         hit_rate: s.hit_rate(),
@@ -187,7 +200,7 @@ fn measure(cell: &Cell) -> Row {
 
 fn print_row(row: &Row) {
     println!(
-        "{:<10} {:<10} {:<6} b{:<4} {:<9} sh{:<2} t{:<2} {:>12.0} req/s  hit {:.3}  coal {:.3}",
+        "{:<10} {:<10} {:<6} b{:<4} {:<9} sh{:<2} t{:<2} {:<3} {:>12.0} req/s  hit {:.3}  coal {:.3}",
         row.scenario,
         row.policy,
         row.mode,
@@ -195,6 +208,7 @@ fn print_row(row: &Row) {
         row.fetch,
         row.shards,
         row.threads,
+        if row.compiled { "cmp" } else { "" },
         row.throughput_rps,
         row.hit_rate,
         row.coalescing_rate,
@@ -231,6 +245,7 @@ fn main() {
             capacity: CAPACITY,
             trace: &trace,
             map: &map,
+            compiled: None,
             cfg: RuntimeConfig::new(shards),
             threads: seed_threads,
             latency: zero,
@@ -250,6 +265,7 @@ fn main() {
                 capacity: CAPACITY,
                 trace: &trace,
                 map: &map,
+                compiled: None,
                 cfg: RuntimeConfig::new(SHARDS_MAX)
                     .with_mode(mode)
                     .with_batch(batch)
@@ -275,6 +291,7 @@ fn main() {
                 capacity: CAPACITY,
                 trace: &trace,
                 map: &map,
+                compiled: None,
                 cfg: RuntimeConfig::new(SHARDS_MAX)
                     .with_mode(mode)
                     .with_batch(BATCH)
@@ -301,6 +318,34 @@ fn main() {
                 capacity: CAPACITY,
                 trace: &trace,
                 map: &map,
+                compiled: None,
+                cfg: RuntimeConfig::new(shards)
+                    .with_batch(BATCH)
+                    .with_fetch(FetchPath::Inline),
+                threads: 1,
+                latency: zero,
+                reps,
+            });
+            print_row(&row);
+            rows.push(row);
+        }
+    }
+
+    // 2b. The same hot-path cells through the compiled serving path:
+    // trace compiled once outside the timed region (the deployment model),
+    // dense runtime, per-request block + shard route precomputed. These
+    // rows are where the data layer pays off hardest — the expected best
+    // rows of the whole report.
+    let compiled = CompiledTrace::compile(&trace, &map).expect("standard workload compiles");
+    for kind in [PolicyKind::ItemLru, PolicyKind::ItemFifo] {
+        for shards in shard_sweep() {
+            let row = measure(&Cell {
+                scenario: "hotpath",
+                kind: &kind,
+                capacity: CAPACITY,
+                trace: &trace,
+                map: &map,
+                compiled: Some(&compiled),
                 cfg: RuntimeConfig::new(shards)
                     .with_batch(BATCH)
                     .with_fetch(FetchPath::Inline),
@@ -335,6 +380,7 @@ fn main() {
             capacity: 64,
             trace: &sub,
             map: &hot_map,
+            compiled: None,
             cfg: RuntimeConfig::new(4.min(t)),
             threads: t,
             latency,
@@ -346,7 +392,7 @@ fn main() {
 
     let body: Vec<String> = rows.iter().map(Row::json).collect();
     let report = format!(
-        "{{\n  \"schema\": \"gc-bench/serve_report/v2\",\n  \"quick\": {quick},\n  \"trace_len\": {trace_len},\n  \"capacity\": {CAPACITY},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"gc-bench/serve_report/v3\",\n  \"quick\": {quick},\n  \"trace_len\": {trace_len},\n  \"capacity\": {CAPACITY},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
         body.join(",\n"),
     );
     std::fs::write(&out_path, report).expect("write report");

@@ -9,6 +9,7 @@ use gc_cache::gc_trace::synthetic::{block_runs, block_runs_map, BlockRunConfig};
 use gc_cache::prelude::*;
 
 pub mod faultsim;
+pub mod measure;
 
 /// The paper's illustrative parameters (Figure 3 / Figure 6 captions).
 pub const PAPER_K: usize = 1_280_000;

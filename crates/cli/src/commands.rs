@@ -19,13 +19,16 @@ USAGE: gc-cache <command> [--flag value ...]
 
 COMMANDS:
   simulate   run one policy over a synthetic workload
-             --policy <label> --capacity <k> [--warmup W] [workload flags]
+             --policy <label> --capacity <k> [--warmup W] [--compile]
+             [workload flags]
              workload flags: --workload block-runs|scan|zipf|chase|walk|
              hotspot|strided, --block-size B --len L --seed X --items N,
              plus per-workload knobs (--blocks/--theta/--spatial for
              block-runs, --stride, --step, --hot-fraction/--hot-weight)
   sweep      compare the standard policy roster across capacities
              --capacities a,b,c [workload flags as above] [--csv]
+             [--compile] replay through the dense-ID compiled engine
+             (CSV output; bit-identical results, much faster)
              fault isolation: [--checkpoint <path> --checkpoint-every N]
              [--resume <path>] [--on-error fail|skip]; any of these
              switches to checked CSV output, isolating panicking cells
@@ -46,16 +49,19 @@ COMMANDS:
   mrc        item/block miss-ratio curves + IBLP split grid (Mattson),
              exact or SHARDS-sampled, curves computed in parallel
              --capacity <k> [--sample-rate R | --smax N | --exact]
-             [--sample-seed S] [--threads T] [workload flags as above]
+             [--sample-seed S] [--threads T] [--compile] [workload flags
+             as above]
              [--checkpoint <path>] [--resume <path>] persist each curve
              as it completes and resume an interrupted bundle
+             (--compile streams dense precompiled ids; not combinable
+             with checkpointing)
   bracket    two-sided bracket on the offline GC optimum
              --capacity <h> [workload flags as above]
   serve      replay a trace through the concurrent sharded runtime
              --policy <label> --capacity <k> [--shards S] [--threads T]
              [--mode locked|owner] [--batch N] [--fetch coalesced|inline]
              [--queue-depth D] [--backend-latency-us L] [--jitter-us J]
-             [--json] [--trace <file> | workload flags as above]
+             [--compile] [--json] [--trace <file> | workload flags]
   generate   write a workload to a trace file
              --out <path> [--format json|text] [workload flags as above]
   stats      locality diagnostics of a workload (reuse distances, block
@@ -214,10 +220,25 @@ fn simulate_cmd(args: &Args) -> Result<(), String> {
     let warmup: usize = args.get_or("warmup", 0usize)?;
     let Workload { trace, map, .. } = workload(args)?;
 
-    let mut policy = kind.build(capacity, &map);
-    let stats = gc_cache::gc_sim::simulate_with_warmup(&mut policy, &trace, warmup);
+    let (policy_name, stats) = if args.switch("compile") {
+        let compiled = CompiledTrace::compile(&trace, &map).map_err(|e| e.to_string())?;
+        let mut policy = kind.build(capacity, compiled.map());
+        let stats = gc_cache::gc_sim::simulate_compiled_with_warmup(&mut policy, &compiled, warmup);
+        println!(
+            "# compiled: {} dense items in {} blocks",
+            compiled.n_items(),
+            compiled.n_blocks()
+        );
+        (policy.name(), stats)
+    } else {
+        let mut policy = kind.build(capacity, &map);
+        (
+            policy.name(),
+            gc_cache::gc_sim::simulate_with_warmup(&mut policy, &trace, warmup),
+        )
+    };
     println!("workload: {} ({} requests)", trace.name, trace.len());
-    println!("policy:   {}", policy.name());
+    println!("policy:   {policy_name}");
     println!("accesses        {}", stats.accesses);
     println!("misses          {}", stats.misses);
     println!("fault rate      {:.6}", stats.fault_rate());
@@ -284,17 +305,32 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
     }
 
     let Workload { trace, map, .. } = workload(args)?;
+    let compile = args.switch("compile");
 
     let config = RuntimeConfig::new(shards)
         .with_mode(mode)
         .with_batch(batch)
         .with_fetch(fetch)
         .with_queue_depth(queue_depth);
+    let compiled = compile
+        .then(|| CompiledTrace::compile(&trace, &map))
+        .transpose()
+        .map_err(|e| e.to_string())?;
+    // The compiled path serves dense ids, so the runtime (and its
+    // backend) must be built against the trace's dense map.
+    let serve_map = match &compiled {
+        Some(ct) => ct.map().clone(),
+        None => map,
+    };
     let backend =
-        std::sync::Arc::new(SyntheticBackend::new(map.clone()).with_latency(latency, jitter));
-    let runtime =
-        GcRuntime::with_config(&kind, capacity, map, config, backend).map_err(|e| e.to_string())?;
-    let report = serve_trace(&runtime, &trace, threads).map_err(|e| e.to_string())?;
+        std::sync::Arc::new(SyntheticBackend::new(serve_map.clone()).with_latency(latency, jitter));
+    let runtime = GcRuntime::with_config(&kind, capacity, serve_map, config, backend)
+        .map_err(|e| e.to_string())?;
+    let report = match &compiled {
+        Some(ct) => gc_cache::gc_runtime::serve_trace_compiled(&runtime, ct, threads),
+        None => serve_trace(&runtime, &trace, threads),
+    }
+    .map_err(|e| e.to_string())?;
     let s = &report.stats;
 
     if args.switch("json") {
@@ -312,7 +348,7 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             })
             .collect();
         println!(
-            "{{\n  \"workload\": \"{}\",\n  \"policy\": \"{}\",\n  \"capacity\": {capacity},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"mode\": \"{mode}\",\n  \"batch\": {batch},\n  \"fetch\": \"{fetch}\",\n  \"backend_latency_us\": {},\n  \"requests\": {},\n  \"wall_seconds\": {:.6},\n  \"throughput_rps\": {:.0},\n  \"hit_rate\": {:.6},\n  \"temporal_hits\": {},\n  \"spatial_hits\": {},\n  \"misses\": {},\n  \"backend_fetches\": {},\n  \"coalesced_fetches\": {},\n  \"coalescing_rate\": {:.6},\n  \"fetched_items\": {},\n  \"admitted_items\": {},\n  \"admission_ratio\": {:.6},\n  \"fetch_p50_us\": {:.1},\n  \"fetch_p99_us\": {:.1},\n  \"per_shard\": [\n{}\n  ]\n}}",
+            "{{\n  \"workload\": \"{}\",\n  \"policy\": \"{}\",\n  \"capacity\": {capacity},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"mode\": \"{mode}\",\n  \"batch\": {batch},\n  \"fetch\": \"{fetch}\",\n  \"compiled\": {compile},\n  \"backend_latency_us\": {},\n  \"requests\": {},\n  \"wall_seconds\": {:.6},\n  \"throughput_rps\": {:.0},\n  \"hit_rate\": {:.6},\n  \"temporal_hits\": {},\n  \"spatial_hits\": {},\n  \"misses\": {},\n  \"backend_fetches\": {},\n  \"coalesced_fetches\": {},\n  \"coalescing_rate\": {:.6},\n  \"fetched_items\": {},\n  \"admitted_items\": {},\n  \"admission_ratio\": {:.6},\n  \"fetch_p50_us\": {:.1},\n  \"fetch_p99_us\": {:.1},\n  \"per_shard\": [\n{}\n  ]\n}}",
             trace.name,
             kind.label(),
             latency.as_micros(),
@@ -338,8 +374,9 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
 
     println!("workload: {} ({} requests)", trace.name, trace.len());
     println!(
-        "runtime:  {} | capacity {capacity} | {shards} shard(s) | {threads} thread(s) | mode {mode} | batch {batch} | fetch {fetch} | backend {} µs",
+        "runtime:  {} | capacity {capacity} | {shards} shard(s) | {threads} thread(s) | mode {mode} | batch {batch} | fetch {fetch}{} | backend {} µs",
         kind.label(),
+        if compile { " | compiled" } else { "" },
         latency.as_micros()
     );
     println!(
@@ -399,6 +436,17 @@ fn sweep_cmd(args: &Args) -> Result<(), String> {
     let threads: usize = args.get_or("threads", 0usize)?;
     let checkpoint_path = args.get_str("checkpoint").map(std::path::PathBuf::from);
     let resume_path = args.get_str("resume").map(std::path::PathBuf::from);
+    if args.switch("compile") {
+        if checkpoint_path.is_some() || resume_path.is_some() || args.get_str("on-error").is_some()
+        {
+            return Err("--compile does not combine with checkpointed sweeps".into());
+        }
+        use gc_cache::gc_sim::sweep::run_sweep_compiled;
+        let compiled = CompiledTrace::compile(&trace, &map).map_err(|e| e.to_string())?;
+        let results = run_sweep_compiled(&jobs, &compiled, threads);
+        print!("{}", to_csv(&results));
+        return Ok(());
+    }
     if checkpoint_path.is_some() || resume_path.is_some() || args.get_str("on-error").is_some() {
         use gc_cache::gc_sim::checkpoint::{load_json, SweepCheckpoint};
         use gc_cache::gc_sim::sweep::{run_sweep_checked, to_csv_checked, OnError, SweepRunConfig};
@@ -609,6 +657,14 @@ fn mrc_cmd(args: &Args) -> Result<(), String> {
 
     let checkpoint_path = args.get_str("checkpoint").map(std::path::PathBuf::from);
     let resume_path = args.get_str("resume").map(std::path::PathBuf::from);
+    let compile = args.switch("compile");
+    if compile && (checkpoint_path.is_some() || resume_path.is_some()) {
+        return Err("--compile does not combine with checkpointed MRC bundles".into());
+    }
+    let compiled = compile
+        .then(|| CompiledTrace::compile(&trace, &map))
+        .transpose()
+        .map_err(|e| e.to_string())?;
     let bundle = if checkpoint_path.is_some() || resume_path.is_some() {
         // Checkpointed mode: both curve passes run fault-isolated on the
         // pool and are persisted as they finish; the per-curve sampler
@@ -629,13 +685,17 @@ fn mrc_cmd(args: &Args) -> Result<(), String> {
         mrc_bundle_checked(&trace, &map, capacity, &mode, &cfg).map_err(|e| e.to_string())?
     } else if let MrcMode::Sampled(cfg) = &mode {
         // Run the two sampled passes on the shared pool, keeping the
-        // per-curve sampler stats for the footer.
-        let mut passes = run_indexed(2, threads, |i| {
-            if i == 0 {
-                sampled_item_mrc_with_stats(&trace, capacity, cfg)
-            } else {
-                sampled_block_mrc_with_stats(&trace, &map, capacity / block_size, cfg)
-            }
+        // per-curve sampler stats for the footer. The compiled variant
+        // hashes decoded original ids, so its sample (and curve) is
+        // bit-identical to the sparse pass.
+        use gc_cache::gc_sim::shards::{
+            sampled_block_mrc_compiled_with_stats, sampled_item_mrc_compiled_with_stats,
+        };
+        let mut passes = run_indexed(2, threads, |i| match (&compiled, i) {
+            (Some(ct), 0) => sampled_item_mrc_compiled_with_stats(ct, capacity, cfg),
+            (Some(ct), _) => sampled_block_mrc_compiled_with_stats(ct, capacity / block_size, cfg),
+            (None, 0) => sampled_item_mrc_with_stats(&trace, capacity, cfg),
+            (None, _) => sampled_block_mrc_with_stats(&trace, &map, capacity / block_size, cfg),
         });
         let (block, block_stats) = passes.pop().expect("two passes");
         let (item, item_stats) = passes.pop().expect("two passes");
@@ -656,6 +716,8 @@ fn mrc_cmd(args: &Args) -> Result<(), String> {
         );
         let grid = split_grid_from_curves(&item, &block, capacity, block_size);
         MrcBundle { item, block, grid }
+    } else if let Some(ct) = &compiled {
+        gc_cache::gc_sim::mrc::mrc_bundle_compiled(ct, capacity, &MrcMode::Exact, threads)
     } else {
         mrc_bundle(&trace, &map, capacity, &MrcMode::Exact, threads)
     };

@@ -80,13 +80,16 @@ pub mod prelude {
         TwoQ, WTinyLfu,
     };
     pub use gc_runtime::{
-        serve_trace, BlockBackend, ExecMode, FetchPath, GcRuntime, RuntimeConfig, ServeOutcome,
-        ServeReport, Session, SyntheticBackend,
+        serve_trace, serve_trace_compiled, BlockBackend, ExecMode, FetchPath, GcRuntime,
+        RuntimeConfig, ServeOutcome, ServeReport, Session, SyntheticBackend,
     };
-    pub use gc_sim::{simulate, simulate_with_warmup, ProbeAdapter, SimStats, SpatialSet};
+    pub use gc_sim::{
+        simulate, simulate_compiled, simulate_compiled_with_warmup, simulate_with_warmup,
+        ProbeAdapter, SimStats, SpatialSet,
+    };
     pub use gc_types::{
-        AccessKind, AccessResult, AccessScratch, BlockId, BlockMap, GcError, HitKind, ItemId,
-        LatencyHistogram, RuntimeStats, Trace,
+        AccessKind, AccessResult, AccessScratch, BlockId, BlockMap, CompiledTrace, GcError,
+        HitKind, ItemId, LatencyHistogram, RuntimeStats, Trace,
     };
 }
 

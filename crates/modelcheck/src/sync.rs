@@ -134,6 +134,27 @@ impl<T> Mutex<T> {
             _not_send: PhantomData,
         }
     }
+
+    /// Acquire the lock only if it is free right now; never blocks.
+    ///
+    /// Under a model run the attempt is a scheduling decision point (like
+    /// any acquire), so the checker explores both the taken and the
+    /// contended outcome across interleavings.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if let Some(c) = ctx() {
+            if !std::thread::panicking() {
+                c.sched.schedule(c.tid);
+            }
+        }
+        if self.try_acquire() {
+            Some(MutexGuard {
+                lock: self,
+                _not_send: PhantomData,
+            })
+        } else {
+            None
+        }
+    }
 }
 
 impl<T: Default> Default for Mutex<T> {

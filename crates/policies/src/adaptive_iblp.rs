@@ -14,6 +14,7 @@
 //! split without knowing it in advance.
 
 use crate::lru_list::LruList;
+use crate::slab::Universe;
 use crate::GcPolicy;
 use gc_types::{AccessKind, AccessScratch, BlockId, BlockMap, ItemId};
 
@@ -28,6 +29,8 @@ pub struct AdaptiveIblp {
     map: BlockMap,
     item_layer: LruList,
     block_layer: LruList,
+    /// Block-layer lines, maintained incrementally (see [`crate::Iblp`]).
+    block_lines: usize,
     /// Recently evicted item-layer items (ids only).
     item_ghost: LruList,
     /// Recently evicted block-layer blocks (ids only).
@@ -71,17 +74,19 @@ impl AdaptiveIblp {
             (b..=capacity - b).contains(&item_lines),
             "seed split i={item_lines} leaves a layer below one block (capacity {capacity}, B {b})"
         );
+        let universe = Universe::of(&map);
         AdaptiveIblp {
             capacity,
             item_size: item_lines,
             initial_item_size: item_lines,
             ghost_cap: capacity,
             epoch_len: (4 * capacity as u64).max(64),
+            item_layer: LruList::with_index(capacity, universe.item_index()),
+            block_layer: LruList::with_index(capacity / b, universe.block_index()),
+            block_lines: 0,
+            item_ghost: LruList::with_index(capacity, universe.item_index()),
+            block_ghost: LruList::with_index(capacity, universe.block_index()),
             map,
-            item_layer: LruList::with_capacity(capacity),
-            block_layer: LruList::with_capacity(capacity / b),
-            item_ghost: LruList::with_capacity(capacity),
-            block_ghost: LruList::with_capacity(capacity),
             accesses_this_epoch: 0,
             grow_item_votes: 0,
             grow_block_votes: 0,
@@ -115,6 +120,7 @@ impl AdaptiveIblp {
         }
         while self.block_layer.len() > self.block_slots() {
             let victim = BlockId(self.block_layer.evict_lru().expect("nonempty"));
+            self.block_lines -= self.map.block_len(victim);
             self.block_ghost.touch(victim.0);
             for z in self.map.items_of(victim) {
                 if !self.item_layer.contains(z.0) {
@@ -163,12 +169,7 @@ impl GcPolicy for AdaptiveIblp {
     }
 
     fn len(&self) -> usize {
-        let block_lines: usize = self
-            .block_layer
-            .iter_mru()
-            .map(|b| self.map.block_len(BlockId(b)))
-            .sum();
-        self.item_layer.len() + block_lines
+        self.item_layer.len() + self.block_lines
     }
 
     fn contains(&self, item: ItemId) -> bool {
@@ -221,8 +222,10 @@ impl GcPolicy for AdaptiveIblp {
         out.evicted.append(&mut pending);
         self.pending = pending;
         self.block_layer.touch(block.0);
+        self.block_lines += self.map.block_len(block);
         if self.block_layer.len() > self.block_slots() {
             let victim = BlockId(self.block_layer.evict_lru().expect("nonempty"));
+            self.block_lines -= self.map.block_len(victim);
             self.block_ghost.touch(victim.0);
             for z in self.map.items_of(victim) {
                 if !self.item_layer.contains(z.0) {
@@ -244,6 +247,7 @@ impl GcPolicy for AdaptiveIblp {
     fn reset(&mut self) {
         self.item_layer.clear();
         self.block_layer.clear();
+        self.block_lines = 0;
         self.item_ghost.clear();
         self.block_ghost.clear();
         self.item_size = self.initial_item_size;

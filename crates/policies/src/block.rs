@@ -7,8 +7,9 @@
 //! making its competitive ratio unbounded unless `k ≥ B·h`.
 
 use crate::lru_list::LruList;
+use crate::slab::{KeySet, Universe};
 use crate::GcPolicy;
-use gc_types::{AccessKind, AccessScratch, BlockId, BlockMap, FxHashSet, ItemId};
+use gc_types::{AccessKind, AccessScratch, BlockId, BlockMap, ItemId};
 use std::collections::VecDeque;
 
 fn block_slots(capacity: usize, map: &BlockMap) -> usize {
@@ -33,6 +34,9 @@ pub struct BlockLru {
     slots: usize,
     map: BlockMap,
     list: LruList,
+    /// Lines in use: maintained incrementally so `len` is O(1) — the
+    /// simulator reads it after every access for `peak_len`.
+    lines: usize,
 }
 
 impl BlockLru {
@@ -40,11 +44,13 @@ impl BlockLru {
     /// `⌊capacity/B⌋` whole blocks.
     pub fn new(capacity: usize, map: BlockMap) -> Self {
         let slots = block_slots(capacity, &map);
+        let universe = Universe::of(&map);
         BlockLru {
             capacity,
             slots,
             map,
-            list: LruList::with_capacity(slots),
+            list: LruList::with_index(slots, universe.block_index()),
+            lines: 0,
         }
     }
 
@@ -68,10 +74,7 @@ impl GcPolicy for BlockLru {
     }
 
     fn len(&self) -> usize {
-        self.list
-            .iter_mru()
-            .map(|b| self.map.block_len(BlockId(b)))
-            .sum()
+        self.lines
     }
 
     fn contains(&self, item: ItemId) -> bool {
@@ -85,9 +88,11 @@ impl GcPolicy for BlockLru {
         if !self.list.touch(block.0) {
             return AccessKind::Hit;
         }
+        self.lines += self.map.block_len(block);
         out.clear();
         if self.list.len() > self.slots {
             let victim = self.list.evict_lru().expect("nonempty after insert");
+            self.lines -= self.map.block_len(BlockId(victim));
             evict_block_items(&self.map, BlockId(victim), &mut out.evicted);
         }
         out.loaded.extend(self.map.items_of(block));
@@ -96,6 +101,7 @@ impl GcPolicy for BlockLru {
 
     fn reset(&mut self) {
         self.list.clear();
+        self.lines = 0;
     }
 }
 
@@ -107,19 +113,23 @@ pub struct BlockFifo {
     slots: usize,
     map: BlockMap,
     queue: VecDeque<BlockId>,
-    present: FxHashSet<BlockId>,
+    present: KeySet,
+    /// Lines in use, maintained incrementally (see [`BlockLru::lines`]).
+    lines: usize,
 }
 
 impl BlockFifo {
     /// A block-granular FIFO holding up to `capacity` items.
     pub fn new(capacity: usize, map: BlockMap) -> Self {
         let slots = block_slots(capacity, &map);
+        let universe = Universe::of(&map);
         BlockFifo {
             capacity,
             slots,
             map,
             queue: VecDeque::with_capacity(slots + 1),
-            present: FxHashSet::default(),
+            present: universe.block_set(),
+            lines: 0,
         }
     }
 }
@@ -138,28 +148,30 @@ impl GcPolicy for BlockFifo {
     }
 
     fn len(&self) -> usize {
-        self.present.iter().map(|&b| self.map.block_len(b)).sum()
+        self.lines
     }
 
     fn contains(&self, item: ItemId) -> bool {
         self.map
             .try_block_of(item)
-            .is_some_and(|b| self.present.contains(&b))
+            .is_some_and(|b| self.present.contains(b.0))
     }
 
     fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         let block = self.map.block_of(item);
-        if self.present.contains(&block) {
+        if self.present.contains(block.0) {
             return AccessKind::Hit;
         }
         out.clear();
         if self.present.len() == self.slots {
             let victim = self.queue.pop_front().expect("queue tracks presence");
-            self.present.remove(&victim);
+            self.present.remove(victim.0);
+            self.lines -= self.map.block_len(victim);
             evict_block_items(&self.map, victim, &mut out.evicted);
         }
         self.queue.push_back(block);
-        self.present.insert(block);
+        self.present.insert(block.0);
+        self.lines += self.map.block_len(block);
         out.loaded.extend(self.map.items_of(block));
         AccessKind::Miss
     }
@@ -167,6 +179,7 @@ impl GcPolicy for BlockFifo {
     fn reset(&mut self) {
         self.queue.clear();
         self.present.clear();
+        self.lines = 0;
     }
 }
 

@@ -3,7 +3,7 @@
 
 use crate::{
     AdaptiveIblp, BlockFifo, BlockLru, GcPolicy, Gcm, Iblp, ItemClock, ItemFifo, ItemLfu, ItemLru,
-    ItemMarking, ItemRandom, LruK, Slru, ThresholdLoad, TwoQ, WTinyLfu,
+    ItemMarking, ItemRandom, LruK, Slru, ThresholdLoad, TwoQ, Universe, WTinyLfu,
 };
 use gc_types::{BlockMap, GcError};
 use std::fmt;
@@ -101,13 +101,21 @@ impl PolicyKind {
     /// runtime, one per simulation in the engine), so building `S` shards
     /// never clones traces or shares mutable buffers.
     pub fn build_send(&self, capacity: usize, map: &BlockMap) -> Box<dyn GcPolicy + Send> {
+        // Computed once per build: dense (slab-backed) when the map carries a
+        // compiled universe, sparse (hash-backed) otherwise. The map-taking
+        // policies below derive the same universe internally from their map.
+        let universe = Universe::of(map);
         match *self {
-            PolicyKind::ItemLru => Box::new(ItemLru::new(capacity)),
-            PolicyKind::ItemFifo => Box::new(ItemFifo::new(capacity)),
-            PolicyKind::ItemClock => Box::new(ItemClock::new(capacity)),
-            PolicyKind::ItemLfu => Box::new(ItemLfu::new(capacity)),
-            PolicyKind::ItemRandom { seed } => Box::new(ItemRandom::new(capacity, seed)),
-            PolicyKind::ItemMarking { seed } => Box::new(ItemMarking::new(capacity, seed)),
+            PolicyKind::ItemLru => Box::new(ItemLru::with_universe(capacity, &universe)),
+            PolicyKind::ItemFifo => Box::new(ItemFifo::with_universe(capacity, &universe)),
+            PolicyKind::ItemClock => Box::new(ItemClock::with_universe(capacity, &universe)),
+            PolicyKind::ItemLfu => Box::new(ItemLfu::with_universe(capacity, &universe)),
+            PolicyKind::ItemRandom { seed } => {
+                Box::new(ItemRandom::with_universe(capacity, seed, &universe))
+            }
+            PolicyKind::ItemMarking { seed } => {
+                Box::new(ItemMarking::with_universe(capacity, seed, &universe))
+            }
             PolicyKind::BlockLru => Box::new(BlockLru::new(capacity, map.clone())),
             PolicyKind::BlockFifo => Box::new(BlockFifo::new(capacity, map.clone())),
             PolicyKind::IblpBalanced => Box::new(Iblp::balanced(capacity, map.clone())),
@@ -122,10 +130,10 @@ impl PolicyKind {
                 let a = a.clamp(1, map.max_block_size());
                 Box::new(ThresholdLoad::new(capacity, a, map.clone()))
             }
-            PolicyKind::TwoQ => Box::new(TwoQ::new(capacity)),
-            PolicyKind::Slru => Box::new(Slru::new(capacity)),
-            PolicyKind::LruK { k } => Box::new(LruK::new(capacity, k.max(1))),
-            PolicyKind::WTinyLfu => Box::new(WTinyLfu::new(capacity)),
+            PolicyKind::TwoQ => Box::new(TwoQ::with_universe(capacity, &universe)),
+            PolicyKind::Slru => Box::new(Slru::with_universe(capacity, &universe)),
+            PolicyKind::LruK { k } => Box::new(LruK::with_universe(capacity, k.max(1), &universe)),
+            PolicyKind::WTinyLfu => Box::new(WTinyLfu::with_universe(capacity, &universe)),
             PolicyKind::AdaptiveIblp => Box::new(AdaptiveIblp::new(capacity, map.clone())),
             PolicyKind::PartialGcm { seed, coload } => {
                 Box::new(Gcm::with_coload_limit(capacity, map.clone(), seed, coload))

@@ -13,8 +13,9 @@
 //!   requested item is loaded and the remaining unmarked lines are
 //!   *replaced by* randomly chosen items of the accessed block.
 
+use crate::slab::{KeyIndex, KeySet, Universe};
 use crate::GcPolicy;
-use gc_types::{AccessKind, AccessScratch, BlockMap, FxHashMap, FxHashSet, ItemId};
+use gc_types::{AccessKind, AccessScratch, BlockMap, ItemId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -34,15 +35,17 @@ pub struct Gcm {
     /// block also has issues": unused guests become unevictable until the
     /// next phase, shrinking the effective cache).
     mark_coloads: bool,
-    marked: FxHashSet<ItemId>,
+    marked: KeySet,
+    /// Marking order of the current phase; the phase-change drain walks
+    /// this so the unmark order (an input to the random victim choice) is
+    /// identical for the sparse and dense backings.
+    marked_order: Vec<ItemId>,
     /// Unmarked resident items in a vector for O(1) uniform choice.
     unmarked: Vec<ItemId>,
-    unmarked_pos: FxHashMap<ItemId, usize>,
+    unmarked_pos: KeyIndex,
     rng: SmallRng,
     /// Reusable buffer for the per-miss co-load candidate snapshot.
     co_buf: Vec<ItemId>,
-    /// Reusable buffer for draining marks at a phase change.
-    phase_buf: Vec<ItemId>,
 }
 
 impl Gcm {
@@ -77,17 +80,18 @@ impl Gcm {
         mark_coloads: bool,
     ) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
+        let universe = Universe::of(&map);
         Gcm {
             capacity,
             map,
             coload_limit,
             mark_coloads,
-            marked: FxHashSet::default(),
+            marked: universe.item_set(),
+            marked_order: Vec::new(),
             unmarked: Vec::new(),
-            unmarked_pos: FxHashMap::default(),
+            unmarked_pos: universe.item_index(),
             rng: SmallRng::seed_from_u64(seed),
             co_buf: Vec::new(),
-            phase_buf: Vec::new(),
         }
     }
 
@@ -102,21 +106,27 @@ impl Gcm {
     }
 
     fn resident(&self, item: ItemId) -> bool {
-        self.marked.contains(&item) || self.unmarked_pos.contains_key(&item)
+        self.marked.contains(item.0) || self.unmarked_pos.contains(item.0)
+    }
+
+    fn mark(&mut self, item: ItemId) {
+        if self.marked.insert(item.0) {
+            self.marked_order.push(item);
+        }
     }
 
     fn remove_unmarked_at(&mut self, pos: usize) -> ItemId {
         let victim = self.unmarked.swap_remove(pos);
-        self.unmarked_pos.remove(&victim);
+        self.unmarked_pos.remove(victim.0);
         if pos < self.unmarked.len() {
-            self.unmarked_pos.insert(self.unmarked[pos], pos);
+            self.unmarked_pos.insert(self.unmarked[pos].0, pos as u32);
         }
         victim
     }
 
     fn take_unmarked(&mut self, item: ItemId) -> bool {
-        if let Some(&pos) = self.unmarked_pos.get(&item) {
-            self.remove_unmarked_at(pos);
+        if let Some(pos) = self.unmarked_pos.get(item.0) {
+            self.remove_unmarked_at(pos as usize);
             true
         } else {
             false
@@ -124,22 +134,20 @@ impl Gcm {
     }
 
     fn push_unmarked(&mut self, item: ItemId) {
-        self.unmarked_pos.insert(item, self.unmarked.len());
+        self.unmarked_pos.insert(item.0, self.unmarked.len() as u32);
         self.unmarked.push(item);
     }
 
     /// Evict one random unmarked item, starting a new phase if none exist.
     fn evict_one(&mut self) -> ItemId {
         if self.unmarked.is_empty() {
-            // Phase change: all marks are cleared. The drain buffer is
-            // policy-owned so repeated phase changes reuse its allocation.
-            let mut drained = std::mem::take(&mut self.phase_buf);
-            drained.extend(self.marked.drain());
-            for &item in &drained {
-                self.push_unmarked(item);
+            // Phase change: all marks are cleared, in marking order.
+            for &item in &self.marked_order {
+                self.marked.remove(item.0);
+                self.unmarked_pos.insert(item.0, self.unmarked.len() as u32);
+                self.unmarked.push(item);
             }
-            drained.clear();
-            self.phase_buf = drained;
+            self.marked_order.clear();
         }
         let pos = self.rng.gen_range(0..self.unmarked.len());
         self.remove_unmarked_at(pos)
@@ -170,11 +178,11 @@ impl GcPolicy for Gcm {
 
     fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         // Resident: mark (promote out of the unmarked pool) and hit.
-        if self.marked.contains(&item) {
+        if self.marked.contains(item.0) {
             return AccessKind::Hit;
         }
         if self.take_unmarked(item) {
-            self.marked.insert(item);
+            self.mark(item);
             return AccessKind::Hit;
         }
 
@@ -198,7 +206,7 @@ impl GcPolicy for Gcm {
             let victim = self.evict_one();
             out.evicted.push(victim);
         }
-        self.marked.insert(item);
+        self.mark(item);
         out.loaded.push(item);
 
         // Co-load the rest of the block unmarked, replacing existing
@@ -217,7 +225,7 @@ impl GcPolicy for Gcm {
         }
         for &z in &co[..take] {
             if self.mark_coloads {
-                self.marked.insert(z);
+                self.mark(z);
             } else {
                 self.push_unmarked(z);
             }
@@ -229,10 +237,10 @@ impl GcPolicy for Gcm {
 
     fn reset(&mut self) {
         self.marked.clear();
+        self.marked_order.clear();
         self.unmarked.clear();
         self.unmarked_pos.clear();
         self.co_buf.clear();
-        self.phase_buf.clear();
     }
 }
 

@@ -21,6 +21,7 @@
 //! forms and the §5.3 optimal split.
 
 use crate::lru_list::LruList;
+use crate::slab::Universe;
 use crate::GcPolicy;
 use gc_types::{AccessKind, AccessScratch, BlockId, BlockMap, ItemId};
 
@@ -43,6 +44,9 @@ pub struct Iblp {
     map: BlockMap,
     item_layer: LruList,
     block_layer: LruList,
+    /// Lines held by the block layer, maintained incrementally so `len`
+    /// is O(1) — the simulator reads it after every access for `peak_len`.
+    block_lines: usize,
 }
 
 impl Iblp {
@@ -59,13 +63,15 @@ impl Iblp {
             "block layer of {block_size_lines} lines cannot hold a block of {b} items"
         );
         let block_slots = block_size_lines / b;
+        let universe = Universe::of(&map);
         Iblp {
             item_size,
             block_size_lines,
             block_slots,
             map,
-            item_layer: LruList::with_capacity(item_size),
-            block_layer: LruList::with_capacity(block_slots),
+            item_layer: LruList::with_index(item_size, universe.item_index()),
+            block_layer: LruList::with_index(block_slots, universe.block_index()),
+            block_lines: 0,
         }
     }
 
@@ -124,12 +130,7 @@ impl GcPolicy for Iblp {
     /// occupies two lines, matching the partitioned-cache space model of
     /// §5.1 (the layers are neither inclusive nor exclusive).
     fn len(&self) -> usize {
-        let block_lines: usize = self
-            .block_layer
-            .iter_mru()
-            .map(|b| self.map.block_len(BlockId(b)))
-            .sum();
-        self.item_layer.len() + block_lines
+        self.item_layer.len() + self.block_lines
     }
 
     fn contains(&self, item: ItemId) -> bool {
@@ -168,9 +169,11 @@ impl GcPolicy for Iblp {
         debug_assert!(out.loaded.contains(&item));
 
         self.block_layer.touch(block.0);
+        self.block_lines += self.map.block_len(block);
         if self.block_layer.len() > self.block_slots {
             let victim = BlockId(self.block_layer.evict_lru().expect("nonempty"));
             debug_assert_ne!(victim, block, "just-loaded block cannot be LRU");
+            self.block_lines -= self.map.block_len(victim);
             for z in self.map.items_of(victim) {
                 if !self.item_layer.contains(z.0) {
                     out.evicted.push(z);
@@ -186,6 +189,7 @@ impl GcPolicy for Iblp {
     fn reset(&mut self) {
         self.item_layer.clear();
         self.block_layer.clear();
+        self.block_lines = 0;
     }
 }
 

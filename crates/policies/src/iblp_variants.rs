@@ -15,6 +15,7 @@
 //! flag each.
 
 use crate::lru_list::LruList;
+use crate::slab::Universe;
 use crate::GcPolicy;
 use gc_types::{AccessKind, AccessScratch, BlockId, BlockMap, ItemId};
 
@@ -65,6 +66,8 @@ pub struct IblpVariant {
     map: BlockMap,
     item_layer: LruList,
     block_layer: LruList,
+    /// Block-layer lines, maintained incrementally (see [`crate::Iblp`]).
+    block_lines: usize,
 }
 
 impl IblpVariant {
@@ -78,14 +81,16 @@ impl IblpVariant {
         assert!(item_size > 0, "item layer must hold at least one item");
         let b = map.max_block_size();
         assert!(block_size_lines >= b, "block layer cannot hold a block");
+        let universe = Universe::of(&map);
         IblpVariant {
             config,
             item_size,
             block_size_lines,
             block_slots: block_size_lines / b,
             map,
-            item_layer: LruList::with_capacity(item_size),
-            block_layer: LruList::with_capacity(block_size_lines / b),
+            item_layer: LruList::with_index(item_size, universe.item_index()),
+            block_layer: LruList::with_index(block_size_lines / b, universe.block_index()),
+            block_lines: 0,
         }
     }
 
@@ -117,12 +122,7 @@ impl GcPolicy for IblpVariant {
     }
 
     fn len(&self) -> usize {
-        let block_lines: usize = self
-            .block_layer
-            .iter_mru()
-            .map(|b| self.map.block_len(BlockId(b)))
-            .sum();
-        self.item_layer.len() + block_lines
+        self.item_layer.len() + self.block_lines
     }
 
     fn contains(&self, item: ItemId) -> bool {
@@ -156,8 +156,10 @@ impl GcPolicy for IblpVariant {
             }
         }
         self.block_layer.touch(block.0);
+        self.block_lines += self.map.block_len(block);
         if self.block_layer.len() > self.block_slots {
             let victim = BlockId(self.block_layer.evict_lru().expect("nonempty"));
+            self.block_lines -= self.map.block_len(victim);
             for z in self.map.items_of(victim) {
                 if !self.item_layer.contains(z.0) {
                     out.evicted.push(z);
@@ -173,6 +175,7 @@ impl GcPolicy for IblpVariant {
     fn reset(&mut self) {
         self.item_layer.clear();
         self.block_layer.clear();
+        self.block_lines = 0;
     }
 }
 

@@ -7,8 +7,9 @@
 //! point (§4.4).
 
 use crate::lru_list::LruList;
+use crate::slab::{KeyIndex, KeySet, KeyTable, Universe};
 use crate::GcPolicy;
-use gc_types::{AccessKind, AccessScratch, FxHashMap, FxHashSet, ItemId};
+use gc_types::{AccessKind, AccessScratch, ItemId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeSet, VecDeque};
@@ -29,9 +30,15 @@ pub struct ItemLru {
 impl ItemLru {
     /// An LRU cache holding up to `capacity` items.
     pub fn new(capacity: usize) -> Self {
+        Self::with_universe(capacity, &Universe::sparse())
+    }
+
+    /// An LRU cache whose key index is backed by `universe` (dense array
+    /// loads for compiled traces, hash probes otherwise).
+    pub fn with_universe(capacity: usize, universe: &Universe) -> Self {
         ItemLru {
             capacity: check_capacity(capacity),
-            list: LruList::with_capacity(capacity),
+            list: LruList::with_index(capacity, universe.item_index()),
         }
     }
 }
@@ -77,16 +84,21 @@ impl GcPolicy for ItemLru {
 pub struct ItemFifo {
     capacity: usize,
     queue: VecDeque<ItemId>,
-    present: FxHashSet<ItemId>,
+    present: KeySet,
 }
 
 impl ItemFifo {
     /// A FIFO cache holding up to `capacity` items.
     pub fn new(capacity: usize) -> Self {
+        Self::with_universe(capacity, &Universe::sparse())
+    }
+
+    /// A FIFO cache whose presence set is backed by `universe`.
+    pub fn with_universe(capacity: usize, universe: &Universe) -> Self {
         ItemFifo {
             capacity: check_capacity(capacity),
             queue: VecDeque::with_capacity(capacity + 1),
-            present: FxHashSet::default(),
+            present: universe.item_set(),
         }
     }
 }
@@ -105,22 +117,22 @@ impl GcPolicy for ItemFifo {
     }
 
     fn contains(&self, item: ItemId) -> bool {
-        self.present.contains(&item)
+        self.present.contains(item.0)
     }
 
     fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
-        if self.present.contains(&item) {
+        if self.present.contains(item.0) {
             return AccessKind::Hit;
         }
         out.clear();
         out.loaded.push(item);
         if self.present.len() == self.capacity {
             let victim = self.queue.pop_front().expect("queue tracks presence");
-            self.present.remove(&victim);
+            self.present.remove(victim.0);
             out.evicted.push(victim);
         }
         self.queue.push_back(item);
-        self.present.insert(item);
+        self.present.insert(item.0);
         AccessKind::Miss
     }
 
@@ -137,17 +149,22 @@ pub struct ItemClock {
     capacity: usize,
     ring: Vec<(ItemId, bool)>,
     hand: usize,
-    index: FxHashMap<ItemId, usize>,
+    index: KeyIndex,
 }
 
 impl ItemClock {
     /// A CLOCK cache holding up to `capacity` items.
     pub fn new(capacity: usize) -> Self {
+        Self::with_universe(capacity, &Universe::sparse())
+    }
+
+    /// A CLOCK cache whose position index is backed by `universe`.
+    pub fn with_universe(capacity: usize, universe: &Universe) -> Self {
         ItemClock {
             capacity: check_capacity(capacity),
             ring: Vec::with_capacity(capacity),
             hand: 0,
-            index: FxHashMap::default(),
+            index: universe.item_index(),
         }
     }
 }
@@ -166,12 +183,12 @@ impl GcPolicy for ItemClock {
     }
 
     fn contains(&self, item: ItemId) -> bool {
-        self.index.contains_key(&item)
+        self.index.contains(item.0)
     }
 
     fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
-        if let Some(&pos) = self.index.get(&item) {
-            self.ring[pos].1 = true;
+        if let Some(pos) = self.index.get(item.0) {
+            self.ring[pos as usize].1 = true;
             return AccessKind::Hit;
         }
         out.clear();
@@ -179,7 +196,7 @@ impl GcPolicy for ItemClock {
         // New entries start with the reference bit clear; only a hit sets
         // it. That is what makes the hand's "second chance" meaningful.
         if self.ring.len() < self.capacity {
-            self.index.insert(item, self.ring.len());
+            self.index.insert(item.0, self.ring.len() as u32);
             self.ring.push((item, false));
         } else {
             // Advance the hand until an unreferenced entry is found.
@@ -189,10 +206,10 @@ impl GcPolicy for ItemClock {
                     self.ring[self.hand].1 = false;
                     self.hand = (self.hand + 1) % self.capacity;
                 } else {
-                    self.index.remove(&victim);
+                    self.index.remove(victim.0);
                     out.evicted.push(victim);
                     self.ring[self.hand] = (item, false);
-                    self.index.insert(item, self.hand);
+                    self.index.insert(item.0, self.hand as u32);
                     self.hand = (self.hand + 1) % self.capacity;
                     break;
                 }
@@ -217,17 +234,22 @@ pub struct ItemLfu {
     /// (frequency, last-access sequence, item) — the `BTreeSet` minimum is
     /// the eviction victim.
     order: BTreeSet<(u64, u64, ItemId)>,
-    entries: FxHashMap<ItemId, (u64, u64)>,
+    entries: KeyTable<(u64, u64)>,
     clock: u64,
 }
 
 impl ItemLfu {
     /// An LFU cache holding up to `capacity` items.
     pub fn new(capacity: usize) -> Self {
+        Self::with_universe(capacity, &Universe::sparse())
+    }
+
+    /// An LFU cache whose frequency table is backed by `universe`.
+    pub fn with_universe(capacity: usize, universe: &Universe) -> Self {
         ItemLfu {
             capacity: check_capacity(capacity),
             order: BTreeSet::new(),
-            entries: FxHashMap::default(),
+            entries: universe.item_table(),
             clock: 0,
         }
     }
@@ -247,15 +269,15 @@ impl GcPolicy for ItemLfu {
     }
 
     fn contains(&self, item: ItemId) -> bool {
-        self.entries.contains_key(&item)
+        self.entries.contains(item.0)
     }
 
     fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         self.clock += 1;
-        if let Some(&(freq, seq)) = self.entries.get(&item) {
+        if let Some(&(freq, seq)) = self.entries.get(item.0) {
             self.order.remove(&(freq, seq, item));
             self.order.insert((freq + 1, self.clock, item));
-            self.entries.insert(item, (freq + 1, self.clock));
+            self.entries.insert(item.0, (freq + 1, self.clock));
             return AccessKind::Hit;
         }
         out.clear();
@@ -263,11 +285,11 @@ impl GcPolicy for ItemLfu {
         if self.entries.len() == self.capacity {
             let &(freq, seq, victim) = self.order.iter().next().expect("nonempty at capacity");
             self.order.remove(&(freq, seq, victim));
-            self.entries.remove(&victim);
+            self.entries.remove(victim.0);
             out.evicted.push(victim);
         }
         self.order.insert((1, self.clock, item));
-        self.entries.insert(item, (1, self.clock));
+        self.entries.insert(item.0, (1, self.clock));
         AccessKind::Miss
     }
 
@@ -283,17 +305,23 @@ impl GcPolicy for ItemLfu {
 pub struct ItemRandom {
     capacity: usize,
     items: Vec<ItemId>,
-    index: FxHashMap<ItemId, usize>,
+    index: KeyIndex,
     rng: SmallRng,
 }
 
 impl ItemRandom {
     /// A random-replacement cache holding up to `capacity` items.
     pub fn new(capacity: usize, seed: u64) -> Self {
+        Self::with_universe(capacity, seed, &Universe::sparse())
+    }
+
+    /// A random-replacement cache whose position index is backed by
+    /// `universe`.
+    pub fn with_universe(capacity: usize, seed: u64, universe: &Universe) -> Self {
         ItemRandom {
             capacity: check_capacity(capacity),
             items: Vec::with_capacity(capacity),
-            index: FxHashMap::default(),
+            index: universe.item_index(),
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -313,11 +341,11 @@ impl GcPolicy for ItemRandom {
     }
 
     fn contains(&self, item: ItemId) -> bool {
-        self.index.contains_key(&item)
+        self.index.contains(item.0)
     }
 
     fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
-        if self.index.contains_key(&item) {
+        if self.index.contains(item.0) {
             return AccessKind::Hit;
         }
         out.clear();
@@ -325,13 +353,13 @@ impl GcPolicy for ItemRandom {
         if self.items.len() == self.capacity {
             let pos = self.rng.gen_range(0..self.items.len());
             let victim = self.items.swap_remove(pos);
-            self.index.remove(&victim);
+            self.index.remove(victim.0);
             if pos < self.items.len() {
-                self.index.insert(self.items[pos], pos);
+                self.index.insert(self.items[pos].0, pos as u32);
             }
             out.evicted.push(victim);
         }
-        self.index.insert(item, self.items.len());
+        self.index.insert(item.0, self.items.len() as u32);
         self.items.push(item);
         AccessKind::Miss
     }
@@ -353,30 +381,48 @@ impl GcPolicy for ItemRandom {
 #[derive(Clone, Debug)]
 pub struct ItemMarking {
     capacity: usize,
-    marked: FxHashSet<ItemId>,
+    marked: KeySet,
+    /// Marking order of the current phase; the phase-change drain walks
+    /// this so the unmark order (an input to the random victim choice) is
+    /// identical for the sparse and dense backings.
+    marked_order: Vec<ItemId>,
     /// Unmarked resident items, in a vector for O(1) random choice.
     unmarked: Vec<ItemId>,
-    unmarked_pos: FxHashMap<ItemId, usize>,
+    unmarked_pos: KeyIndex,
     rng: SmallRng,
 }
 
 impl ItemMarking {
     /// A marking cache holding up to `capacity` items.
     pub fn new(capacity: usize, seed: u64) -> Self {
+        Self::with_universe(capacity, seed, &Universe::sparse())
+    }
+
+    /// A marking cache whose mark set and position index are backed by
+    /// `universe`.
+    pub fn with_universe(capacity: usize, seed: u64, universe: &Universe) -> Self {
         ItemMarking {
             capacity: check_capacity(capacity),
-            marked: FxHashSet::default(),
+            marked: universe.item_set(),
+            marked_order: Vec::new(),
             unmarked: Vec::new(),
-            unmarked_pos: FxHashMap::default(),
+            unmarked_pos: universe.item_index(),
             rng: SmallRng::seed_from_u64(seed),
         }
     }
 
+    fn mark(&mut self, item: ItemId) {
+        if self.marked.insert(item.0) {
+            self.marked_order.push(item);
+        }
+    }
+
     fn remove_unmarked(&mut self, item: ItemId) -> bool {
-        if let Some(pos) = self.unmarked_pos.remove(&item) {
+        if let Some(pos) = self.unmarked_pos.remove(item.0) {
+            let pos = pos as usize;
             self.unmarked.swap_remove(pos);
             if pos < self.unmarked.len() {
-                self.unmarked_pos.insert(self.unmarked[pos], pos);
+                self.unmarked_pos.insert(self.unmarked[pos].0, pos as u32);
             }
             true
         } else {
@@ -387,17 +433,19 @@ impl ItemMarking {
     /// Evict one item: random unmarked, starting a new phase if none exist.
     fn evict_one(&mut self) -> ItemId {
         if self.unmarked.is_empty() {
-            // New phase: clear all marks.
-            for item in self.marked.drain() {
-                self.unmarked_pos.insert(item, self.unmarked.len());
+            // New phase: clear all marks, in marking order.
+            for &item in &self.marked_order {
+                self.marked.remove(item.0);
+                self.unmarked_pos.insert(item.0, self.unmarked.len() as u32);
                 self.unmarked.push(item);
             }
+            self.marked_order.clear();
         }
         let pos = self.rng.gen_range(0..self.unmarked.len());
         let victim = self.unmarked.swap_remove(pos);
-        self.unmarked_pos.remove(&victim);
+        self.unmarked_pos.remove(victim.0);
         if pos < self.unmarked.len() {
-            self.unmarked_pos.insert(self.unmarked[pos], pos);
+            self.unmarked_pos.insert(self.unmarked[pos].0, pos as u32);
         }
         victim
     }
@@ -417,15 +465,15 @@ impl GcPolicy for ItemMarking {
     }
 
     fn contains(&self, item: ItemId) -> bool {
-        self.marked.contains(&item) || self.unmarked_pos.contains_key(&item)
+        self.marked.contains(item.0) || self.unmarked_pos.contains(item.0)
     }
 
     fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
-        if self.marked.contains(&item) {
+        if self.marked.contains(item.0) {
             return AccessKind::Hit;
         }
         if self.remove_unmarked(item) {
-            self.marked.insert(item);
+            self.mark(item);
             return AccessKind::Hit;
         }
         out.clear();
@@ -434,12 +482,13 @@ impl GcPolicy for ItemMarking {
             let victim = self.evict_one();
             out.evicted.push(victim);
         }
-        self.marked.insert(item);
+        self.mark(item);
         AccessKind::Miss
     }
 
     fn reset(&mut self) {
         self.marked.clear();
+        self.marked_order.clear();
         self.unmarked.clear();
         self.unmarked_pos.clear();
     }

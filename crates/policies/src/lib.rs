@@ -56,6 +56,7 @@ pub mod loadk;
 pub mod lru_list;
 pub mod lruk;
 pub mod sketch;
+pub mod slab;
 pub mod slru;
 pub mod tinylfu;
 pub mod twoq;
@@ -70,6 +71,7 @@ pub use item::{ItemClock, ItemFifo, ItemLfu, ItemLru, ItemMarking, ItemRandom};
 pub use loadk::ThresholdLoad;
 pub use lruk::LruK;
 pub use sketch::CountMinSketch;
+pub use slab::{KeyIndex, KeySet, KeyTable, Universe};
 pub use slru::Slru;
 pub use tinylfu::WTinyLfu;
 pub use twoq::TwoQ;

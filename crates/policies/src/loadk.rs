@@ -13,8 +13,93 @@
 //! family pure).
 
 use crate::lru_list::LruList;
+use crate::slab::Universe;
 use crate::GcPolicy;
 use gc_types::{AccessKind, AccessScratch, BlockId, BlockMap, FxHashMap, FxHashSet, ItemId};
+
+/// Per-block distinct-access tracking, sparse (hash maps) or dense
+/// (epoch-stamped arrays: an item counts toward its block's pending set
+/// iff its stamp equals the block's current epoch; a full load bumps the
+/// block epoch, invalidating all stamps at once).
+#[derive(Clone, Debug)]
+enum Pending {
+    Sparse(FxHashMap<BlockId, FxHashSet<ItemId>>),
+    Dense {
+        block_epoch: Vec<u64>,
+        count: Vec<u32>,
+        item_epoch: Vec<u64>,
+    },
+}
+
+impl Pending {
+    fn new(universe: &Universe) -> Self {
+        match (universe.n_items(), universe.n_blocks()) {
+            (Some(n_items), Some(n_blocks)) => Pending::Dense {
+                block_epoch: vec![1; n_blocks],
+                count: vec![0; n_blocks],
+                item_epoch: vec![0; n_items],
+            },
+            _ => Pending::Sparse(FxHashMap::default()),
+        }
+    }
+
+    /// Record a distinct access of `item` within `block`; returns the
+    /// block's distinct-access count afterwards.
+    fn note(&mut self, block: BlockId, item: ItemId) -> usize {
+        match self {
+            Pending::Sparse(map) => {
+                let set = map.entry(block).or_default();
+                set.insert(item);
+                set.len()
+            }
+            Pending::Dense {
+                block_epoch,
+                count,
+                item_epoch,
+            } => {
+                let b = block.0 as usize;
+                let i = item.0 as usize;
+                if item_epoch[i] != block_epoch[b] {
+                    item_epoch[i] = block_epoch[b];
+                    count[b] += 1;
+                }
+                count[b] as usize
+            }
+        }
+    }
+
+    /// The block was fully loaded: restart its distinct-access count.
+    fn complete(&mut self, block: BlockId) {
+        match self {
+            Pending::Sparse(map) => {
+                map.remove(&block);
+            }
+            Pending::Dense {
+                block_epoch, count, ..
+            } => {
+                let b = block.0 as usize;
+                block_epoch[b] += 1;
+                count[b] = 0;
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Pending::Sparse(map) => map.clear(),
+            Pending::Dense {
+                block_epoch, count, ..
+            } => {
+                // Bumping every block's epoch strands all item stamps in
+                // the past; item_epoch need not be touched.
+                for e in block_epoch.iter_mut() {
+                    *e += 1;
+                }
+                count.fill(0);
+            }
+        }
+    }
+}
 
 /// Loads the full block once `a` distinct items of it have been requested
 /// (cumulatively since the block was last fully loaded); below the
@@ -31,7 +116,7 @@ pub struct ThresholdLoad {
     map: BlockMap,
     items: LruList,
     /// Distinct items of each block requested since its last full load.
-    pending: FxHashMap<BlockId, FxHashSet<ItemId>>,
+    pending: Pending,
 }
 
 impl ThresholdLoad {
@@ -46,12 +131,13 @@ impl ThresholdLoad {
             (1..=b).contains(&threshold),
             "threshold a={threshold} outside [1, B={b}]"
         );
+        let universe = Universe::of(&map);
         ThresholdLoad {
             capacity,
             threshold,
             map,
-            items: LruList::with_capacity(capacity),
-            pending: FxHashMap::default(),
+            items: LruList::with_index(capacity, universe.item_index()),
+            pending: Pending::new(&universe),
         }
     }
 
@@ -97,14 +183,12 @@ impl GcPolicy for ThresholdLoad {
         // `touch` inserted the item; decide whether this miss crosses the
         // block's distinct-access threshold.
         let block = self.map.block_of(item);
-        let pending = self.pending.entry(block).or_default();
-        pending.insert(item);
-        let full_load = pending.len() >= self.threshold;
+        let full_load = self.pending.note(block, item) >= self.threshold;
 
         out.clear();
         out.loaded.push(item);
         if full_load {
-            self.pending.remove(&block);
+            self.pending.complete(block);
             for z in self.map.items_of(block) {
                 if z != item && self.items.touch(z.0) {
                     out.loaded.push(z);

@@ -4,10 +4,11 @@
 //! crate. Keys are raw `u64`s so the same structure serves item-granular
 //! caches ([`ItemId`](gc_types::ItemId) indices) and block-granular caches
 //! ([`BlockId`](gc_types::BlockId) indices). All operations are O(1)
-//! expected: entries live in a slab `Vec`, linked by index, with an
-//! `FxHashMap` from key to slot.
+//! expected: entries live in a slab `Vec`, linked by index, with a
+//! [`KeyIndex`] from key to slot — a hash map for sparse keys, a direct
+//! array load when the trace was compiled to a dense universe.
 
-use gc_types::FxHashMap;
+use crate::slab::KeyIndex;
 
 const NIL: u32 = u32::MAX;
 
@@ -22,7 +23,7 @@ struct Slot {
 #[derive(Clone, Debug)]
 pub struct LruList {
     slots: Vec<Slot>,
-    map: FxHashMap<u64, u32>,
+    map: KeyIndex,
     /// Most recently used slot.
     head: u32,
     /// Least recently used slot.
@@ -38,17 +39,25 @@ impl Default for LruList {
 }
 
 impl LruList {
-    /// An empty list with capacity hint `cap`.
+    /// An empty list with capacity hint `cap`, hash-backed (sparse keys).
     pub fn with_capacity(cap: usize) -> Self {
-        let mut l = LruList {
+        let mut map = gc_types::FxHashMap::default();
+        map.reserve(cap);
+        Self::with_index(cap, KeyIndex::Sparse(map))
+    }
+
+    /// An empty list with capacity hint `cap` whose key→slot map is the
+    /// given [`KeyIndex`] — pass a dense index (e.g. from
+    /// [`Universe::item_index`](crate::slab::Universe::item_index)) to make
+    /// every probe a direct array load.
+    pub fn with_index(cap: usize, index: KeyIndex) -> Self {
+        LruList {
             slots: Vec::with_capacity(cap),
-            map: FxHashMap::default(),
+            map: index,
             head: NIL,
             tail: NIL,
             free: NIL,
-        };
-        l.map.reserve(cap);
-        l
+        }
     }
 
     /// Number of keys present.
@@ -66,7 +75,7 @@ impl LruList {
     /// Whether `key` is present.
     #[inline]
     pub fn contains(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
+        self.map.contains(key)
     }
 
     /// Mark `key` most-recently-used, inserting it if absent.
@@ -74,7 +83,7 @@ impl LruList {
     /// Returns `true` if the key was newly inserted.
     #[inline]
     pub fn touch(&mut self, key: u64) -> bool {
-        if let Some(&slot) = self.map.get(&key) {
+        if let Some(slot) = self.map.get(key) {
             self.unlink(slot);
             self.push_front(slot);
             false
@@ -90,7 +99,7 @@ impl LruList {
     /// that should be first in line for eviction). Returns `true` if newly
     /// inserted; an existing key is left where it is.
     pub fn insert_cold(&mut self, key: u64) -> bool {
-        if self.map.contains_key(&key) {
+        if self.map.contains(key) {
             return false;
         }
         let slot = self.alloc(key);
@@ -109,7 +118,7 @@ impl LruList {
         let key = self.slots[slot as usize].key;
         self.unlink(slot);
         self.release(slot);
-        self.map.remove(&key);
+        self.map.remove(key);
         Some(key)
     }
 
@@ -128,7 +137,7 @@ impl LruList {
     /// Remove a specific key. Returns `true` if it was present.
     #[inline]
     pub fn remove(&mut self, key: u64) -> bool {
-        if let Some(slot) = self.map.remove(&key) {
+        if let Some(slot) = self.map.remove(key) {
             self.unlink(slot);
             self.release(slot);
             true
@@ -386,5 +395,39 @@ mod tests {
             assert_eq!(fast.len(), slow.len(), "step {step}");
         }
         assert_eq!(fast.iter_mru().collect::<Vec<_>>(), slow);
+    }
+
+    #[test]
+    fn dense_index_matches_sparse_index() {
+        let mut sparse = LruList::with_capacity(8);
+        let mut dense = LruList::with_index(8, KeyIndex::dense(30));
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for step in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 30;
+            match x % 7 {
+                0..=2 => assert_eq!(sparse.touch(key), dense.touch(key), "step {step}"),
+                3 => assert_eq!(sparse.evict_lru(), dense.evict_lru(), "step {step}"),
+                4 => assert_eq!(sparse.remove(key), dense.remove(key), "step {step}"),
+                5 => assert_eq!(
+                    sparse.insert_cold(key),
+                    dense.insert_cold(key),
+                    "step {step}"
+                ),
+                _ => {
+                    if x % 97 == 0 {
+                        sparse.clear();
+                        dense.clear();
+                    }
+                    assert_eq!(sparse.peek_lru(), dense.peek_lru(), "step {step}");
+                }
+            }
+        }
+        assert_eq!(
+            sparse.iter_mru().collect::<Vec<_>>(),
+            dense.iter_mru().collect::<Vec<_>>()
+        );
     }
 }

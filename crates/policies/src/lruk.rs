@@ -6,8 +6,9 @@
 //! K-distance ∞ and is evicted first (ties broken by oldest last
 //! reference). `K = 2` is the classic database-buffer setting.
 
+use crate::slab::{KeyTable, Universe};
 use crate::GcPolicy;
-use gc_types::{AccessKind, AccessScratch, FxHashMap, ItemId};
+use gc_types::{AccessKind, AccessScratch, ItemId};
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
 
@@ -23,14 +24,14 @@ pub struct LruK {
     capacity: usize,
     k: usize,
     clock: u64,
-    entries: FxHashMap<ItemId, History>,
+    entries: KeyTable<History>,
     /// Eviction order: (kth-most-recent time with 0 = "fewer than K refs",
     /// most-recent time, item). The BTreeSet minimum is the victim.
     order: BTreeSet<(u64, u64, ItemId)>,
     /// Reference histories of recently evicted items (O'Neil et al.'s
     /// *Retained Information Period*): without it, a reloaded item restarts
     /// as a singleton and LRU-K degenerates to LRU under thrashing.
-    retained: FxHashMap<ItemId, History>,
+    retained: KeyTable<History>,
     retained_order: crate::lru_list::LruList,
 }
 
@@ -40,16 +41,24 @@ impl LruK {
     /// # Panics
     /// Panics if `capacity == 0` or `k == 0`.
     pub fn new(capacity: usize, k: usize) -> Self {
+        Self::with_universe(capacity, k, &Universe::sparse())
+    }
+
+    /// An LRU-K cache whose history tables are backed by `universe`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `k == 0`.
+    pub fn with_universe(capacity: usize, k: usize, universe: &Universe) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         assert!(k > 0, "K must be positive");
         LruK {
             capacity,
             k,
             clock: 0,
-            entries: FxHashMap::default(),
+            entries: universe.item_table(),
             order: BTreeSet::new(),
-            retained: FxHashMap::default(),
-            retained_order: crate::lru_list::LruList::with_capacity(capacity),
+            retained: universe.item_table(),
+            retained_order: crate::lru_list::LruList::with_index(capacity, universe.item_index()),
         }
     }
 
@@ -78,13 +87,13 @@ impl GcPolicy for LruK {
     }
 
     fn contains(&self, item: ItemId) -> bool {
-        self.entries.contains_key(&item)
+        self.entries.contains(item.0)
     }
 
     fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
         self.clock += 1;
         let k = self.k;
-        if let Some(history) = self.entries.get_mut(&item) {
+        if let Some(history) = self.entries.get_mut(item.0) {
             let key_of = |history: &History| {
                 let newest = *history.times.back().expect("nonempty");
                 let kth = if history.times.len() >= k {
@@ -109,18 +118,21 @@ impl GcPolicy for LruK {
         if self.entries.len() == self.capacity {
             let &(kth, newest, victim) = self.order.iter().next().expect("full cache");
             self.order.remove(&(kth, newest, victim));
-            let history = self.entries.remove(&victim).expect("ordered item resident");
+            let history = self
+                .entries
+                .remove(victim.0)
+                .expect("ordered item resident");
             // Retain the victim's history for a while (bounded LRU).
-            self.retained.insert(victim, history);
+            self.retained.insert(victim.0, history);
             self.retained_order.touch(victim.0);
             while self.retained_order.len() > self.capacity {
                 let stale = self.retained_order.evict_lru().expect("nonempty");
-                self.retained.remove(&ItemId(stale));
+                self.retained.remove(stale);
             }
             out.evicted.push(victim);
         }
         // Resurrect retained history if we have it.
-        let mut history = if let Some(old) = self.retained.remove(&item) {
+        let mut history = if let Some(old) = self.retained.remove(item.0) {
             self.retained_order.remove(item.0);
             old
         } else {
@@ -134,7 +146,7 @@ impl GcPolicy for LruK {
         }
         let key = self.key_of(&history, item);
         self.order.insert((key.0, key.1, item));
-        self.entries.insert(item, history);
+        self.entries.insert(item.0, history);
         AccessKind::Miss
     }
 
@@ -236,6 +248,6 @@ mod tests {
         for _ in 0..100 {
             c.access(ItemId(1));
         }
-        assert!(c.entries[&ItemId(1)].times.len() <= 2);
+        assert!(c.entries.get(1).unwrap().times.len() <= 2);
     }
 }

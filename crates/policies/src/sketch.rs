@@ -7,6 +7,7 @@
 //! *reset* operation), which ages out stale popularity.
 
 use gc_types::ItemId;
+use std::sync::Arc;
 
 const ROWS: usize = 4;
 const COUNTER_MAX: u8 = 15;
@@ -19,6 +20,10 @@ pub struct CountMinSketch {
     increments: u64,
     sample_size: u64,
     seeds: [u64; ROWS],
+    /// Dense-ID traces hash through this inverse table so the bucket
+    /// choices — and therefore every admission duel — are bit-identical to
+    /// the run over the original sparse ids.
+    decode: Option<Arc<Vec<u64>>>,
 }
 
 impl CountMinSketch {
@@ -38,22 +43,40 @@ impl CountMinSketch {
                 0x1656_67B1_9E37_79F9,
                 0x2545_F491_4F6C_DD1D,
             ],
+            decode: None,
+        }
+    }
+
+    /// A sketch over a dense-renamed universe: items are translated back to
+    /// their original ids via `decode` before hashing.
+    pub fn with_decode(expected_items: usize, decode: Arc<Vec<u64>>) -> Self {
+        let mut s = Self::new(expected_items);
+        s.decode = Some(decode);
+        s
+    }
+
+    #[inline]
+    fn raw_key(&self, item: ItemId) -> u64 {
+        match &self.decode {
+            Some(table) => table[item.0 as usize],
+            None => item.0,
         }
     }
 
     #[inline]
-    fn index(&self, item: ItemId, row: usize) -> usize {
-        let h = item.0.wrapping_add(1).wrapping_mul(self.seeds[row]);
+    fn index(&self, key: u64, row: usize) -> usize {
+        let h = key.wrapping_add(1).wrapping_mul(self.seeds[row]);
         ((h >> 32) & self.width_mask) as usize
     }
 
     /// Record one occurrence of `item`.
     pub fn increment(&mut self, item: ItemId) {
         // Conservative update: only bump the minimal counters.
-        let current = self.estimate(item);
+        let key = self.raw_key(item);
+        let current = self.estimate_key(key);
         if current < COUNTER_MAX as u64 {
             for row in 0..ROWS {
-                let idx = self.index(item, row);
+                let idx = self.index(key, row);
                 let c = &mut self.rows[row][idx];
                 if u64::from(*c) == current {
                     *c += 1;
@@ -68,8 +91,13 @@ impl CountMinSketch {
 
     /// Estimated frequency of `item` (min over rows, ≤ 15).
     pub fn estimate(&self, item: ItemId) -> u64 {
+        self.estimate_key(self.raw_key(item))
+    }
+
+    #[inline]
+    fn estimate_key(&self, key: u64) -> u64 {
         (0..ROWS)
-            .map(|row| u64::from(self.rows[row][self.index(item, row)]))
+            .map(|row| u64::from(self.rows[row][self.index(key, row)]))
             .min()
             .expect("ROWS > 0")
     }

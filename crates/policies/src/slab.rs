@@ -1,0 +1,719 @@
+//! Slab-backed key state: dense `Vec`-indexed indices, sets, and tables
+//! with generation checks, plus the sparse hash-map fallbacks.
+//!
+//! Every policy in this crate keys its replacement state by raw `u64` ids
+//! (items or blocks). Against an arbitrary trace those keys are sparse and
+//! a hash map is the only option — but when the trace has been *compiled*
+//! ([`gc_types::CompiledTrace`]) the keys are dense `0..n`, and the map
+//! collapses to a direct array load. The three structures here make that
+//! switch a construction-time decision instead of a per-policy rewrite:
+//!
+//! * [`KeyIndex`] — `key → u32` position map (the `FxHashMap<u64, u32>`
+//!   shape used by [`LruList`](crate::lru_list::LruList) and the item
+//!   policies' position indices).
+//! * [`KeySet`] — membership set (FIFO presence, marking sets).
+//! * [`KeyTable`] — `key → V` map for fatter per-key state (LFU counters,
+//!   LRU-K histories).
+//!
+//! The dense variants are **generation-stamped**: each slot carries the
+//! epoch at which it was written, and `clear()` simply bumps the epoch —
+//! O(1) instead of O(n) — while stale slots from earlier generations read
+//! as absent. Debug builds assert that dense keys are in range, which
+//! catches the classic slab bug (an id from one universe probed against
+//! another's index) at the boundary instead of as silent corruption.
+//!
+//! [`Universe`] captures the dense-or-sparse decision once, from a
+//! [`BlockMap`]: policies take it at construction and ask it for
+//! appropriately-backed indices. The sparse path is the fallback for
+//! uncompiled / streamed traces and stays bit-identical to the historic
+//! hash-map implementation.
+
+use gc_types::{BlockMap, FxHashMap, FxHashSet};
+use std::sync::Arc;
+
+/// First valid generation; stamp 0 always reads as absent.
+const GEN_FIRST: u32 = 1;
+
+/// The key-space a policy's state is built for: either the open sparse
+/// `u64` space (hash-backed state) or a compiled dense universe of
+/// `n_items` items / `n_blocks` blocks (array-backed state).
+#[derive(Clone, Debug, Default)]
+pub struct Universe {
+    dense: Option<DenseInfo>,
+}
+
+#[derive(Clone, Debug)]
+struct DenseInfo {
+    n_items: usize,
+    n_blocks: usize,
+    decode: Arc<Vec<u64>>,
+}
+
+impl Universe {
+    /// The open sparse key space (hash-map-backed state everywhere).
+    pub fn sparse() -> Self {
+        Universe { dense: None }
+    }
+
+    /// The universe of `map`: dense when the map was produced by trace
+    /// compilation, sparse otherwise.
+    pub fn of(map: &BlockMap) -> Self {
+        Universe {
+            dense: map.dense_universe().map(|d| DenseInfo {
+                n_items: d.n_items() as usize,
+                n_blocks: d.n_blocks() as usize,
+                decode: Arc::clone(d.decode_table()),
+            }),
+        }
+    }
+
+    /// Whether this universe is dense.
+    pub fn is_dense(&self) -> bool {
+        self.dense.is_some()
+    }
+
+    /// Dense item → original sparse id table (dense universes only).
+    /// Sketches and samplers hash through this so their bucket choices
+    /// match the uncompiled run bit for bit.
+    pub fn decode(&self) -> Option<Arc<Vec<u64>>> {
+        self.dense.as_ref().map(|d| Arc::clone(&d.decode))
+    }
+
+    /// A position index keyed by item ids.
+    pub fn item_index(&self) -> KeyIndex {
+        match &self.dense {
+            Some(d) => KeyIndex::dense(d.n_items),
+            None => KeyIndex::sparse(),
+        }
+    }
+
+    /// A position index keyed by block ids.
+    pub fn block_index(&self) -> KeyIndex {
+        match &self.dense {
+            Some(d) => KeyIndex::dense(d.n_blocks),
+            None => KeyIndex::sparse(),
+        }
+    }
+
+    /// A membership set keyed by item ids.
+    pub fn item_set(&self) -> KeySet {
+        match &self.dense {
+            Some(d) => KeySet::dense(d.n_items),
+            None => KeySet::sparse(),
+        }
+    }
+
+    /// A membership set keyed by block ids.
+    pub fn block_set(&self) -> KeySet {
+        match &self.dense {
+            Some(d) => KeySet::dense(d.n_blocks),
+            None => KeySet::sparse(),
+        }
+    }
+
+    /// A value table keyed by item ids.
+    pub fn item_table<V>(&self) -> KeyTable<V> {
+        match &self.dense {
+            Some(d) => KeyTable::dense(d.n_items),
+            None => KeyTable::sparse(),
+        }
+    }
+
+    /// Number of dense items, if dense.
+    pub fn n_items(&self) -> Option<usize> {
+        self.dense.as_ref().map(|d| d.n_items)
+    }
+
+    /// Number of dense blocks, if dense.
+    pub fn n_blocks(&self) -> Option<usize> {
+        self.dense.as_ref().map(|d| d.n_blocks)
+    }
+}
+
+/// `key → u32` position map: hash-backed for sparse keys, a flat
+/// generation-stamped `Vec` for dense keys.
+#[derive(Clone, Debug)]
+pub enum KeyIndex {
+    /// Open key space: hash probe per lookup.
+    Sparse(FxHashMap<u64, u32>),
+    /// Dense `0..n` key space: one array load per lookup.
+    Dense {
+        /// Per-key `(position, generation)` slots.
+        slots: Vec<IndexSlot>,
+        /// Current generation; a slot is live iff its stamp matches.
+        generation: u32,
+        /// Live entries.
+        len: usize,
+    },
+}
+
+/// One dense [`KeyIndex`] slot: the stored position and the generation
+/// stamp that validates it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IndexSlot {
+    pos: u32,
+    generation: u32,
+}
+
+impl KeyIndex {
+    /// An empty hash-backed index.
+    pub fn sparse() -> Self {
+        KeyIndex::Sparse(FxHashMap::default())
+    }
+
+    /// An empty dense index over keys `0..n`.
+    pub fn dense(n: usize) -> Self {
+        KeyIndex::Dense {
+            slots: vec![IndexSlot::default(); n],
+            generation: GEN_FIRST,
+            len: 0,
+        }
+    }
+
+    /// The position stored for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u32> {
+        match self {
+            KeyIndex::Sparse(map) => map.get(&key).copied(),
+            KeyIndex::Dense {
+                slots, generation, ..
+            } => {
+                let slot = slots.get(key as usize)?;
+                (slot.generation == *generation).then_some(slot.pos)
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Store `pos` for `key`, returning the previous position if any.
+    #[inline]
+    pub fn insert(&mut self, key: u64, pos: u32) -> Option<u32> {
+        match self {
+            KeyIndex::Sparse(map) => map.insert(key, pos),
+            KeyIndex::Dense {
+                slots,
+                generation,
+                len,
+            } => {
+                debug_assert!(
+                    (key as usize) < slots.len(),
+                    "key {key} outside dense universe of {}",
+                    slots.len()
+                );
+                let slot = &mut slots[key as usize];
+                let old = (slot.generation == *generation).then_some(slot.pos);
+                *slot = IndexSlot {
+                    pos,
+                    generation: *generation,
+                };
+                if old.is_none() {
+                    *len += 1;
+                }
+                old
+            }
+        }
+    }
+
+    /// Remove `key`, returning its position if it was present.
+    #[inline]
+    pub fn remove(&mut self, key: u64) -> Option<u32> {
+        match self {
+            KeyIndex::Sparse(map) => map.remove(&key),
+            KeyIndex::Dense {
+                slots,
+                generation,
+                len,
+            } => {
+                let slot = slots.get_mut(key as usize)?;
+                if slot.generation != *generation {
+                    return None;
+                }
+                slot.generation = 0;
+                *len -= 1;
+                Some(slot.pos)
+            }
+        }
+    }
+
+    /// Live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            KeyIndex::Sparse(map) => map.len(),
+            KeyIndex::Dense { len, .. } => *len,
+        }
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries. O(1) for dense indices (generation bump).
+    pub fn clear(&mut self) {
+        match self {
+            KeyIndex::Sparse(map) => map.clear(),
+            KeyIndex::Dense {
+                slots,
+                generation,
+                len,
+            } => {
+                *generation = match generation.checked_add(1) {
+                    Some(g) => g,
+                    None => {
+                        // Generation wrapped (2^32 clears): hard-reset the
+                        // stamps so no stale slot can alias the new epoch.
+                        slots.fill(IndexSlot::default());
+                        GEN_FIRST
+                    }
+                };
+                *len = 0;
+            }
+        }
+    }
+}
+
+/// Membership set over `u64` keys: hash-backed or generation-stamped.
+#[derive(Clone, Debug)]
+pub enum KeySet {
+    /// Open key space.
+    Sparse(FxHashSet<u64>),
+    /// Dense `0..n` key space: one stamp load per probe.
+    Dense {
+        /// Per-key generation stamps; a key is present iff its stamp
+        /// matches the current generation.
+        stamps: Vec<u32>,
+        /// Current generation.
+        generation: u32,
+        /// Live entries.
+        len: usize,
+    },
+}
+
+impl KeySet {
+    /// An empty hash-backed set.
+    pub fn sparse() -> Self {
+        KeySet::Sparse(FxHashSet::default())
+    }
+
+    /// An empty dense set over keys `0..n`.
+    pub fn dense(n: usize) -> Self {
+        KeySet::Dense {
+            stamps: vec![0; n],
+            generation: GEN_FIRST,
+            len: 0,
+        }
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        match self {
+            KeySet::Sparse(set) => set.contains(&key),
+            KeySet::Dense {
+                stamps, generation, ..
+            } => stamps.get(key as usize) == Some(generation),
+        }
+    }
+
+    /// Insert `key`; returns `true` if newly inserted.
+    #[inline]
+    pub fn insert(&mut self, key: u64) -> bool {
+        match self {
+            KeySet::Sparse(set) => set.insert(key),
+            KeySet::Dense {
+                stamps,
+                generation,
+                len,
+            } => {
+                debug_assert!(
+                    (key as usize) < stamps.len(),
+                    "key {key} outside dense universe of {}",
+                    stamps.len()
+                );
+                let stamp = &mut stamps[key as usize];
+                if *stamp == *generation {
+                    false
+                } else {
+                    *stamp = *generation;
+                    *len += 1;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Remove `key`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self {
+            KeySet::Sparse(set) => set.remove(&key),
+            KeySet::Dense {
+                stamps,
+                generation,
+                len,
+            } => match stamps.get_mut(key as usize) {
+                Some(stamp) if *stamp == *generation => {
+                    *stamp = 0;
+                    *len -= 1;
+                    true
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// Live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            KeySet::Sparse(set) => set.len(),
+            KeySet::Dense { len, .. } => *len,
+        }
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries. O(1) for dense sets (generation bump).
+    pub fn clear(&mut self) {
+        match self {
+            KeySet::Sparse(set) => set.clear(),
+            KeySet::Dense {
+                stamps,
+                generation,
+                len,
+            } => {
+                *generation = match generation.checked_add(1) {
+                    Some(g) => g,
+                    None => {
+                        stamps.fill(0);
+                        GEN_FIRST
+                    }
+                };
+                *len = 0;
+            }
+        }
+    }
+}
+
+/// `key → V` table for fatter per-key state: hash-backed or a flat
+/// generation-stamped `Vec<Option<V>>`.
+///
+/// Dense slots are *retained* across [`clear`](KeyTable::clear) (the
+/// generation bump makes them unreadable); their allocations are reused by
+/// later inserts, arena-style.
+#[derive(Clone, Debug)]
+pub enum KeyTable<V> {
+    /// Open key space.
+    Sparse(FxHashMap<u64, V>),
+    /// Dense `0..n` key space.
+    Dense {
+        /// Per-key generation stamps; the value is live iff its stamp
+        /// matches the current generation.
+        stamps: Vec<u32>,
+        /// Per-key values (stale ones linger until overwritten).
+        values: Vec<Option<V>>,
+        /// Current generation.
+        generation: u32,
+        /// Live entries.
+        len: usize,
+    },
+}
+
+impl<V> KeyTable<V> {
+    /// An empty hash-backed table.
+    pub fn sparse() -> Self {
+        KeyTable::Sparse(FxHashMap::default())
+    }
+
+    /// An empty dense table over keys `0..n`.
+    pub fn dense(n: usize) -> Self {
+        let mut values = Vec::new();
+        values.resize_with(n, || None);
+        KeyTable::Dense {
+            stamps: vec![0; n],
+            values,
+            generation: GEN_FIRST,
+            len: 0,
+        }
+    }
+
+    /// The value stored for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        match self {
+            KeyTable::Sparse(map) => map.get(&key),
+            KeyTable::Dense {
+                stamps,
+                values,
+                generation,
+                ..
+            } => {
+                if stamps.get(key as usize) == Some(generation) {
+                    values[key as usize].as_ref()
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Mutable access to the value stored for `key`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        match self {
+            KeyTable::Sparse(map) => map.get_mut(&key),
+            KeyTable::Dense {
+                stamps,
+                values,
+                generation,
+                ..
+            } => {
+                if stamps.get(key as usize) == Some(generation) {
+                    values[key as usize].as_mut()
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Store `value` for `key`, returning the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        match self {
+            KeyTable::Sparse(map) => map.insert(key, value),
+            KeyTable::Dense {
+                stamps,
+                values,
+                generation,
+                len,
+            } => {
+                debug_assert!(
+                    (key as usize) < stamps.len(),
+                    "key {key} outside dense universe of {}",
+                    stamps.len()
+                );
+                let live = stamps[key as usize] == *generation;
+                stamps[key as usize] = *generation;
+                let old = values[key as usize].replace(value);
+                if live {
+                    old
+                } else {
+                    *len += 1;
+                    None
+                }
+            }
+        }
+    }
+
+    /// Remove `key`, returning its value if it was present.
+    #[inline]
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        match self {
+            KeyTable::Sparse(map) => map.remove(&key),
+            KeyTable::Dense {
+                stamps,
+                values,
+                generation,
+                len,
+            } => match stamps.get_mut(key as usize) {
+                Some(stamp) if *stamp == *generation => {
+                    *stamp = 0;
+                    *len -= 1;
+                    values[key as usize].take()
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// Live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            KeyTable::Sparse(map) => map.len(),
+            KeyTable::Dense { len, .. } => *len,
+        }
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries. O(1) for dense tables (generation bump; stale
+    /// values linger until their slot is reused).
+    pub fn clear(&mut self) {
+        match self {
+            KeyTable::Sparse(map) => map.clear(),
+            KeyTable::Dense {
+                stamps,
+                values,
+                generation,
+                len,
+            } => {
+                *generation = match generation.checked_add(1) {
+                    Some(g) => g,
+                    None => {
+                        stamps.fill(0);
+                        values.iter_mut().for_each(|v| *v = None);
+                        GEN_FIRST
+                    }
+                };
+                *len = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_pair() -> [KeyIndex; 2] {
+        [KeyIndex::sparse(), KeyIndex::dense(64)]
+    }
+
+    #[test]
+    fn index_insert_get_remove_both_backings() {
+        for mut idx in index_pair() {
+            assert_eq!(idx.get(3), None);
+            assert_eq!(idx.insert(3, 7), None);
+            assert_eq!(idx.insert(5, 9), None);
+            assert_eq!(idx.len(), 2);
+            assert_eq!(idx.get(3), Some(7));
+            assert_eq!(idx.insert(3, 8), Some(7), "overwrite returns old");
+            assert_eq!(idx.len(), 2);
+            assert_eq!(idx.remove(3), Some(8));
+            assert_eq!(idx.remove(3), None);
+            assert_eq!(idx.len(), 1);
+            assert!(idx.contains(5) && !idx.contains(3));
+        }
+    }
+
+    #[test]
+    fn index_clear_is_generation_bump() {
+        let mut idx = KeyIndex::dense(8);
+        idx.insert(1, 10);
+        idx.insert(2, 20);
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(1), None, "stale generation must read absent");
+        idx.insert(1, 30);
+        assert_eq!(idx.get(1), Some(30));
+        assert_eq!(idx.get(2), None);
+    }
+
+    #[test]
+    fn set_basic_both_backings() {
+        for mut set in [KeySet::sparse(), KeySet::dense(32)] {
+            assert!(set.insert(4));
+            assert!(!set.insert(4));
+            assert!(set.contains(4));
+            assert_eq!(set.len(), 1);
+            assert!(set.remove(4));
+            assert!(!set.remove(4));
+            assert!(set.is_empty());
+            set.insert(9);
+            set.clear();
+            assert!(!set.contains(9));
+        }
+    }
+
+    #[test]
+    fn table_basic_both_backings() {
+        for mut t in [KeyTable::<String>::sparse(), KeyTable::<String>::dense(16)] {
+            assert_eq!(t.insert(2, "a".into()), None);
+            assert_eq!(t.insert(2, "b".into()), Some("a".into()));
+            assert_eq!(t.get(2).map(String::as_str), Some("b"));
+            t.get_mut(2).unwrap().push('!');
+            assert_eq!(t.remove(2).as_deref(), Some("b!"));
+            assert_eq!(t.remove(2), None);
+            assert!(t.is_empty());
+        }
+    }
+
+    #[test]
+    fn table_clear_hides_stale_values() {
+        let mut t = KeyTable::<u32>::dense(4);
+        t.insert(0, 11);
+        t.clear();
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.insert(0, 22), None, "stale value must not resurface");
+        assert_eq!(t.get(0), Some(&22));
+    }
+
+    #[test]
+    fn dense_out_of_range_reads_are_absent() {
+        let idx = KeyIndex::dense(4);
+        assert_eq!(idx.get(100), None);
+        let set = KeySet::dense(4);
+        assert!(!set.contains(100));
+        let t = KeyTable::<u8>::dense(4);
+        assert_eq!(t.get(100), None);
+    }
+
+    #[test]
+    fn universe_of_sparse_map_is_sparse() {
+        let u = Universe::of(&BlockMap::strided(4));
+        assert!(!u.is_dense());
+        assert!(matches!(u.item_index(), KeyIndex::Sparse(_)));
+        assert!(u.decode().is_none());
+    }
+
+    #[test]
+    fn universe_of_compiled_map_is_dense() {
+        use gc_types::{CompiledTrace, Trace};
+        let ct =
+            CompiledTrace::compile(&Trace::from_ids([0, 9, 100]), &BlockMap::strided(4)).unwrap();
+        let u = Universe::of(ct.map());
+        assert!(u.is_dense());
+        assert_eq!(u.n_items(), Some(12));
+        assert_eq!(u.n_blocks(), Some(3));
+        assert!(matches!(u.item_index(), KeyIndex::Dense { .. }));
+        assert_eq!(u.decode().unwrap().len(), 12);
+    }
+
+    #[test]
+    fn differential_index_sparse_vs_dense() {
+        let mut sparse = KeyIndex::sparse();
+        let mut dense = KeyIndex::dense(40);
+        let mut x = 0x9E37_79B9u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 40;
+            match x % 7 {
+                0..=2 => assert_eq!(
+                    sparse.insert(key, (x % 97) as u32),
+                    dense.insert(key, (x % 97) as u32)
+                ),
+                3..=4 => assert_eq!(sparse.remove(key), dense.remove(key)),
+                5 => assert_eq!(sparse.get(key), dense.get(key)),
+                _ => {
+                    if x % 101 == 0 {
+                        sparse.clear();
+                        dense.clear();
+                    }
+                    assert_eq!(sparse.len(), dense.len());
+                }
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! is also the main-region structure of [`WTinyLfu`](crate::WTinyLfu).
 
 use crate::lru_list::LruList;
+use crate::slab::Universe;
 use crate::GcPolicy;
 use gc_types::{AccessKind, AccessScratch, ItemId};
 
@@ -22,13 +23,28 @@ pub struct Slru {
 impl Slru {
     /// An SLRU of `capacity` items with the common 80%-protected tuning.
     pub fn new(capacity: usize) -> Self {
+        Self::with_universe(capacity, &Universe::sparse())
+    }
+
+    /// An SLRU with default tuning whose segment indices are backed by
+    /// `universe`.
+    pub fn with_universe(capacity: usize, universe: &Universe) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        Self::with_protected(capacity, (capacity * 4 / 5).min(capacity.saturating_sub(1)))
+        Self::with_protected_in(
+            capacity,
+            (capacity * 4 / 5).min(capacity.saturating_sub(1)),
+            universe,
+        )
     }
 
     /// An SLRU with an explicit protected-segment capacity
     /// (`protected < capacity`; the rest is probationary).
     pub fn with_protected(capacity: usize, protected_cap: usize) -> Self {
+        Self::with_protected_in(capacity, protected_cap, &Universe::sparse())
+    }
+
+    /// An SLRU with explicit protected capacity and index backing.
+    pub fn with_protected_in(capacity: usize, protected_cap: usize, universe: &Universe) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         assert!(
             protected_cap < capacity,
@@ -37,8 +53,8 @@ impl Slru {
         Slru {
             capacity,
             protected_cap,
-            probationary: LruList::with_capacity(capacity),
-            protected: LruList::with_capacity(protected_cap),
+            probationary: LruList::with_index(capacity, universe.item_index()),
+            protected: LruList::with_index(protected_cap, universe.item_index()),
         }
     }
 

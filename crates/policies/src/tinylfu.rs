@@ -11,6 +11,7 @@
 
 use crate::lru_list::LruList;
 use crate::sketch::CountMinSketch;
+use crate::slab::Universe;
 use crate::GcPolicy;
 use gc_types::{AccessKind, AccessScratch, ItemId};
 
@@ -30,17 +31,28 @@ impl WTinyLfu {
     /// A W-TinyLFU cache of `capacity` items: window = `capacity/8`
     /// (≥ 1), main region = SLRU with 80% protected.
     pub fn new(capacity: usize) -> Self {
+        Self::with_universe(capacity, &Universe::sparse())
+    }
+
+    /// A W-TinyLFU cache whose list indices are backed by `universe`, with
+    /// the sketch hashing decoded (original) ids so admission duels match
+    /// the sparse run bit for bit.
+    pub fn with_universe(capacity: usize, universe: &Universe) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         let window_cap = (capacity / 8).max(1).min(capacity);
         let main = capacity - window_cap;
+        let sketch = match universe.decode() {
+            Some(decode) => CountMinSketch::with_decode(capacity.max(64), decode),
+            None => CountMinSketch::new(capacity.max(64)),
+        };
         WTinyLfu {
             capacity,
             window_cap,
             protected_cap: main * 4 / 5,
-            window: LruList::with_capacity(window_cap),
-            probationary: LruList::with_capacity(main),
-            protected: LruList::with_capacity(main),
-            sketch: CountMinSketch::new(capacity.max(64)),
+            window: LruList::with_index(window_cap, universe.item_index()),
+            probationary: LruList::with_index(main, universe.item_index()),
+            protected: LruList::with_index(main, universe.item_index()),
+            sketch,
         }
     }
 

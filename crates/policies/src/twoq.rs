@@ -8,8 +8,9 @@
 //! Theorem 2 lower bound, which the integration tests exercise.
 
 use crate::lru_list::LruList;
+use crate::slab::{KeySet, Universe};
 use crate::GcPolicy;
-use gc_types::{AccessKind, AccessScratch, FxHashSet, ItemId};
+use gc_types::{AccessKind, AccessScratch, ItemId};
 use std::collections::VecDeque;
 
 /// The 2Q replacement policy (item-granular).
@@ -21,9 +22,9 @@ pub struct TwoQ {
     /// Capacity of the A1out ghost queue (ids only, non-resident).
     kout: usize,
     a1in: VecDeque<ItemId>,
-    a1in_set: FxHashSet<ItemId>,
+    a1in_set: KeySet,
     a1out: VecDeque<ItemId>,
-    a1out_set: FxHashSet<ItemId>,
+    a1out_set: KeySet,
     am: LruList,
 }
 
@@ -33,6 +34,11 @@ impl TwoQ {
     /// metadata, not lines; a full-size ghost — as in ARC — keeps the
     /// reuse signal alive under heavy one-shot pollution).
     pub fn new(capacity: usize) -> Self {
+        Self::with_universe(capacity, &Universe::sparse())
+    }
+
+    /// A 2Q cache whose queue-membership sets are backed by `universe`.
+    pub fn with_universe(capacity: usize, universe: &Universe) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         let kin = (capacity / 4).max(1).min(capacity);
         TwoQ {
@@ -40,22 +46,22 @@ impl TwoQ {
             kin,
             kout: capacity,
             a1in: VecDeque::new(),
-            a1in_set: FxHashSet::default(),
+            a1in_set: universe.item_set(),
             a1out: VecDeque::new(),
-            a1out_set: FxHashSet::default(),
-            am: LruList::with_capacity(capacity),
+            a1out_set: universe.item_set(),
+            am: LruList::with_index(capacity, universe.item_index()),
         }
     }
 
     /// Demote the A1in FIFO head to the ghost queue.
     fn spill_a1in(&mut self) -> ItemId {
         let victim = self.a1in.pop_front().expect("spill on nonempty A1in");
-        self.a1in_set.remove(&victim);
+        self.a1in_set.remove(victim.0);
         self.a1out.push_back(victim);
-        self.a1out_set.insert(victim);
+        self.a1out_set.insert(victim.0);
         if self.a1out.len() > self.kout {
             let gone = self.a1out.pop_front().expect("ghost nonempty");
-            self.a1out_set.remove(&gone);
+            self.a1out_set.remove(gone.0);
         }
         victim
     }
@@ -83,7 +89,7 @@ impl GcPolicy for TwoQ {
     }
 
     fn contains(&self, item: ItemId) -> bool {
-        self.a1in_set.contains(&item) || self.am.contains(item.0)
+        self.a1in_set.contains(item.0) || self.am.contains(item.0)
     }
 
     fn access_into(&mut self, item: ItemId, out: &mut AccessScratch) -> AccessKind {
@@ -91,7 +97,7 @@ impl GcPolicy for TwoQ {
             self.am.touch(item.0);
             return AccessKind::Hit;
         }
-        if self.a1in_set.contains(&item) {
+        if self.a1in_set.contains(item.0) {
             // 2Q leaves A1in hits in place (no reordering): correlated
             // references within a burst shouldn't look like reuse.
             return AccessKind::Hit;
@@ -101,7 +107,7 @@ impl GcPolicy for TwoQ {
         // residency never exceeds capacity.
         out.clear();
         out.loaded.push(item);
-        let ghost_hit = self.a1out_set.remove(&item);
+        let ghost_hit = self.a1out_set.remove(item.0);
         if ghost_hit {
             self.a1out.retain(|&g| g != item);
         }
@@ -120,7 +126,7 @@ impl GcPolicy for TwoQ {
                 out.evicted.push(victim);
             }
             self.a1in.push_back(item);
-            self.a1in_set.insert(item);
+            self.a1in_set.insert(item.0);
         }
         AccessKind::Miss
     }

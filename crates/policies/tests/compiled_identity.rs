@@ -1,0 +1,131 @@
+//! Compiled × uncompiled bit-identity across the full policy roster.
+//!
+//! Each policy replays the same request stream twice: once in the sparse
+//! key space (hash-backed slab state), once over the dense-ID compiled
+//! trace with the policy built against the compiled map (Vec-backed slab
+//! state). After decoding dense ids back to the source keys, every access
+//! must agree on hit/miss and on the exact loaded and evicted sequences —
+//! the compiled path is an optimization, never a behavior change.
+
+use gc_policies::{GcPolicy, PolicyKind};
+use gc_types::{AccessScratch, BlockMap, CompiledTrace, ItemId, Trace};
+
+/// Every `PolicyKind` variant, including the ones outside the rosters.
+fn full_roster() -> Vec<PolicyKind> {
+    let mut roster = PolicyKind::extended_roster(7);
+    roster.extend([
+        PolicyKind::ItemRandom { seed: 7 },
+        PolicyKind::BlockFifo,
+        PolicyKind::Iblp { item_lines: 24 },
+        PolicyKind::PartialGcm { seed: 7, coload: 2 },
+    ]);
+    assert_eq!(roster.len(), 18, "roster must cover every PolicyKind");
+    roster
+}
+
+/// Zipf-ish stream over a scattered sparse key space: a hot set plus a
+/// long tail, ids far apart so the dense rename actually renames.
+fn scattered_trace(len: usize, seed: u64, pick: impl Fn(u64) -> u64) -> Trace {
+    let mut t = Trace::new();
+    let mut x = seed | 1;
+    for _ in 0..len {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        t.push(ItemId(pick(x >> 33)));
+    }
+    t
+}
+
+/// Replay `trace` sparse and compiled, asserting bit-identical behavior
+/// per access (with a mid-stream `reset` to exercise generation bumps).
+fn assert_bit_identical(kind: &PolicyKind, capacity: usize, trace: &Trace, map: &BlockMap) {
+    let ct = CompiledTrace::compile(trace, map).expect("trace must compile");
+    let mut sparse = kind.build(capacity, map);
+    let mut dense = kind.build(capacity, ct.map());
+    let mut s_out = AccessScratch::new();
+    let mut d_out = AccessScratch::new();
+    let half = trace.len() / 2;
+    for (step, (item, access)) in trace.iter().zip(ct.accesses()).enumerate() {
+        if step == half {
+            sparse.reset();
+            dense.reset();
+        }
+        let s_kind = sparse.access_into(item, &mut s_out);
+        let d_kind = dense.access_into(ItemId(u64::from(access.item)), &mut d_out);
+        assert_eq!(
+            s_kind, d_kind,
+            "{kind}: hit/miss diverged at step {step} ({item})"
+        );
+        if s_kind.is_miss() {
+            let decode =
+                |v: &[ItemId]| -> Vec<ItemId> { v.iter().map(|&z| ct.decode_item(z)).collect() };
+            assert_eq!(
+                s_out.loaded,
+                decode(&d_out.loaded),
+                "{kind}: loads diverged at step {step} ({item})"
+            );
+            assert_eq!(
+                s_out.evicted,
+                decode(&d_out.evicted),
+                "{kind}: evictions diverged at step {step} ({item})"
+            );
+        }
+        assert_eq!(
+            sparse.len(),
+            dense.len(),
+            "{kind}: occupancy diverged at step {step}"
+        );
+    }
+}
+
+#[test]
+fn strided_map_full_roster_is_bit_identical() {
+    let map = BlockMap::strided(8);
+    let trace = scattered_trace(4000, 0x9e37, |r| {
+        if r % 3 != 0 {
+            (r % 12) * 1_000 + 5
+        } else {
+            (r % 700) * 911
+        }
+    });
+    for kind in full_roster() {
+        assert_bit_identical(&kind, 64, &trace, &map);
+    }
+}
+
+#[test]
+fn explicit_ragged_map_full_roster_is_bit_identical() {
+    // Ragged explicit blocks (1..=5 items) over scattered ids, with
+    // deliberately non-sorted group order inside each block.
+    let groups: Vec<Vec<ItemId>> = (0..40u64)
+        .map(|g| {
+            let size = 1 + (g % 5);
+            (0..size)
+                .rev()
+                .map(|j| ItemId(g * 10_007 + j * 13))
+                .collect()
+        })
+        .collect();
+    let ids: Vec<u64> = groups.iter().flatten().map(|z| z.0).collect();
+    let map = BlockMap::from_groups(groups).unwrap();
+    let trace = scattered_trace(3000, 0xfeed, |r| {
+        if r % 2 == 0 {
+            ids[(r % 9) as usize]
+        } else {
+            ids[(r % ids.len() as u64) as usize]
+        }
+    });
+    for kind in full_roster() {
+        assert_bit_identical(&kind, 32, &trace, &map);
+    }
+}
+
+#[test]
+fn singleton_map_roster_is_bit_identical() {
+    let map = BlockMap::singleton();
+    let trace = scattered_trace(2000, 0xabcd, |r| (r % 300) * 7919);
+    for kind in full_roster() {
+        assert_bit_identical(&kind, 24, &trace, &map);
+    }
+}

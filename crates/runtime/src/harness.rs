@@ -11,7 +11,7 @@
 //! size, so batching never changes single-threaded results).
 
 use crate::runtime::GcRuntime;
-use gc_types::{GcError, RuntimeStats, Trace};
+use gc_types::{CompiledTrace, GcError, RuntimeStats, Trace};
 use std::time::Instant;
 
 /// The result of one [`serve_trace`] run.
@@ -69,6 +69,59 @@ pub fn serve_trace(
     let stats = runtime.aggregate_stats();
     let wall_seconds = wall.as_secs_f64();
     let requests = trace.len() as u64;
+    Ok(ServeReport {
+        wall_seconds,
+        requests,
+        throughput_rps: if wall_seconds > 0.0 {
+            requests as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        stats,
+        per_shard: runtime.per_shard_stats(),
+    })
+}
+
+/// Replay a compiled trace against `runtime` from `threads` closed-loop
+/// workers — the dense-ID counterpart of [`serve_trace`]. Each worker
+/// streams its strided partition of the precompiled `(item, block)` array
+/// through [`Session::run_compiled_strided`](crate::Session), skipping the
+/// per-request block lookup and shard hash entirely.
+///
+/// The runtime must have been built against the trace's dense map (see
+/// [`Session::run_compiled`](crate::Session::run_compiled)); with
+/// `threads == 1` on one shard, counters are bit-identical to
+/// [`serve_trace`] over the decoded trace.
+///
+/// # Errors
+///
+/// Propagates the first [`GcError`] produced by any worker — a map
+/// mismatch or backend failure surfaces here.
+pub fn serve_trace_compiled(
+    runtime: &GcRuntime,
+    compiled: &CompiledTrace,
+    threads: usize,
+) -> Result<ServeReport, GcError> {
+    let threads = threads.max(1);
+    let t0 = Instant::now();
+    let worker_results: Vec<Result<(), GcError>> =
+        gc_sim::pool::run_indexed(threads, threads, |w| {
+            let mut session = runtime.session();
+            if threads == 1 {
+                session.run_compiled(compiled)?;
+            } else {
+                session.run_compiled_strided(compiled, w, threads)?;
+            }
+            session.finish()
+        });
+    let wall = t0.elapsed();
+    for r in worker_results {
+        r?;
+    }
+
+    let stats = runtime.aggregate_stats();
+    let wall_seconds = wall.as_secs_f64();
+    let requests = compiled.len() as u64;
     Ok(ServeReport {
         wall_seconds,
         requests,
@@ -156,6 +209,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn compiled_workers_cover_the_whole_trace_exactly_once() {
+        let ids: Vec<u64> = (0..10_000u64).map(|i| (i % 512) * 1_021).collect();
+        let trace = Trace::from_ids(ids);
+        let map = BlockMap::strided(4);
+        let compiled = gc_types::CompiledTrace::compile(&trace, &map).unwrap();
+        let dense_map = compiled.map().clone();
+        let backend = Arc::new(SyntheticBackend::new(dense_map.clone()));
+        let rt = GcRuntime::with_config(
+            &PolicyKind::IblpBalanced,
+            64,
+            dense_map,
+            RuntimeConfig::new(4).with_batch(8),
+            backend,
+        )
+        .unwrap();
+        let report = serve_trace_compiled(&rt, &compiled, 8).unwrap();
+        assert_eq!(report.requests, 10_000);
+        assert_eq!(report.stats.accesses, 10_000);
+        assert_eq!(
+            report.stats.hits() + report.stats.misses,
+            report.stats.accesses
+        );
+        assert_eq!(
+            report.stats.misses,
+            report.stats.backend_fetches + report.stats.coalesced_fetches
+        );
     }
 
     #[test]

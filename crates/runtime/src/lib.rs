@@ -62,7 +62,7 @@ mod loom_tests;
 
 pub use backend::{BlockBackend, CountingBackend, SyntheticBackend};
 pub use config::{ExecMode, FetchPath, RuntimeConfig};
-pub use harness::{serve_trace, ServeReport};
+pub use harness::{serve_trace, serve_trace_compiled, ServeReport};
 pub use runtime::{shard_capacities, GcRuntime, ServeOutcome};
 pub use session::Session;
 pub use singleflight::{FetchResult, FetchRole, SingleFlight};

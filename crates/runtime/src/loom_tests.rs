@@ -17,8 +17,10 @@
 //!
 //! 1. **Single-flight leader/waiter handshake** (`singleflight_*`): a lost
 //!    wakeup between publish and wait, a waiter observing an unpublished
-//!    slot, an error not reaching a coalesced waiter, or a completed flight
-//!    left in the table (retire-before-publish violated).
+//!    slot, an error not reaching a coalesced waiter, a completed flight
+//!    still joinable (retire-before-publish violated), or — for the
+//!    lock-free retire — a tombstone that gets joined instead of replaced,
+//!    or a deadlock against the skipped opportunistic cleanup.
 //! 2. **ReplySlot rendezvous** (`reply_slot_*`): a deposit the producer
 //!    never observes, or a wakeup consumed without the job being taken.
 //! 3. **Owner shutdown-by-disconnect** (`owner_pool_*`): a queued job
@@ -127,6 +129,67 @@ fn singleflight_error_reaches_every_waiter_and_retires() {
     });
     assert!(!report.truncated);
     assert!(report.executions > 1);
+}
+
+/// Protocol 1, lock-free retire: the leader retires by flipping the
+/// flight's atomic state (no stripe lock), leaving a tombstone whose
+/// opportunistic cleanup may be skipped under contention. A miss racing
+/// that completion window must either coalesce onto the still-live flight
+/// or lead fresh off the tombstone — never join a finished flight, never
+/// lose a load in the accounting, and never deadlock against the skipped
+/// cleanup. The trailing fetch verifies tombstones are replaced, not
+/// joined, in every reachable end state.
+#[test]
+fn singleflight_lockfree_retire_tombstones_are_never_joined() {
+    let report = small_model().check(|| {
+        let sf = Arc::new(SingleFlight::new());
+        let loads = Arc::new(AtomicUsize::new(0));
+        let payload = || vec![ItemId(20), ItemId(21)];
+
+        let t = {
+            let sf = Arc::clone(&sf);
+            let loads = Arc::clone(&loads);
+            thread::spawn(move || {
+                sf.fetch(5, || {
+                    loads.fetch_add(1, Ordering::SeqCst);
+                    Ok(vec![ItemId(20), ItemId(21)])
+                })
+            })
+        };
+        // Two back-to-back fetches from this thread race the spawned
+        // fetch's whole lifecycle — including its retire-to-cleanup window,
+        // where the table briefly holds a tombstone.
+        let (r1, role1) = sf.fetch(5, || {
+            loads.fetch_add(1, Ordering::SeqCst);
+            Ok(payload())
+        });
+        let (r2, role2) = sf.fetch(5, || {
+            loads.fetch_add(1, Ordering::SeqCst);
+            Ok(payload())
+        });
+        let (r3, role3) = t.join().expect("model thread");
+
+        let led = [role1, role2, role3]
+            .iter()
+            .filter(|r| !r.is_coalesced())
+            .count();
+        assert!(led >= 1, "someone must lead");
+        assert_eq!(loads.load(Ordering::SeqCst), led, "loads == leaders");
+        for r in [r1, r2, r3] {
+            assert_eq!(*r.expect("load never fails"), payload(), "torn slot");
+        }
+        assert_eq!(sf.in_flight(), 0, "every flight retired");
+        assert_eq!(sf.pending_waiters(), 0);
+        // Whatever the table holds now (empty or one tombstone), a new
+        // miss must lead its own fetch, never join a finished flight.
+        let (_, role) = sf.fetch(5, || {
+            loads.fetch_add(1, Ordering::SeqCst);
+            Ok(payload())
+        });
+        assert!(!role.is_coalesced(), "finished flights must not be joined");
+    });
+    assert!(!report.truncated, "model must be exhausted, not truncated");
+    assert!(report.executions > 1, "concurrency was actually explored");
 }
 
 /// Protocol 2: the ReplySlot mutex+condvar rendezvous never loses a job —

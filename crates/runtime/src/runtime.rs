@@ -302,6 +302,32 @@ impl GcRuntime {
         Some(self.shard_index(block))
     }
 
+    /// Precompute the shard route of every dense block id `0..n_blocks` —
+    /// the compiled serving path replaces the per-request `mix64` +
+    /// mask/mod with one flat table load.
+    pub(crate) fn block_routes(&self, n_blocks: usize) -> Vec<u32> {
+        (0..n_blocks as u64)
+            .map(|b| self.shard_index(BlockId(b)) as u32)
+            .collect()
+    }
+
+    /// Whether this runtime was built against the same dense map as
+    /// `other` (table-level equality, so a clone or an identical
+    /// recompilation both pass). Compiled serving requires this: dense ids
+    /// are only meaningful against the map that assigned them.
+    pub(crate) fn same_dense_map(&self, other: &BlockMap) -> bool {
+        // Pointer check first: map clones share their decode tables, so
+        // the common case never walks the vectors.
+        let eq = |x: &Vec<u64>, y: &Vec<u64>| x.as_ptr() == y.as_ptr() || x == y;
+        match (self.map.dense_universe(), other.dense_universe()) {
+            (Some(a), Some(b)) => {
+                eq(a.decode_table(), b.decode_table())
+                    && eq(a.block_decode_table(), b.block_decode_table())
+            }
+            _ => false,
+        }
+    }
+
     /// Open a batched session: the hot-path handle that groups requests
     /// per shard and amortizes synchronization over
     /// [`RuntimeConfig::batch`] accesses. Sessions are cheap but not free

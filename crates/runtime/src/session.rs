@@ -28,7 +28,7 @@ use crate::config::FetchPath;
 use crate::owner::{BatchJob, BatchReply, Msg, ReplySlot};
 use crate::runtime::{FetchStats, GcRuntime};
 use crate::sync::Arc;
-use gc_types::{BlockId, FxHashMap, GcError, ItemId};
+use gc_types::{BlockId, CompiledTrace, FxHashMap, GcError, ItemId};
 
 /// Per-item block lookup, strength-reduced at session creation. Strided
 /// maps turn the `item / stride` division into a shift when the stride is
@@ -283,6 +283,125 @@ impl<'rt> Session<'rt> {
             self.fold();
             if in_window < batch {
                 break;
+            }
+        }
+        Ok(served)
+    }
+
+    /// Serve a compiled trace end to end (including a final flush of the
+    /// tail window). Returns the number of requests served.
+    ///
+    /// The runtime must have been built against the same dense map the
+    /// trace was compiled with (a clone or identical recompilation also
+    /// passes) — dense ids are only meaningful against the map that
+    /// assigned them. Per-request work drops the block lookup (hash or
+    /// division) and the shard hash: both were precomputed at compile
+    /// time, so the hot loop streams flat `(item, block)` pairs and
+    /// routes through one table load. Policy-visible stats are
+    /// bit-identical to [`Session::run`] over the decoded trace on a
+    /// 1-shard runtime, and to the same dense stream at any shard count
+    /// (multi-shard routing hashes block *ids*, which renaming changes).
+    ///
+    /// # Errors
+    ///
+    /// [`GcError::InvalidParameter`] if the runtime's block map is not
+    /// the trace's dense map, or any error surfaced by a flush.
+    pub fn run_compiled(&mut self, compiled: &CompiledTrace) -> Result<u64, GcError> {
+        self.run_compiled_strided(compiled, 0, 1)
+    }
+
+    /// Serve every `step`-th access of `compiled` starting at `skip` —
+    /// the worker partition behind `serve_trace_compiled`. `skip == 0`,
+    /// `step == 1` replays the whole trace in order.
+    pub(crate) fn run_compiled_strided(
+        &mut self,
+        compiled: &CompiledTrace,
+        skip: usize,
+        step: usize,
+    ) -> Result<u64, GcError> {
+        debug_assert!(step >= 1, "stride step must be at least 1");
+        if !self.rt.same_dense_map(compiled.map()) {
+            return Err(GcError::InvalidParameter(
+                "compiled trace and runtime were built against different block maps".into(),
+            ));
+        }
+        // Whole-trace replay of a single locked shard runs unbuffered —
+        // same fast path (and flush cadence) as the sparse `run`, but
+        // available for *any* lookup kind since blocks are precomputed.
+        if skip == 0 && step == 1 && self.rt.shards() == 1 && self.rt.engine_locked().is_some() {
+            return self.run_single_compiled(compiled);
+        }
+        let routes = self.rt.block_routes(compiled.n_blocks() as usize);
+        let buffer_blocks = matches!(self.lookup, BlockLookup::Map);
+        let mut served = 0u64;
+        for a in compiled.accesses().iter().skip(skip).step_by(step) {
+            let shard = routes[a.block as usize] as usize;
+            self.items[shard].push(ItemId(u64::from(a.item)));
+            if buffer_blocks {
+                self.blocks[shard].push(BlockId(u64::from(a.block)));
+            }
+            self.pending_total += 1;
+            served += 1;
+            if self.pending_total >= self.batch {
+                self.flush()?;
+            }
+        }
+        self.flush()?;
+        Ok(served)
+    }
+
+    /// The unbuffered single-shard hot loop behind
+    /// [`Session::run_compiled`]: one lock per batch window, accesses
+    /// streamed straight off the compiled array with their precomputed
+    /// block ids.
+    // lint: hot-path
+    fn run_single_compiled(&mut self, compiled: &CompiledTrace) -> Result<u64, GcError> {
+        use crate::core::AccessPhase;
+        // Drain anything buffered by earlier explicit `push` calls so the
+        // per-shard order stays arrival order.
+        self.flush()?;
+        // lint: allow(panic): the caller's guard admits locked mode only;
+        // the engine variant is fixed at build.
+        let core_mutex = &self.rt.engine_locked().expect("locked mode")[0];
+        let batch = self.batch.max(1);
+        let mut served = 0u64;
+        match self.fetch {
+            FetchPath::Inline => {
+                let backend = self.rt.backend();
+                for window in compiled.accesses().chunks(batch) {
+                    let mut core = core_mutex.lock();
+                    for a in window {
+                        let item = ItemId(u64::from(a.item));
+                        if let AccessPhase::MissNeedsFetch { .. } = core.access(item) {
+                            core.fetch_inline(backend, BlockId(u64::from(a.block)), item)?;
+                        }
+                    }
+                    served += window.len() as u64;
+                }
+            }
+            FetchPath::Coalesced => {
+                for window in compiled.accesses().chunks(batch) {
+                    {
+                        let mut core = core_mutex.lock();
+                        for a in window {
+                            let item = ItemId(u64::from(a.item));
+                            match core.access(item) {
+                                AccessPhase::Hit { .. } => {}
+                                AccessPhase::MissNeedsFetch { admitted } => {
+                                    self.deferred.push(Deferred {
+                                        shard: 0,
+                                        item,
+                                        block: BlockId(u64::from(a.block)),
+                                        admitted,
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    served += window.len() as u64;
+                    self.run_deferred()?;
+                    self.fold();
+                }
             }
         }
         Ok(served)
@@ -606,6 +725,46 @@ mod tests {
         session.flush().unwrap();
         assert_eq!(session.pending(), 0);
         assert_eq!(runtime.aggregate_stats().accesses, 5);
+    }
+
+    #[test]
+    fn compiled_run_matches_dense_stream_across_configs() {
+        // On a runtime built against the dense map, the compiled path and
+        // a sparse replay of the dense id stream must produce identical
+        // counters in every execution variant — the precomputed blocks and
+        // routes are an optimization, never a behavior change.
+        let map = BlockMap::strided(4);
+        let ids: Vec<u64> = (0..500u64).map(|i| ((i * 29) % 120) * 1_009).collect();
+        let trace = gc_types::Trace::from_ids(ids);
+        let compiled = gc_types::CompiledTrace::compile(&trace, &map).unwrap();
+        let build = |cfg: RuntimeConfig| {
+            let m = compiled.map().clone();
+            let backend = Arc::new(SyntheticBackend::new(m.clone()));
+            GcRuntime::with_config(&PolicyKind::ItemLru, 32, m, cfg, backend).unwrap()
+        };
+        for cfg in [
+            RuntimeConfig::new(1).with_batch(1),
+            RuntimeConfig::new(1).with_batch(16),
+            RuntimeConfig::new(1)
+                .with_fetch(FetchPath::Inline)
+                .with_batch(16),
+            RuntimeConfig::new(2).with_batch(8),
+            RuntimeConfig::new(2)
+                .with_mode(ExecMode::Owner)
+                .with_batch(8),
+        ] {
+            let sparse_rt = build(cfg.clone());
+            let mut s = sparse_rt.session();
+            s.run(compiled.iter_items()).unwrap();
+            s.finish().unwrap();
+
+            let compiled_rt = build(cfg.clone());
+            let mut s = compiled_rt.session();
+            assert_eq!(s.run_compiled(&compiled).unwrap(), 500);
+            s.finish().unwrap();
+
+            assert_eq!(counters(&sparse_rt), counters(&compiled_rt), "{cfg:?}");
+        }
     }
 
     #[test]

@@ -19,11 +19,15 @@
 //! mutex-guarded maps keyed by a hash of the block id:
 //!
 //! - leaders and waiters for different blocks almost never share a lock;
-//! - the completed-flight retire touches only the flight's own stripe, and
-//!   runs *before* publishing (two short uncontended sections on disjoint
-//!   objects — the old publish-then-re-lock-the-world sequence is gone);
+//! - the completed-flight retire is **lock-free**: the leader flips the
+//!   flight's atomic state to retired *before* publishing, so the led-fetch
+//!   completion path never re-acquires the stripe lock. The map entry
+//!   becomes a tombstone that the next same-key miss replaces in place
+//!   (while already holding the stripe lock for its own lookup); the
+//!   leader additionally removes it opportunistically with a `try_lock`
+//!   that is skipped under contention;
 //! - [`in_flight`](SingleFlight::in_flight) reads an atomic counter
-//!   maintained on insert/remove instead of locking any table.
+//!   maintained on lead/retire instead of locking any table.
 //!
 //! Retiring before publishing changes one boundary case, documented at the
 //! call site: a miss that arrives between retire and publish leads a fresh
@@ -43,9 +47,19 @@ pub const STRIPES: usize = 16;
 /// The shared fetch result: the whole block's items, or the load failure.
 pub type FetchResult = Result<Arc<Vec<ItemId>>, GcError>;
 
-/// One in-flight fetch: a slot the leader fills and a condvar waiters
-/// sleep on.
+/// Flight state: joinable by same-key misses.
+const LIVE: usize = 0;
+/// Flight state: the leader's load completed; the table entry is a
+/// tombstone and same-key misses must lead fresh.
+const RETIRED: usize = 1;
+
+/// One in-flight fetch: an atomic lifecycle state, a slot the leader
+/// fills, and a condvar waiters sleep on.
 struct Flight {
+    /// [`LIVE`] until the leader's load completes, then [`RETIRED`]. The
+    /// store is the retire point — it happens before the result is
+    /// published, with no stripe lock held.
+    state: AtomicUsize,
     slot: Mutex<Option<FetchResult>>,
     cv: Condvar,
 }
@@ -53,9 +67,14 @@ struct Flight {
 impl Flight {
     fn new() -> Self {
         Flight {
+            state: AtomicUsize::new(LIVE),
             slot: Mutex::new(None),
             cv: Condvar::new(),
         }
+    }
+
+    fn is_retired(&self) -> bool {
+        self.state.load(Ordering::Acquire) == RETIRED
     }
 }
 
@@ -86,8 +105,9 @@ impl FetchRole {
 /// raw block id).
 pub struct SingleFlight {
     stripes: Vec<Mutex<FxHashMap<u64, Arc<Flight>>>>,
-    /// Flights currently in the table, maintained on insert/remove so
-    /// [`in_flight`](Self::in_flight) never takes a lock.
+    /// *Live* flights, maintained on lead/retire so
+    /// [`in_flight`](Self::in_flight) never takes a lock. Tombstones
+    /// awaiting cleanup are not counted.
     in_flight: AtomicUsize,
     /// Calls currently blocked waiting on another call's load — a
     /// diagnostic for deterministic interleaving tests.
@@ -132,6 +152,16 @@ impl SingleFlight {
         let (flight, is_leader) = {
             let mut table = stripe.lock();
             match table.entry(key) {
+                Entry::Occupied(mut e) if e.get().is_retired() => {
+                    // Tombstone left by a completed leader whose
+                    // opportunistic cleanup lost the `try_lock` race:
+                    // replace it in place (we already hold the stripe lock
+                    // for this lookup — no extra acquire) and lead fresh.
+                    let flight = Arc::new(Flight::new());
+                    *e.get_mut() = Arc::clone(&flight);
+                    self.in_flight.fetch_add(1, Ordering::Relaxed);
+                    (flight, true)
+                }
                 Entry::Occupied(e) => (Arc::clone(e.get()), false),
                 Entry::Vacant(v) => {
                     let flight = Arc::new(Flight::new());
@@ -146,20 +176,31 @@ impl SingleFlight {
             let t0 = Instant::now();
             let result: FetchResult = load().map(Arc::new);
             let latency = t0.elapsed();
-            // Retire first, publish second. A miss arriving in between
-            // leads its own fresh fetch (the block is no longer listed as
-            // in flight); the waiters already holding this flight observe
-            // the published result the moment it lands. The old order
-            // (publish, then re-lock the global table to retire) made
-            // every completion contend with every other miss in flight.
-            {
-                stripe.lock().remove(&key);
-                self.in_flight.fetch_sub(1, Ordering::Relaxed);
-            }
+            // Retire first, publish second — and retire without touching
+            // the stripe lock: flipping the atomic state makes the flight
+            // unjoinable (a same-key miss that finds the entry sees a
+            // tombstone and leads fresh), so the led-fetch completion path
+            // never blocks on the table. Waiters already holding this
+            // flight observe the published result the moment it lands.
+            flight.state.store(RETIRED, Ordering::Release);
+            self.in_flight.fetch_sub(1, Ordering::Relaxed);
             {
                 let mut slot = flight.slot.lock();
                 *slot = Some(result.clone());
                 flight.cv.notify_all();
+            }
+            // Opportunistic tombstone removal: only if the stripe lock is
+            // free right now — under contention the entry stays behind and
+            // the next same-key miss replaces it in place, so completion
+            // latency is never held hostage to the table. `ptr_eq` guards
+            // against removing a successor flight that already took the
+            // slot.
+            if let Some(mut table) = stripe.try_lock() {
+                if let Entry::Occupied(e) = table.entry(key) {
+                    if Arc::ptr_eq(e.get(), &flight) {
+                        e.remove();
+                    }
+                }
             }
             (result, FetchRole::Led { latency })
         } else {
@@ -192,6 +233,13 @@ impl SingleFlight {
     pub fn in_flight(&self) -> usize {
         self.in_flight.load(Ordering::Relaxed)
     }
+
+    /// Total table entries across stripes, live flights and tombstones
+    /// alike — a test hook for the cleanup protocol.
+    #[cfg(test)]
+    pub(crate) fn table_entries(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +255,52 @@ mod tests {
         assert!(matches!(role, FetchRole::Led { .. }));
         assert_eq!(sf.in_flight(), 0);
         assert_eq!(sf.pending_waiters(), 0);
+        // Uncontended cleanup: the opportunistic `try_lock` removal always
+        // succeeds with nobody else on the stripe, so no tombstone stays.
+        assert_eq!(sf.table_entries(), 0);
+    }
+
+    #[test]
+    fn retire_completes_while_stripe_lock_is_held_elsewhere() {
+        use std::sync::mpsc;
+
+        let sf = Arc::new(SingleFlight::new());
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+
+        // Leader parks inside its load (flight already inserted).
+        let leader = {
+            let sf = Arc::clone(&sf);
+            std::thread::spawn(move || {
+                sf.fetch(11, move || {
+                    release_rx.recv().expect("release signal");
+                    Ok(vec![ItemId(44)])
+                })
+            })
+        };
+        while sf.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+
+        // Grab the flight's stripe lock *before* releasing the leader. The
+        // lock-free retire must let the leader finish anyway — under the
+        // old lock-to-retire protocol this join would deadlock — with its
+        // opportunistic cleanup skipped, leaving a tombstone behind.
+        let guard = sf.stripe(11).lock();
+        release_tx.send(()).unwrap();
+        let (r, role) = leader.join().unwrap();
+        assert!(matches!(role, FetchRole::Led { .. }));
+        assert_eq!(*r.unwrap(), vec![ItemId(44)]);
+        assert_eq!(sf.in_flight(), 0, "retired while the stripe was held");
+        drop(guard);
+        assert_eq!(sf.table_entries(), 1, "cleanup skipped under contention");
+
+        // The next same-key miss replaces the tombstone in place and leads
+        // fresh; its own uncontended cleanup then empties the table.
+        let (r, role) = sf.fetch(11, || Ok(vec![ItemId(45)]));
+        assert!(!role.is_coalesced(), "tombstones must not be joined");
+        assert_eq!(*r.unwrap(), vec![ItemId(45)]);
+        assert_eq!(sf.in_flight(), 0);
+        assert_eq!(sf.table_entries(), 0, "tombstone gone after fresh lead");
     }
 
     #[test]

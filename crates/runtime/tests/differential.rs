@@ -12,10 +12,13 @@
 //! `ShardCore::access` body the locked path runs.
 
 use gc_policies::PolicyKind;
-use gc_runtime::{serve_trace, ExecMode, FetchPath, GcRuntime, RuntimeConfig, SyntheticBackend};
+use gc_runtime::{
+    serve_trace, serve_trace_compiled, ExecMode, FetchPath, GcRuntime, RuntimeConfig,
+    SyntheticBackend,
+};
 use gc_sim::SimStats;
 use gc_trace::synthetic;
-use gc_types::{BlockMap, Trace};
+use gc_types::{BlockMap, CompiledTrace, Trace};
 use std::sync::Arc;
 
 const CAPACITY: usize = 96;
@@ -108,6 +111,121 @@ fn matches_engine_on_explicit_block_map() {
     ] {
         assert_identical(&kind, &trace, &map, "irregular blocks");
     }
+}
+
+/// Runtime under test, compiled serving path: one shard, one thread, the
+/// runtime built against the trace's dense map.
+fn online_compiled(kind: &PolicyKind, compiled: &CompiledTrace, cfg: RuntimeConfig) -> SimStats {
+    let map = compiled.map().clone();
+    let backend = Arc::new(SyntheticBackend::new(map.clone()));
+    let rt = GcRuntime::with_config(kind, CAPACITY, map, cfg, backend).unwrap();
+    serve_trace_compiled(&rt, compiled, 1).unwrap();
+    rt.drain()
+}
+
+/// Every `PolicyKind` variant, including the ones outside the rosters.
+fn full_roster() -> Vec<PolicyKind> {
+    let mut roster = PolicyKind::extended_roster(7);
+    roster.extend([
+        PolicyKind::ItemRandom { seed: 7 },
+        PolicyKind::BlockFifo,
+        PolicyKind::Iblp { item_lines: 24 },
+        PolicyKind::PartialGcm { seed: 7, coload: 2 },
+    ]);
+    assert_eq!(roster.len(), 18, "roster must cover every PolicyKind");
+    roster
+}
+
+#[test]
+fn compiled_serving_matches_engine_across_full_roster() {
+    // Scattered sparse keys over a strided map, so the dense rename
+    // actually renames; the compiled 1-shard/1-thread runtime must stay
+    // bit-identical to the offline sparse engine in every execution
+    // variant, for every policy.
+    let map = BlockMap::strided(BLOCK_SIZE);
+    let mut x = 9u64;
+    let ids: Vec<u64> = (0..8_000)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 33) % 800) * 10_007
+        })
+        .collect();
+    let trace = Trace::from_ids(ids);
+    let compiled = CompiledTrace::compile(&trace, &map).unwrap();
+    for kind in full_roster() {
+        let expect = offline(&kind, &trace, &map);
+        for cfg in all_configs() {
+            let got = online_compiled(&kind, &compiled, cfg.clone());
+            assert_eq!(
+                got, expect,
+                "compiled runtime diverged from sparse engine for {kind:?} under {cfg:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compiled_serving_matches_engine_on_explicit_block_map() {
+    // Ragged explicit blocks compile to a CSR dense map: the compiled
+    // session must agree with the sparse engine even though the sparse
+    // runtime path would have gone through hash lookups.
+    let groups: Vec<Vec<gc_types::ItemId>> = (0..64u64)
+        .map(|b| {
+            let width = 1 + (b % 7);
+            (0..width)
+                .map(|i| gc_types::ItemId(b * 65_537 + i * 101))
+                .collect()
+        })
+        .collect();
+    let map = BlockMap::from_groups(groups.clone()).unwrap();
+    let flat: Vec<gc_types::ItemId> = groups.into_iter().flatten().collect();
+    let mut x = 31u64;
+    let ids: Vec<u64> = (0..8_000)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            flat[((x >> 33) as usize) % flat.len()].0
+        })
+        .collect();
+    let trace = Trace::from_ids(ids);
+    let compiled = CompiledTrace::compile(&trace, &map).unwrap();
+    for kind in [
+        PolicyKind::ItemLru,
+        PolicyKind::BlockLru,
+        PolicyKind::IblpBalanced,
+        PolicyKind::Gcm { seed: 3 },
+    ] {
+        let expect = offline(&kind, &trace, &map);
+        for cfg in all_configs() {
+            let got = online_compiled(&kind, &compiled, cfg.clone());
+            assert_eq!(
+                got, expect,
+                "compiled runtime diverged from sparse engine for {kind:?} under {cfg:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compiled_serving_rejects_mismatched_runtime_map() {
+    // A runtime built against the *sparse* map must refuse a compiled
+    // trace: dense ids are only meaningful against the dense map.
+    let map = BlockMap::strided(BLOCK_SIZE);
+    let trace = Trace::from_ids((0..64u64).map(|i| i * 1_000));
+    let compiled = CompiledTrace::compile(&trace, &map).unwrap();
+    let backend = Arc::new(SyntheticBackend::new(map.clone()));
+    let rt = GcRuntime::with_config(
+        &PolicyKind::ItemLru,
+        CAPACITY,
+        map,
+        RuntimeConfig::new(1),
+        backend,
+    )
+    .unwrap();
+    assert!(serve_trace_compiled(&rt, &compiled, 1).is_err());
 }
 
 mod randomized {

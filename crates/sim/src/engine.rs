@@ -24,7 +24,7 @@
 
 use crate::stats::SimStats;
 use gc_policies::GcPolicy;
-use gc_types::{AccessKind, AccessScratch, FxHashSet, ItemId, Trace};
+use gc_types::{AccessKind, AccessScratch, CompiledTrace, FxHashSet, ItemId, Trace};
 
 /// Ids below this bound live in the dense bitmap (`2^26` bits = 8 MiB at
 /// the very worst); anything larger spills into a hash set so sparse
@@ -130,12 +130,49 @@ pub fn simulate_with_warmup<P: GcPolicy + ?Sized>(
     trace: &Trace,
     warmup: usize,
 ) -> SimStats {
+    run_loop(policy, trace.iter(), warmup)
+}
+
+/// Run `policy` over a [`CompiledTrace`], returning statistics identical
+/// to [`simulate`] on the source trace when the policy was built against
+/// [`CompiledTrace::map`].
+///
+/// The loop streams the flat dense-ID access array: every id is small, so
+/// the spatial-candidate set stays in its bitmap fast path, and the policy
+/// (built against the dense map) resolves membership with `Vec` indexing
+/// instead of hash probes.
+pub fn simulate_compiled<P: GcPolicy + ?Sized>(
+    policy: &mut P,
+    compiled: &CompiledTrace,
+) -> SimStats {
+    simulate_compiled_with_warmup(policy, compiled, 0)
+}
+
+/// [`simulate_compiled`] excluding the first `warmup` requests from the
+/// statistics (they still update the cache).
+pub fn simulate_compiled_with_warmup<P: GcPolicy + ?Sized>(
+    policy: &mut P,
+    compiled: &CompiledTrace,
+    warmup: usize,
+) -> SimStats {
+    run_loop(policy, compiled.iter_items(), warmup)
+}
+
+// The shared simulation loop; `items` is either the sparse request stream
+// or the compiled dense one. Per-access work must stay allocation- and
+// hash-free on the compiled path.
+// lint: hot-path
+fn run_loop<P: GcPolicy + ?Sized>(
+    policy: &mut P,
+    items: impl Iterator<Item = ItemId>,
+    warmup: usize,
+) -> SimStats {
     let mut stats = SimStats::default();
     let mut scratch = AccessScratch::new();
     // Items resident only by virtue of a co-load, not yet re-requested.
     let mut spatial_candidates = SpatialSet::new();
 
-    for (idx, item) in trace.iter().enumerate() {
+    for (idx, item) in items.enumerate() {
         let counted = idx >= warmup;
         match policy.access_into(item, &mut scratch) {
             AccessKind::Hit => {
@@ -254,6 +291,23 @@ mod tests {
         assert!((s.fault_rate() - 1.0).abs() < 1e-12);
         assert_eq!(s.items_evicted, 0);
         assert_eq!(s.peak_len, 100);
+    }
+
+    #[test]
+    fn compiled_simulation_matches_sparse_bit_for_bit() {
+        let map = BlockMap::strided(4);
+        let mut x = 77u64;
+        let trace = Trace::from_ids((0..3000).map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 33) % 5000
+        }));
+        let ct = CompiledTrace::compile(&trace, &map).unwrap();
+        let mut sparse = Iblp::new(8, 16, map);
+        let mut dense = Iblp::new(8, 16, ct.map().clone());
+        assert_eq!(
+            simulate_with_warmup(&mut sparse, &trace, 100),
+            simulate_compiled_with_warmup(&mut dense, &ct, 100)
+        );
     }
 
     #[test]

@@ -48,11 +48,14 @@ pub use checkpoint::{
     MrcCheckpoint, MrcCurveRecord, StableHasher, SweepCellOutcome, SweepCellRecord, SweepCheckpoint,
 };
 pub use compare::{compare_policies, ComparisonRow};
-pub use engine::{simulate, simulate_with_warmup, SpatialSet};
+pub use engine::{
+    simulate, simulate_compiled, simulate_compiled_with_warmup, simulate_with_warmup, SpatialSet,
+};
 pub use hierarchy::{simulate_hierarchy, HierarchyStats};
 pub use mrc::{
-    block_mrc, iblp_split_grid, item_mrc, mrc_bundle, mrc_bundle_checked, mrc_config_hash,
-    split_grid_from_curves, MissRatioCurve, MrcBundle, MrcMode, MrcRunConfig, SplitCell,
+    block_mrc, block_mrc_compiled, iblp_split_grid, item_mrc, item_mrc_compiled, mrc_bundle,
+    mrc_bundle_checked, mrc_bundle_compiled, mrc_config_hash, split_grid_from_curves,
+    MissRatioCurve, MrcBundle, MrcMode, MrcRunConfig, SplitCell,
 };
 pub use pool::{
     resolve_threads, run_indexed, run_indexed_checked, run_indexed_opts, CancelToken, CheckedRun,
@@ -61,11 +64,13 @@ pub use pool::{
 pub use probe::ProbeAdapter;
 pub use rowbuffer::{simulate_with_row_buffer, RowBufferCosts, RowBufferStats};
 pub use shards::{
-    sampled_block_mrc, sampled_block_mrc_with_stats, sampled_item_mrc, sampled_item_mrc_with_stats,
-    SampleStats, SamplerConfig,
+    sampled_block_mrc, sampled_block_mrc_compiled, sampled_block_mrc_compiled_with_stats,
+    sampled_block_mrc_with_stats, sampled_item_mrc, sampled_item_mrc_compiled,
+    sampled_item_mrc_compiled_with_stats, sampled_item_mrc_with_stats, SampleStats, SamplerConfig,
 };
 pub use stats::SimStats;
 pub use sweep::{
-    run_cell, run_sweep, run_sweep_checked, sweep_config_hash, to_csv_checked, OnError, SweepJob,
-    SweepOutcome, SweepResult, SweepRunConfig,
+    run_cell, run_cell_compiled, run_sweep, run_sweep_checked, run_sweep_compiled,
+    sweep_config_hash, to_csv_checked, OnError, SweepJob, SweepOutcome, SweepResult,
+    SweepRunConfig,
 };

@@ -22,7 +22,7 @@
 use crate::checkpoint::{self, MrcCheckpoint, MrcCurveRecord, StableHasher, FORMAT_VERSION};
 use crate::pool::{self, JobError, PoolOptions};
 use crate::shards::{sampled_block_mrc, sampled_item_mrc, SamplerConfig};
-use gc_types::{BlockMap, FxHashMap, GcError, Trace};
+use gc_types::{BlockMap, CompiledTrace, FxHashMap, GcError, Trace};
 use parking_lot::Mutex;
 use std::path::Path;
 
@@ -186,6 +186,58 @@ fn mrc_over_ids(ids: impl Iterator<Item = u64>, len: usize, max_size: usize) -> 
     }
 }
 
+/// [`mrc_over_ids`] specialized to a dense `0..n_ids` universe: the
+/// last-position table becomes a flat `Vec` load instead of a hash probe.
+/// The histogram depends only on access *positions*, never on id values or
+/// table iteration order, so the curve is bit-identical to the sparse pass
+/// over any relabeling of the same trace.
+// lint: hot-path
+fn mrc_over_dense_ids(
+    ids: impl Iterator<Item = u32>,
+    len: usize,
+    n_ids: usize,
+    max_size: usize,
+) -> MissRatioCurve {
+    const NONE: u32 = u32::MAX;
+    let mut hist = vec![0u64; max_size + 1];
+    let mut infinite = 0u64;
+    let mut fenwick = Fenwick::new(len);
+    // `Fenwick::new` guarantees len < u32::MAX, so every position fits
+    // below the sentinel.
+    let mut last_pos = vec![NONE; n_ids];
+
+    for (pos, id) in ids.enumerate() {
+        let slot = &mut last_pos[id as usize];
+        let prev = *slot;
+        *slot = pos as u32;
+        if prev == NONE {
+            infinite += 1;
+        } else {
+            let prev = prev as usize;
+            let between = fenwick.prefix(pos) - fenwick.prefix(prev);
+            let distance = between as usize;
+            if distance < hist.len() {
+                hist[distance] += 1;
+            } else {
+                infinite += 1;
+            }
+            fenwick.add(prev, -1);
+        }
+        fenwick.add(pos, 1);
+    }
+
+    let mut misses = vec![0u64; max_size + 1];
+    let mut tail: u64 = infinite;
+    for k in (0..=max_size).rev() {
+        tail += hist[k];
+        misses[k] = tail;
+    }
+    MissRatioCurve {
+        accesses: len as u64,
+        misses,
+    }
+}
+
 /// Item-granular LRU miss counts for every cache size `0..=max_size`, in
 /// one `O(T log T)` pass.
 ///
@@ -203,6 +255,19 @@ pub fn item_mrc(trace: &Trace, max_size: usize) -> MissRatioCurve {
     mrc_over_ids(trace.iter().map(|i| i.0), trace.len(), max_size)
 }
 
+/// [`item_mrc`] over a compiled trace: streams the dense item column and
+/// replaces the last-position hash map with a flat `Vec` indexed by dense
+/// id. Stack distances are invariant under the (bijective) dense rename,
+/// so the curve is bit-identical to [`item_mrc`] on the source trace.
+pub fn item_mrc_compiled(compiled: &CompiledTrace, max_size: usize) -> MissRatioCurve {
+    mrc_over_dense_ids(
+        compiled.accesses().iter().map(|a| a.item),
+        compiled.len(),
+        compiled.n_items() as usize,
+        max_size,
+    )
+}
+
 /// Block-granular LRU miss counts for every *block-slot* count
 /// `0..=max_slots`: the behavior of a [`BlockLru`](gc_policies::BlockLru)
 /// with that many whole-block slots (capacity `slots × B`).
@@ -212,6 +277,19 @@ pub fn block_mrc(trace: &Trace, map: &BlockMap, max_slots: usize) -> MissRatioCu
     mrc_over_ids(
         trace.iter().map(|i| map.block_of(i).0),
         trace.len(),
+        max_slots,
+    )
+}
+
+/// [`block_mrc`] over a compiled trace: streams the precomputed per-access
+/// block column — no per-access `block_of` divide or hash probe — and uses
+/// the dense `Vec` last-position table. Bit-identical to [`block_mrc`] on
+/// the source trace and map.
+pub fn block_mrc_compiled(compiled: &CompiledTrace, max_slots: usize) -> MissRatioCurve {
+    mrc_over_dense_ids(
+        compiled.accesses().iter().map(|a| a.block),
+        compiled.len(),
+        compiled.n_blocks() as usize,
         max_slots,
     )
 }
@@ -319,6 +397,35 @@ pub fn mrc_bundle(
         (0, MrcMode::Sampled(cfg)) => sampled_item_mrc(trace, capacity, cfg),
         (_, MrcMode::Exact) => block_mrc(trace, map, capacity / b),
         (_, MrcMode::Sampled(cfg)) => sampled_block_mrc(trace, map, capacity / b, cfg),
+    });
+    let block = curves.pop().expect("two curve jobs");
+    let item = curves.pop().expect("two curve jobs");
+    let grid = split_grid_from_curves(&item, &block, capacity, b);
+    MrcBundle { item, block, grid }
+}
+
+/// [`mrc_bundle`] over a compiled trace. Curves and grid are bit-identical
+/// to [`mrc_bundle`] on the source trace in both modes — exact passes are
+/// rename-invariant and sampled passes hash the decoded ids — while both
+/// curve jobs stream the flat access array.
+///
+/// # Panics
+///
+/// Panics unless `capacity > B`, as in [`mrc_bundle`].
+pub fn mrc_bundle_compiled(
+    compiled: &CompiledTrace,
+    capacity: usize,
+    mode: &MrcMode,
+    threads: usize,
+) -> MrcBundle {
+    use crate::shards::{sampled_block_mrc_compiled, sampled_item_mrc_compiled};
+    let b = compiled.map().max_block_size();
+    assert!(capacity > b, "capacity must exceed one block");
+    let mut curves = crate::pool::run_indexed(2, threads, |i| match (i, mode) {
+        (0, MrcMode::Exact) => item_mrc_compiled(compiled, capacity),
+        (0, MrcMode::Sampled(cfg)) => sampled_item_mrc_compiled(compiled, capacity, cfg),
+        (_, MrcMode::Exact) => block_mrc_compiled(compiled, capacity / b),
+        (_, MrcMode::Sampled(cfg)) => sampled_block_mrc_compiled(compiled, capacity / b, cfg),
     });
     let block = curves.pop().expect("two curve jobs");
     let item = curves.pop().expect("two curve jobs");
@@ -711,6 +818,45 @@ mod tests {
             mrc_config_hash(&trace, &map, 64, &sampled),
             mrc_config_hash(&trace, &map, 64, &reseeded)
         );
+    }
+
+    #[test]
+    fn compiled_curves_are_bit_identical_to_sparse() {
+        let mut x = 77u64;
+        let ids: Vec<u64> = (0..25_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                // Sparse, scattered key space so the dense rename actually
+                // relabels.
+                (x % 3000) * 10_007
+            })
+            .collect();
+        let trace = Trace::from_ids(ids);
+        let map = BlockMap::strided(8);
+        let compiled = CompiledTrace::compile(&trace, &map).unwrap();
+
+        let item = item_mrc(&trace, 512);
+        let item_c = item_mrc_compiled(&compiled, 512);
+        assert_eq!(item.accesses, item_c.accesses);
+        assert_eq!(item.misses, item_c.misses);
+
+        let block = block_mrc(&trace, &map, 64);
+        let block_c = block_mrc_compiled(&compiled, 64);
+        assert_eq!(block.misses, block_c.misses);
+
+        for mode in [
+            MrcMode::Exact,
+            MrcMode::Sampled(SamplerConfig::fixed(0.3).with_seed(42)),
+        ] {
+            let sparse = mrc_bundle(&trace, &map, 256, &mode, 2);
+            let dense = mrc_bundle_compiled(&compiled, 256, &mode, 2);
+            assert_eq!(sparse.item.misses, dense.item.misses, "{mode:?}");
+            assert_eq!(sparse.block.misses, dense.block.misses, "{mode:?}");
+            assert_eq!(sparse.grid.len(), dense.grid.len());
+            for (a, b) in sparse.grid.iter().zip(&dense.grid) {
+                assert_eq!(a.miss_estimate, b.miss_estimate, "{mode:?}");
+            }
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //! CLI's `--exact` flag.
 
 use crate::mrc::{Fenwick, MissRatioCurve};
-use gc_types::{mix64, BlockMap, FxHashMap, Trace};
+use gc_types::{mix64, BlockMap, CompiledTrace, FxHashMap, Trace};
 use std::collections::BinaryHeap;
 
 /// Hash-space size `P` for the `hash(id) mod P < T` filter. 24 bits gives
@@ -257,6 +257,41 @@ pub fn sampled_item_mrc_with_stats(
     sampled_mrc_over_ids(trace.iter().map(|i| i.0), trace.len(), max_size, cfg)
 }
 
+/// [`sampled_item_mrc`] over a compiled trace.
+///
+/// The spatial filter must hash the *original* keys — `mix64` of a dense
+/// rename would select a different id subset and change the estimate — so
+/// this streams each access through the compiled decode table (one flat
+/// `Vec` load) instead of re-mixing sparse ids from a `Trace`. Same ids
+/// hashed, same seed: bit-identical to [`sampled_item_mrc`] on the source
+/// trace.
+pub fn sampled_item_mrc_compiled(
+    compiled: &CompiledTrace,
+    max_size: usize,
+    cfg: &SamplerConfig,
+) -> MissRatioCurve {
+    sampled_item_mrc_compiled_with_stats(compiled, max_size, cfg).0
+}
+
+/// [`sampled_item_mrc_compiled`], also returning [`SampleStats`].
+pub fn sampled_item_mrc_compiled_with_stats(
+    compiled: &CompiledTrace,
+    max_size: usize,
+    cfg: &SamplerConfig,
+) -> (MissRatioCurve, SampleStats) {
+    let dense = compiled
+        .map()
+        .dense_universe()
+        .expect("compiled trace always carries a dense map");
+    let decode = dense.decode_table();
+    sampled_mrc_over_ids(
+        compiled.accesses().iter().map(|a| decode[a.item as usize]),
+        compiled.len(),
+        max_size,
+        cfg,
+    )
+}
+
 /// Sampled block-granular MRC — the estimator of
 /// [`block_mrc`](crate::block_mrc), hashing *block* ids so all items of a
 /// sampled block are kept together (granularity-consistent sampling).
@@ -279,6 +314,38 @@ pub fn sampled_block_mrc_with_stats(
     sampled_mrc_over_ids(
         trace.iter().map(|i| map.block_of(i).0),
         trace.len(),
+        max_slots,
+        cfg,
+    )
+}
+
+/// [`sampled_block_mrc`] over a compiled trace: the precomputed block
+/// column replaces the per-access `block_of` lookup, and the block decode
+/// table recovers the source block ids the spatial hash must see (see
+/// [`sampled_item_mrc_compiled`] for why decoding matters). Bit-identical
+/// to [`sampled_block_mrc`] on the source trace and map.
+pub fn sampled_block_mrc_compiled(
+    compiled: &CompiledTrace,
+    max_slots: usize,
+    cfg: &SamplerConfig,
+) -> MissRatioCurve {
+    sampled_block_mrc_compiled_with_stats(compiled, max_slots, cfg).0
+}
+
+/// [`sampled_block_mrc_compiled`], also returning [`SampleStats`].
+pub fn sampled_block_mrc_compiled_with_stats(
+    compiled: &CompiledTrace,
+    max_slots: usize,
+    cfg: &SamplerConfig,
+) -> (MissRatioCurve, SampleStats) {
+    let dense = compiled
+        .map()
+        .dense_universe()
+        .expect("compiled trace always carries a dense map");
+    let decode = dense.block_decode_table();
+    sampled_mrc_over_ids(
+        compiled.accesses().iter().map(|a| decode[a.block as usize]),
+        compiled.len(),
         max_slots,
         cfg,
     )
@@ -411,6 +478,66 @@ mod tests {
             .map(|k| (exact.miss_ratio(k) - curve.miss_ratio(k)).abs())
             .fold(0.0f64, f64::max);
         assert!(max_err < 0.08, "adaptive error {max_err}");
+    }
+
+    #[test]
+    fn compiled_sampling_is_bit_identical_to_sparse() {
+        // Scattered sparse keys: dense renaming changes every id, so this
+        // fails unless the compiled pass hashes the *decoded* ids.
+        let trace = Trace::from_ids(skewed_trace(40_000, 2500, 19).iter().map(|i| i.0 * 9_973));
+        let map = BlockMap::strided(16);
+        let compiled = CompiledTrace::compile(&trace, &map).unwrap();
+        for cfg in [
+            SamplerConfig::fixed(0.05).with_seed(7),
+            SamplerConfig::fixed(1.0),
+            SamplerConfig::adaptive(400).with_seed(3),
+        ] {
+            let (sparse, s_stats) = sampled_item_mrc_with_stats(&trace, 300, &cfg);
+            let (dense, d_stats) = sampled_item_mrc_compiled_with_stats(&compiled, 300, &cfg);
+            assert_eq!(sparse.misses, dense.misses, "{cfg:?}");
+            assert_eq!(s_stats.sampled_accesses, d_stats.sampled_accesses);
+            assert_eq!(s_stats.distinct_sampled, d_stats.distinct_sampled);
+
+            let sparse_b = sampled_block_mrc(&trace, &map, 64, &cfg);
+            let dense_b = sampled_block_mrc_compiled(&compiled, 64, &cfg);
+            assert_eq!(sparse_b.misses, dense_b.misses, "block {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn compiled_block_sampling_survives_ragged_maps_and_recompilation() {
+        use gc_types::ItemId;
+        // Ragged explicit map: block ids are group indices, not strides.
+        let groups: Vec<Vec<ItemId>> = (0..40usize)
+            .map(|g| {
+                let size = 1 + (g * 3) % 5;
+                (0..size)
+                    .map(|j| ItemId((g * 65_537 + j * 101) as u64))
+                    .collect()
+            })
+            .collect();
+        let map = BlockMap::from_groups(groups.clone()).unwrap();
+        let mut x = 5u64;
+        let trace = Trace::from_requests(
+            (0..20_000)
+                .map(|_| {
+                    x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    let g = (x % 40) as usize;
+                    groups[g][(x >> 8) as usize % groups[g].len()]
+                })
+                .collect(),
+        );
+        let compiled = CompiledTrace::compile(&trace, &map).unwrap();
+        // Re-compiling the dense stream against the dense map must compose
+        // the block decode tables, not lose them.
+        let dense_trace = Trace::from_requests(compiled.iter_items().collect());
+        let twice = CompiledTrace::compile(&dense_trace, compiled.map()).unwrap();
+        let cfg = SamplerConfig::fixed(0.2).with_seed(11);
+        let sparse = sampled_block_mrc(&trace, &map, 32, &cfg);
+        for ct in [&compiled, &twice] {
+            let dense = sampled_block_mrc_compiled(ct, 32, &cfg);
+            assert_eq!(sparse.misses, dense.misses);
+        }
     }
 
     #[test]

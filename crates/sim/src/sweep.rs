@@ -6,11 +6,11 @@
 //! indices off an atomic cursor, results returned in job order.
 
 use crate::checkpoint::{self, StableHasher, SweepCellOutcome, SweepCellRecord, SweepCheckpoint};
-use crate::engine::simulate_with_warmup;
+use crate::engine::{simulate_compiled_with_warmup, simulate_with_warmup};
 use crate::pool::{self, JobError, PoolOptions};
 use crate::stats::SimStats;
 use gc_policies::PolicyKind;
-use gc_types::{BlockMap, GcError, Trace};
+use gc_types::{BlockMap, CompiledTrace, GcError, Trace};
 use parking_lot::Mutex;
 use std::path::Path;
 
@@ -60,6 +60,32 @@ pub fn run_cell(job: &SweepJob, trace: &Trace, map: &BlockMap) -> SweepResult {
     // allocation-free.
     let policy_name = policy.name();
     let stats = simulate_with_warmup(&mut policy, trace, job.warmup);
+    SweepResult {
+        job: job.clone(),
+        policy_name,
+        stats,
+    }
+}
+
+/// [`run_sweep`] over a compiled trace: the one-time compilation pass is
+/// amortized across every cell, each of which builds its policy against
+/// the dense map and streams the flat access array. Results are
+/// bit-identical to [`run_sweep`] on the source trace.
+pub fn run_sweep_compiled(
+    jobs: &[SweepJob],
+    compiled: &CompiledTrace,
+    threads: usize,
+) -> Vec<SweepResult> {
+    pool::run_indexed(jobs.len(), threads, |idx| {
+        run_cell_compiled(&jobs[idx], compiled)
+    })
+}
+
+/// Compiled analogue of [`run_cell`].
+pub fn run_cell_compiled(job: &SweepJob, compiled: &CompiledTrace) -> SweepResult {
+    let mut policy = job.kind.build(job.capacity, compiled.map());
+    let policy_name = policy.name();
+    let stats = simulate_compiled_with_warmup(&mut policy, compiled, job.warmup);
     SweepResult {
         job: job.clone(),
         policy_name,
@@ -394,6 +420,20 @@ mod tests {
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.stats, p.stats, "job {:?}", s.job);
             assert_eq!(s.policy_name, p.policy_name);
+        }
+    }
+
+    #[test]
+    fn compiled_sweep_matches_sparse_bit_identically() {
+        let (trace, map) = trace_and_map();
+        let compiled = CompiledTrace::compile(&trace, &map).unwrap();
+        let jobs = grid();
+        let sparse = run_sweep(&jobs, &trace, &map, 2);
+        let dense = run_sweep_compiled(&jobs, &compiled, 2);
+        assert_eq!(sparse.len(), dense.len());
+        for (s, d) in sparse.iter().zip(&dense) {
+            assert_eq!(s.stats, d.stats, "job {:?}", s.job);
+            assert_eq!(s.policy_name, d.policy_name);
         }
     }
 

@@ -10,6 +10,14 @@
 //! * **Explicit** — an arbitrary disjoint grouping, needed by the
 //!   NP-completeness reduction (Theorem 1) where blocks have heterogeneous
 //!   *active set* sizes.
+//!
+//! A third, derived representation — **Dense** — is produced by trace
+//! compilation ([`crate::compiled`]): items are renamed into `0..n_items`
+//! and blocks into `0..n_blocks`, so `block_of` is a shift/divide (dense
+//! strided) or a single array load (dense CSR) instead of a hash probe,
+//! and downstream policy state can use plain `Vec` indexing. A dense map
+//! remembers the original ids ([`DenseUniverse::decode_item`]) so reports
+//! stay in the caller's key space.
 
 use crate::{BlockId, FxHashMap, GcError, ItemId};
 use serde::{Deserialize, Serialize};
@@ -40,6 +48,8 @@ enum Repr {
     Strided { block_size: u64 },
     /// Arbitrary explicit grouping.
     Explicit(Arc<Explicit>),
+    /// Compiled dense universe (items `0..n_items`, blocks `0..n_blocks`).
+    Dense(Arc<DenseMap>),
 }
 
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -48,6 +58,87 @@ struct Explicit {
     blocks: Vec<Vec<ItemId>>,
     max_block_size: usize,
 }
+
+/// The dense partition produced by trace compilation.
+///
+/// Items are `0..n_items` and blocks `0..n_blocks`; `decode` maps each
+/// dense item back to its original sparse id. The item→block relation is
+/// either strided (every block is a full, contiguous `B`-run of dense ids —
+/// always the case when the source map was strided) or a CSR table for
+/// ragged explicit groupings.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DenseMap {
+    layout: DenseLayout,
+    decode: Arc<Vec<u64>>,
+    block_decode: Arc<Vec<u64>>,
+    max_block_size: usize,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum DenseLayout {
+    /// Dense item `i` → dense block `i / block_size`.
+    Strided { block_size: u64 },
+    /// Ragged blocks: `item_to_block` indexed by dense item id;
+    /// `block_items[block_starts[b]..block_starts[b + 1]]` lists dense
+    /// block `b`'s items in the source map's group order.
+    Csr {
+        item_to_block: Vec<u32>,
+        block_starts: Vec<u32>,
+        block_items: Vec<ItemId>,
+    },
+}
+
+impl DenseMap {
+    /// Number of dense items (`decode.len()`).
+    #[inline]
+    pub fn n_items(&self) -> u64 {
+        self.decode.len() as u64
+    }
+
+    /// Number of dense blocks.
+    #[inline]
+    pub fn n_blocks(&self) -> u64 {
+        self.block_decode.len() as u64
+    }
+
+    /// The original sparse id of dense item `item`.
+    ///
+    /// # Panics
+    /// Panics if `item` is outside the dense universe.
+    #[inline]
+    pub fn decode_item(&self, item: ItemId) -> ItemId {
+        ItemId(self.decode[item.0 as usize])
+    }
+
+    /// The dense → original id table, shared behind an `Arc` so sketches
+    /// and samplers can hash original keys without re-owning the table.
+    #[inline]
+    pub fn decode_table(&self) -> &Arc<Vec<u64>> {
+        &self.decode
+    }
+
+    /// The original sparse id of dense block `block`.
+    ///
+    /// # Panics
+    /// Panics if `block` is outside the dense universe.
+    #[inline]
+    pub fn decode_block(&self, block: BlockId) -> BlockId {
+        BlockId(self.block_decode[block.0 as usize])
+    }
+
+    /// The dense → original block-id table (the block-granular analogue of
+    /// [`decode_table`](Self::decode_table)), used by granularity-consistent
+    /// samplers so spatial hashing sees the same block keys as a sparse run.
+    #[inline]
+    pub fn block_decode_table(&self) -> &Arc<Vec<u64>> {
+        &self.block_decode
+    }
+}
+
+/// A borrowed view of a dense map's universe, handed out by
+/// [`BlockMap::dense_universe`] so policies and samplers can size their
+/// `Vec`-backed state and decode ids for reporting.
+pub type DenseUniverse = DenseMap;
 
 impl BlockMap {
     /// The strided partition: item `i` belongs to block `i / block_size`,
@@ -98,6 +189,67 @@ impl BlockMap {
         })
     }
 
+    /// Build a dense strided map (compilation of a strided source): dense
+    /// item `i` belongs to dense block `i / block_size`, and `decode` maps
+    /// each dense id back to its original sparse id.
+    pub(crate) fn dense_strided(
+        block_size: u64,
+        decode: Arc<Vec<u64>>,
+        block_decode: Arc<Vec<u64>>,
+    ) -> Self {
+        debug_assert!(block_size > 0);
+        debug_assert_eq!(decode.len() as u64 % block_size, 0);
+        debug_assert_eq!(block_decode.len() as u64, decode.len() as u64 / block_size);
+        BlockMap {
+            repr: Repr::Dense(Arc::new(DenseMap {
+                layout: DenseLayout::Strided { block_size },
+                decode,
+                block_decode,
+                max_block_size: block_size as usize,
+            })),
+        }
+    }
+
+    /// Build a dense CSR map (compilation of an explicit source).
+    pub(crate) fn dense_csr(
+        item_to_block: Vec<u32>,
+        block_starts: Vec<u32>,
+        block_items: Vec<ItemId>,
+        decode: Arc<Vec<u64>>,
+        block_decode: Arc<Vec<u64>>,
+    ) -> Self {
+        debug_assert_eq!(item_to_block.len(), decode.len());
+        debug_assert_eq!(block_items.len(), decode.len());
+        debug_assert_eq!(block_decode.len(), block_starts.len() - 1);
+        let max_block_size = (0..block_starts.len() - 1)
+            .map(|b| (block_starts[b + 1] - block_starts[b]) as usize)
+            .max()
+            .unwrap_or(0);
+        BlockMap {
+            repr: Repr::Dense(Arc::new(DenseMap {
+                layout: DenseLayout::Csr {
+                    item_to_block,
+                    block_starts,
+                    block_items,
+                },
+                decode,
+                block_decode,
+                max_block_size,
+            })),
+        }
+    }
+
+    /// The dense universe behind a compiled map, or `None` for the sparse
+    /// representations. Policies use this to switch their key indices from
+    /// hash maps to direct `Vec` indexing.
+    #[inline]
+    pub fn dense_universe(&self) -> Option<&DenseMap> {
+        match &self.repr {
+            Repr::Dense(d) => Some(d),
+            _ => None,
+        }
+    }
+
     /// The block containing `item`, or `None` if the item is unknown to an
     /// explicit map. Strided maps know every item.
     #[inline]
@@ -105,6 +257,18 @@ impl BlockMap {
         match &self.repr {
             Repr::Strided { block_size } => Some(BlockId(item.0 / block_size)),
             Repr::Explicit(e) => e.item_to_block.get(&item).copied(),
+            Repr::Dense(d) => match &d.layout {
+                DenseLayout::Strided { block_size } => {
+                    if item.0 < d.n_items() {
+                        Some(BlockId(item.0 / block_size))
+                    } else {
+                        None
+                    }
+                }
+                DenseLayout::Csr { item_to_block, .. } => item_to_block
+                    .get(item.0 as usize)
+                    .map(|&b| BlockId(u64::from(b))),
+            },
         }
     }
 
@@ -131,6 +295,29 @@ impl BlockMap {
                 Some(items) => BlockItems::Explicit(items.iter()),
                 None => BlockItems::Strided(0..0),
             },
+            Repr::Dense(d) => match &d.layout {
+                DenseLayout::Strided { block_size } => {
+                    if block.0 < d.n_blocks() {
+                        let start = block.0 * block_size;
+                        BlockItems::Strided(start..start + block_size)
+                    } else {
+                        BlockItems::Strided(0..0)
+                    }
+                }
+                DenseLayout::Csr {
+                    block_starts,
+                    block_items,
+                    ..
+                } => {
+                    let b = block.as_usize();
+                    if b + 1 < block_starts.len() {
+                        let range = block_starts[b] as usize..block_starts[b + 1] as usize;
+                        BlockItems::Explicit(block_items[range].iter())
+                    } else {
+                        BlockItems::Strided(0..0)
+                    }
+                }
+            },
         }
     }
 
@@ -140,6 +327,7 @@ impl BlockMap {
         match &self.repr {
             Repr::Strided { block_size } => *block_size as usize,
             Repr::Explicit(e) => e.blocks.get(block.as_usize()).map_or(0, Vec::len),
+            Repr::Dense(_) => self.items_of(block).len(),
         }
     }
 
@@ -149,6 +337,7 @@ impl BlockMap {
         match &self.repr {
             Repr::Strided { block_size } => *block_size as usize,
             Repr::Explicit(e) => e.max_block_size,
+            Repr::Dense(d) => d.max_block_size,
         }
     }
 
@@ -164,6 +353,7 @@ impl BlockMap {
         match &self.repr {
             Repr::Strided { .. } => None,
             Repr::Explicit(e) => Some(e.blocks.len()),
+            Repr::Dense(d) => Some(d.n_blocks() as usize),
         }
     }
 
@@ -182,6 +372,10 @@ impl BlockMap {
         match &self.repr {
             Repr::Strided { block_size } => Some(*block_size),
             Repr::Explicit(_) => None,
+            Repr::Dense(d) => match &d.layout {
+                DenseLayout::Strided { block_size } => Some(*block_size),
+                DenseLayout::Csr { .. } => None,
+            },
         }
     }
 }

@@ -10,6 +10,8 @@
 //! * [`BlockMap`] — the partition of the item universe into blocks of at
 //!   most `B` items,
 //! * [`Trace`] — a sequence of item requests,
+//! * [`CompiledTrace`] / [`CompiledAccess`] — the dense-ID compiled form
+//!   of a trace (hot loops stream over precomputed `(item, block)` pairs),
 //! * [`AccessResult`] / [`HitKind`] — the per-access outcome vocabulary
 //!   shared between policies and the simulator, plus the zero-allocation
 //!   [`AccessKind`] / [`AccessScratch`] pair used by the hot path,
@@ -25,6 +27,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod block_map;
+pub mod compiled;
 pub mod error;
 pub mod fxmap;
 pub mod id;
@@ -32,7 +35,8 @@ pub mod outcome;
 pub mod runtime_stats;
 pub mod trace;
 
-pub use block_map::BlockMap;
+pub use block_map::{BlockMap, DenseMap};
+pub use compiled::{CompiledAccess, CompiledTrace};
 pub use error::{GcError, ParseReason};
 pub use fxmap::{mix64, FxBuildHasher, FxHashMap, FxHashSet};
 pub use id::{BlockId, ItemId};

@@ -89,4 +89,76 @@ proptest! {
             prop_assert_eq!(back, trace);
         }
     }
+
+    /// Dense-ID compilation round-trips over strided maps: decoding the
+    /// compiled trace reproduces the original, per-access block ids match
+    /// the compiled map, and the rename is monotone.
+    #[test]
+    fn compiled_trace_roundtrip_strided(
+        ids in prop::collection::vec(0u64..100_000, 0..400),
+        block_size in 1u64..32,
+    ) {
+        let trace = Trace::from_ids(ids).named("prop");
+        let map = BlockMap::strided(block_size as usize);
+        let ct = gc_types::CompiledTrace::compile(&trace, &map).unwrap();
+        prop_assert_eq!(ct.decode(), trace.clone());
+        prop_assert_eq!(ct.len(), trace.len());
+        for (a, item) in ct.accesses().iter().zip(trace.iter()) {
+            // Per-access block ids agree with the compiled map...
+            prop_assert_eq!(
+                ct.map().block_of(ItemId(u64::from(a.item))).0,
+                u64::from(a.block)
+            );
+            // ...and dense ids decode back to the original request.
+            prop_assert_eq!(ct.decode_item(ItemId(u64::from(a.item))), item);
+        }
+        // Monotone rename: dense order == sparse order on every pair of
+        // consecutive requests.
+        let dense: Vec<u32> = ct.accesses().iter().map(|a| a.item).collect();
+        let sparse: Vec<u64> = trace.iter().map(|z| z.0).collect();
+        for w in 0..dense.len().saturating_sub(1) {
+            prop_assert_eq!(dense[w].cmp(&dense[w + 1]), sparse[w].cmp(&sparse[w + 1]));
+        }
+    }
+
+    /// Dense-ID compilation round-trips over explicit (ragged) maps.
+    #[test]
+    fn compiled_trace_roundtrip_explicit(
+        picks in prop::collection::vec(0u64..1_000_000, 0..300),
+    ) {
+        // 30 ragged groups (1..=5 items each, non-sorted inside a group).
+        let groups: Vec<Vec<ItemId>> = (0..30usize)
+            .map(|g| {
+                let size = 1 + (g * g) % 5;
+                (0..size).rev().map(|j| ItemId((g * 7_919 + j * 17) as u64)).collect()
+            })
+            .collect();
+        let map = BlockMap::from_groups(groups.clone()).unwrap();
+        let trace = Trace::from_requests(
+            picks
+                .iter()
+                .map(|&r| {
+                    let g = (r % 30) as usize;
+                    groups[g][(r / 30) as usize % groups[g].len()]
+                })
+                .collect(),
+        );
+        let ct = gc_types::CompiledTrace::compile(&trace, &map).unwrap();
+        prop_assert_eq!(ct.decode(), trace.clone());
+        for (a, item) in ct.accesses().iter().zip(trace.iter()) {
+            prop_assert_eq!(
+                ct.map().block_of(ItemId(u64::from(a.item))).0,
+                u64::from(a.block)
+            );
+            prop_assert_eq!(ct.decode_item(ItemId(u64::from(a.item))), item);
+            // Same co-load set after decoding (group order preserved).
+            let dense_items: Vec<ItemId> = ct
+                .map()
+                .items_of(gc_types::BlockId(u64::from(a.block)))
+                .map(|z| ct.decode_item(z))
+                .collect();
+            let sparse_items: Vec<ItemId> = map.items_of(map.block_of(item)).collect();
+            prop_assert_eq!(dense_items, sparse_items);
+        }
+    }
 }

@@ -9,6 +9,7 @@
 //! | `panic`       | `gc-runtime` non-test sources | no `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` without a `// lint: allow(panic): <why>` waiver |
 //! | `hot-alloc`   | `// lint: hot-path` functions | no allocation-prone calls (`Vec::new`, `format!`, `.clone()`, …) without a `// lint: allow(alloc): <why>` waiver |
 //! | `hot-instant` | `// lint: hot-path` functions | no `Instant::now` (timestamps belong outside shard critical sections) |
+//! | `hot-map`     | `// lint: hot-path` functions, **every** workspace crate | no `HashMap`/`FxHashMap` lookups — hot loops index dense slabs and compiled-trace arrays; waive with `// lint: allow(map): <why>` |
 //! | `unsafe-doc`  | every workspace source        | every `unsafe` is preceded by a `// SAFETY:` comment |
 //!
 //! Waivers must sit on the violating line or in the contiguous comment
@@ -21,6 +22,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod lexer;
+pub mod perfgate;
 
 /// One lint violation, pointing at a source line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -130,8 +132,36 @@ pub fn lint_file(path: &Path, src: &str, kind: FileKind) -> Vec<Diagnostic> {
         }
     }
 
+    // hot-map applies to every non-test hot-path function in the
+    // workspace (not just gc-runtime): the compiled data layer exists
+    // precisely so hot loops index flat arrays instead of hashing, so a
+    // `HashMap`/`FxHashMap` lookup inside one is a regression by default.
+    for extent in masked.hot_path_extents() {
+        for token in ["HashMap", "FxHashMap", "HashSet", "FxHashSet"] {
+            for line in masked.lines_with_token_in(token, extent.clone()) {
+                if test_lines.contains(&line) {
+                    continue;
+                }
+                if has_tag_above(&masked.comments, line, "lint: allow(map)") {
+                    continue;
+                }
+                out.push(diag(
+                    line,
+                    "hot-map",
+                    format!(
+                        "`{token}` inside a `// lint: hot-path` function; \
+                         index a dense slab or compiled-trace array instead, \
+                         or waive with `// lint: allow(map): <why a hash is \
+                         required>`"
+                    ),
+                ));
+            }
+        }
+    }
+
     let full_rules = matches!(kind, FileKind::RuntimeSrc | FileKind::RuntimeSyncModule);
     if !full_rules {
+        out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
         return out;
     }
 
@@ -358,6 +388,43 @@ fn hot(&mut self) {
 }
 ";
         assert!(lint(src, FileKind::RuntimeSrc).is_empty());
+    }
+
+    #[test]
+    fn hot_map_is_flagged_in_every_crate_and_waivable() {
+        let src = "\
+// lint: hot-path
+fn hot(&mut self, k: u64) -> Option<u32> {
+    self.index.get(&k).copied() // the FxHashMap lookup
+}
+";
+        // The token is caught through the type name at the use site.
+        let typed = "\
+// lint: hot-path
+fn hot(index: &FxHashMap<u64, u32>, k: u64) -> Option<u32> {
+    index.get(&k).copied()
+}
+";
+        // `src` names no map type, so it cannot be flagged lexically;
+        // `typed` names one and must be, in runtime and non-runtime
+        // crates alike.
+        assert!(lint(src, FileKind::Other).is_empty());
+        for kind in [FileKind::Other, FileKind::RuntimeSrc] {
+            let d = lint(typed, kind);
+            assert_eq!(d.len(), 1, "{kind:?}: {d:?}");
+            assert_eq!(d[0].rule, "hot-map");
+            assert_eq!(d[0].line, 2);
+        }
+        let waived = "\
+// lint: hot-path
+// lint: allow(map): sparse fallback path — keys are not dense here
+fn hot(index: &FxHashMap<u64, u32>, k: u64) -> Option<u32> {
+    index.get(&k).copied()
+}
+";
+        assert!(lint(waived, FileKind::Other).is_empty());
+        let cold = "fn cold(index: &FxHashMap<u64, u32>) -> usize { index.len() }\n";
+        assert!(lint(cold, FileKind::Other).is_empty());
     }
 
     #[test]

@@ -1,11 +1,23 @@
-//! `cargo run -p xtask -- lint [--root <path>]`
+//! Workspace automation entry point.
 //!
-//! Runs the workspace lint pass and prints one `path:line: [rule] message`
-//! diagnostic per violation.
+//! ```sh
+//! cargo run -p xtask -- lint [--root <path>]
+//! cargo run -p xtask -- perf-gate --fresh <report.json> \
+//!     [--baseline <report.json>] [--tolerance <frac>]
+//! ```
+//!
+//! `lint` runs the workspace lint pass and prints one
+//! `path:line: [rule] message` diagnostic per violation.
+//!
+//! `perf-gate` compares a fresh `perf_report` run (normally `--quick`)
+//! against the committed `BENCH_engine.json` and fails when the geometric
+//! mean of per-cell `requests_per_sec` ratios drops below
+//! `1 - tolerance` (default tolerance 0.15; see `xtask::perfgate` for why
+//! the geomean, not a per-row check, is the gating statistic).
 //!
 //! Exit codes (machine-readable; CI gates on them):
-//! - `0` — clean tree
-//! - `1` — violations found (one diagnostic per line on stdout)
+//! - `0` — clean tree / gate passed
+//! - `1` — violations found / gate failed (details on stdout)
 //! - `2` — usage or I/O error (message on stderr)
 
 use std::path::PathBuf;
@@ -15,26 +27,37 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("perf-gate") => perf_gate(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--root <path>]");
+            usage();
             ExitCode::from(2)
         }
     }
 }
 
+fn usage() {
+    eprintln!(
+        "usage: cargo run -p xtask -- lint [--root <path>]\n       \
+         cargo run -p xtask -- perf-gate --fresh <report.json> \
+         [--baseline <report.json>] [--tolerance <frac>]"
+    );
+}
+
+/// Workspace root compiled into the binary: crates/xtask → two levels up,
+/// independent of the invocation cwd.
+fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
 fn lint(args: &[String]) -> ExitCode {
     let root = match args {
-        [] => {
-            // Compiled-in manifest dir: crates/xtask → workspace root is
-            // two levels up, independent of the invocation cwd.
-            let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-            p.pop();
-            p.pop();
-            p
-        }
+        [] => workspace_root(),
         [flag, path] if flag == "--root" => PathBuf::from(path),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--root <path>]");
+            usage();
             return ExitCode::from(2);
         }
     };
@@ -54,5 +77,75 @@ fn lint(args: &[String]) -> ExitCode {
             eprintln!("xtask lint: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+fn perf_gate(args: &[String]) -> ExitCode {
+    let mut fresh: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut tolerance = 0.15;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = match it.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("xtask perf-gate: `{flag}` needs a value");
+                return ExitCode::from(2);
+            }
+        };
+        match flag.as_str() {
+            "--fresh" => fresh = Some(PathBuf::from(value)),
+            "--baseline" => baseline = Some(PathBuf::from(value)),
+            "--tolerance" => match value.parse::<f64>() {
+                Ok(t) if t > 0.0 && t < 1.0 => tolerance = t,
+                _ => {
+                    eprintln!("xtask perf-gate: tolerance must be in (0, 1), got `{value}`");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("xtask perf-gate: unknown flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(fresh) = fresh else {
+        eprintln!("xtask perf-gate: --fresh <report.json> is required");
+        return ExitCode::from(2);
+    };
+    let baseline = baseline.unwrap_or_else(|| workspace_root().join("BENCH_engine.json"));
+    let read = |path: &PathBuf| {
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))
+    };
+    let gate = read(&baseline)
+        .and_then(|b| read(&fresh).map(|f| (b, f)))
+        .and_then(|(b, f)| xtask::perfgate::compare(&b, &f, tolerance));
+    let gate = match gate {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("xtask perf-gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for row in &gate.rows {
+        println!(
+            "{:>8} {:<16} {:>12.0} -> {:>12.0} req/s  {:>5.2}x",
+            row.trace, row.policy, row.baseline, row.fresh, row.ratio
+        );
+    }
+    println!(
+        "xtask perf-gate: geomean {:.3}x over {} cells (floor {:.3}x, tolerance {:.0}%)",
+        gate.geomean,
+        gate.rows.len(),
+        1.0 - gate.tolerance,
+        gate.tolerance * 100.0
+    );
+    if gate.passed() {
+        println!("xtask perf-gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask perf-gate: FAIL — throughput regressed beyond tolerance");
+        ExitCode::from(1)
     }
 }

@@ -27,6 +27,11 @@ impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
         self.0.lock().expect("poisoned mutex in offline stub")
     }
+
+    /// Lock only if free right now; `None` under contention or poison.
+    pub fn try_lock(&self) -> Option<std::sync::MutexGuard<'_, T>> {
+        self.0.try_lock().ok()
+    }
 }
 
 impl<T: Default> Default for Mutex<T> {
