@@ -2,12 +2,13 @@
 //!
 //! Drives the concurrent [`GcRuntime`] with the multi-threaded closed-loop
 //! harness and writes `BENCH_runtime.json` (override the path with the
-//! first non-flag CLI argument). Schema `serve_report/v3`: every row
+//! first non-flag CLI argument). Schema `serve_report/v4`: every row
 //! records the full execution configuration — `mode` (locked | owner),
 //! `batch` (session window), `fetch` (inline | coalesced), `compiled`
-//! (dense-ID compiled serving path vs sparse keys) — alongside the
-//! v1 columns, because since the lock-light hot path landed those knobs
-//! move throughput by an order of magnitude. Three scenario families:
+//! (dense-ID compiled serving path vs sparse keys), `backend` (the
+//! `--backend`-style spec) — alongside the v1 columns, plus the delayed-hit
+//! counters and a per-tier latency breakdown (empty for flat backends).
+//! Four scenario families:
 //!
 //! - **scaling** — a zero-latency backend makes the runtime
 //!   coordination-bound, so throughput directly measures the hot path.
@@ -25,6 +26,11 @@
 //!   single-flight table folds them into one load and the
 //!   `coalescing_rate` column shows what fraction of misses rode along
 //!   free.
+//! - **tiered** — a real mem-over-disk hierarchy (`tiered:mem:…+disk:…`
+//!   over a tempdir store) under the same hot-block workload: the `tiers`
+//!   column shows RAM-tier fetches absorbing the p50 while disk fetches
+//!   dominate the aggregate p99, and `delayed_hits` counts the misses
+//!   that parked on an in-flight disk fetch instead of paying their own.
 //!
 //! `--quick` shrinks traces and reps so CI can smoke the full path in
 //! seconds; quick numbers are not comparable to tracked ones and should
@@ -40,7 +46,9 @@
 
 use gc_bench::measure::best_of_reps;
 use gc_bench::standard_workload;
+use gc_cache::gc_runtime::{BackendSpec, BlockBackend};
 use gc_cache::gc_trace::synthetic;
+use gc_cache::gc_types::TierStats;
 use gc_cache::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
@@ -99,18 +107,36 @@ struct Row {
     shards: usize,
     threads: usize,
     compiled: bool,
+    backend: String,
     backend_latency_us: u64,
     throughput_rps: f64,
     hit_rate: f64,
     coalescing_rate: f64,
+    delayed_hits: u64,
+    waiter_p99_us: f64,
     fetch_p50_us: f64,
     fetch_p99_us: f64,
+    tiers: Vec<TierStats>,
 }
 
 impl Row {
     fn json(&self) -> String {
+        let tiers: Vec<String> = self
+            .tiers
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"label\": \"{}\", \"fetches\": {}, \"stores\": {}, \"fetch_p50_us\": {:.1}, \"fetch_p99_us\": {:.1}}}",
+                    t.label,
+                    t.fetches,
+                    t.stores,
+                    t.latency.quantile_nanos(0.50) as f64 / 1_000.0,
+                    t.latency.quantile_nanos(0.99) as f64 / 1_000.0,
+                )
+            })
+            .collect();
         format!(
-            "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \"mode\": \"{}\", \"batch\": {}, \"fetch\": \"{}\", \"shards\": {}, \"threads\": {}, \"compiled\": {}, \"backend_latency_us\": {}, \"throughput_rps\": {:.0}, \"hit_rate\": {:.4}, \"coalescing_rate\": {:.4}, \"fetch_p50_us\": {:.1}, \"fetch_p99_us\": {:.1}}}",
+            "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \"mode\": \"{}\", \"batch\": {}, \"fetch\": \"{}\", \"shards\": {}, \"threads\": {}, \"compiled\": {}, \"backend\": \"{}\", \"backend_latency_us\": {}, \"throughput_rps\": {:.0}, \"hit_rate\": {:.4}, \"coalescing_rate\": {:.4}, \"delayed_hits\": {}, \"waiter_p99_us\": {:.1}, \"fetch_p50_us\": {:.1}, \"fetch_p99_us\": {:.1}, \"tiers\": [{}]}}",
             self.scenario,
             self.policy,
             self.mode,
@@ -119,12 +145,16 @@ impl Row {
             self.shards,
             self.threads,
             self.compiled,
+            self.backend,
             self.backend_latency_us,
             self.throughput_rps,
             self.hit_rate,
             self.coalescing_rate,
+            self.delayed_hits,
+            self.waiter_p99_us,
             self.fetch_p50_us,
             self.fetch_p99_us,
+            tiers.join(", "),
         )
     }
 }
@@ -145,6 +175,11 @@ struct Cell<'a> {
     threads: usize,
     latency: Duration,
     reps: usize,
+    /// Storage hierarchy under test: `Some((spec, prepopulate))` builds a
+    /// real backend from the spec (disk stores are populated with the
+    /// listed blocks up front); `None` keeps the synthetic backend with
+    /// `latency` + `latency/4` jitter.
+    backend: Option<(&'a BackendSpec, &'a [BlockId])>,
 }
 
 /// Run one configuration through the shared warm-up + best-of-reps
@@ -158,10 +193,13 @@ fn measure(cell: &Cell) -> Row {
     let report = best_of_reps(
         cell.reps,
         || {
-            let backend = Arc::new(
-                SyntheticBackend::new(serve_map.clone())
-                    .with_latency(cell.latency, cell.latency / 4),
-            );
+            let backend: Arc<dyn BlockBackend> = match cell.backend {
+                Some((spec, blocks)) => spec.build(serve_map, blocks).expect("backend spec builds"),
+                None => Arc::new(
+                    SyntheticBackend::new(serve_map.clone())
+                        .with_latency(cell.latency, cell.latency / 4),
+                ),
+            };
             let rt = GcRuntime::with_config(
                 cell.kind,
                 cell.capacity,
@@ -189,12 +227,23 @@ fn measure(cell: &Cell) -> Row {
         shards: cell.cfg.shards,
         threads: cell.threads,
         compiled: cell.compiled.is_some(),
+        backend: match cell.backend {
+            Some((spec, _)) => spec.to_string(),
+            None => BackendSpec::Synthetic {
+                latency: cell.latency,
+                jitter: cell.latency / 4,
+            }
+            .to_string(),
+        },
         backend_latency_us: cell.latency.as_micros() as u64,
         throughput_rps: report.throughput_rps,
         hit_rate: s.hit_rate(),
         coalescing_rate: s.coalescing_rate(),
+        delayed_hits: s.delayed_hits,
+        waiter_p99_us: s.waiter_wait.quantile_nanos(0.99) as f64 / 1_000.0,
         fetch_p50_us: s.fetch_latency.quantile_nanos(0.50) as f64 / 1_000.0,
         fetch_p99_us: s.fetch_latency.quantile_nanos(0.99) as f64 / 1_000.0,
+        tiers: s.tiers.clone(),
     }
 }
 
@@ -250,6 +299,7 @@ fn main() {
             threads: seed_threads,
             latency: zero,
             reps,
+            backend: None,
         });
         print_row(&row);
         rows.push(row);
@@ -273,6 +323,7 @@ fn main() {
                 threads: seed_threads,
                 latency: zero,
                 reps,
+                backend: None,
             });
             print_row(&row);
             rows.push(row);
@@ -299,6 +350,7 @@ fn main() {
                 threads,
                 latency: zero,
                 reps,
+                backend: None,
             });
             print_row(&row);
             rows.push(row);
@@ -325,6 +377,7 @@ fn main() {
                 threads: 1,
                 latency: zero,
                 reps,
+                backend: None,
             });
             print_row(&row);
             rows.push(row);
@@ -352,6 +405,7 @@ fn main() {
                 threads: 1,
                 latency: zero,
                 reps,
+                backend: None,
             });
             print_row(&row);
             rows.push(row);
@@ -385,14 +439,57 @@ fn main() {
             threads: t,
             latency,
             reps: 1,
+            backend: None,
         });
         print_row(&row);
         rows.push(row);
     }
 
+    // Scenario 4: tiered storage, end to end. The same hot-block shape as
+    // the coalescing scenario, but the latency is *real*: a small RAM
+    // staging tier over a persistent disk store in a tempdir. The RAM
+    // tier absorbs re-fetches of the staged hot blocks (the p50), every
+    // displaced block costs a recovered-file disk read (the p99), and
+    // misses that land while a disk fetch is in flight park on the flight
+    // table and count as delayed hits.
+    let tier_dir = std::env::temp_dir().join(format!("gc-serve-report-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tier_dir);
+    std::fs::create_dir_all(&tier_dir).expect("tempdir for the tiered store");
+    let tier_map = BlockMap::strided(64);
+    let tier_trace = synthetic::zipfian(4096, 0.9, coalesce_len, 23);
+    let tier_blocks: Vec<BlockId> = (0..4096 / 64).map(BlockId).collect();
+    for &t in &THREADS_SWEEP {
+        // A fresh store file per thread count keeps rows independent; an
+        // 8-block L1 over 64 disk blocks forces steady displacement.
+        let spec: BackendSpec = format!(
+            "tiered:mem:8+disk:{}",
+            tier_dir.join(format!("tier-t{t}.gcs")).display()
+        )
+        .parse()
+        .expect("tiered spec parses");
+        let len = (coalesce_len * t / 8).max(coalesce_len / 8);
+        let sub = Trace::from_ids(tier_trace.iter().take(len).map(|i| i.0));
+        let row = measure(&Cell {
+            scenario: "tiered",
+            kind: &PolicyKind::ItemLru,
+            capacity: 64,
+            trace: &sub,
+            map: &tier_map,
+            compiled: None,
+            cfg: RuntimeConfig::new(4.min(t)).with_batch(8),
+            threads: t,
+            latency: zero,
+            reps: 1,
+            backend: Some((&spec, &tier_blocks)),
+        });
+        print_row(&row);
+        rows.push(row);
+    }
+    let _ = std::fs::remove_dir_all(&tier_dir);
+
     let body: Vec<String> = rows.iter().map(Row::json).collect();
     let report = format!(
-        "{{\n  \"schema\": \"gc-bench/serve_report/v3\",\n  \"quick\": {quick},\n  \"trace_len\": {trace_len},\n  \"capacity\": {CAPACITY},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"gc-bench/serve_report/v4\",\n  \"quick\": {quick},\n  \"trace_len\": {trace_len},\n  \"capacity\": {CAPACITY},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
         body.join(",\n"),
     );
     std::fs::write(&out_path, report).expect("write report");

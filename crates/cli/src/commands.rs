@@ -61,7 +61,16 @@ COMMANDS:
              --policy <label> --capacity <k> [--shards S] [--threads T]
              [--mode locked|owner] [--batch N] [--fetch coalesced|inline]
              [--queue-depth D] [--backend-latency-us L] [--jitter-us J]
+             [--backend synthetic[:lat_us[,jit_us]]|mem[:blocks]|
+             disk:<path>|tiered:<l1>+<l2>] (disk stores are prepopulated
+             with the trace's blocks and recovered on open; tiered L1
+             must be mem|disk)
              [--compile] [--json] [--trace <file> | workload flags]
+  store      populate (or extend) a persistent disk block store
+             --path <file> [--blocks N] [--block-size B] [--sync-every K]
+             appends missing blocks, fsyncs every K, prints an acked
+             line per durable batch (crash-safe: a kill mid-run never
+             loses acked blocks)
   generate   write a workload to a trace file
              --out <path> [--format json|text] [workload flags as above]
   stats      locality diagnostics of a workload (reuse distances, block
@@ -92,6 +101,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "fg" => fg_cmd(&args),
         "mrc" => mrc_cmd(&args),
         "serve" => serve_cmd(&args),
+        "store" => store_cmd(&args),
         "bracket" => bracket_cmd(&args),
         "generate" => generate_cmd(&args),
         "stats" => stats_cmd(&args),
@@ -256,7 +266,7 @@ fn simulate_cmd(args: &Args) -> Result<(), String> {
 
 fn serve_cmd(args: &Args) -> Result<(), String> {
     use gc_cache::gc_runtime::{
-        serve_trace, ExecMode, FetchPath, GcRuntime, RuntimeConfig, SyntheticBackend,
+        serve_trace, BackendSpec, ExecMode, FetchPath, GcRuntime, RuntimeConfig,
     };
     use std::time::Duration;
 
@@ -304,6 +314,46 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         ));
     }
 
+    // Parse the backend spec, naming the flag in every failure.
+    let backend_spec: BackendSpec = match args.get_str("backend").unwrap_or("synthetic").parse() {
+        Ok(spec) => spec,
+        Err(gc_cache::gc_types::GcError::InvalidParameter(msg)) => {
+            return Err(invalid(format!("--backend: {msg}")))
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    let backend_spec = match backend_spec {
+        // The latency flags predate --backend and keep working for the
+        // synthetic backend: an explicit flag overrides the spec's value.
+        BackendSpec::Synthetic {
+            latency: spec_latency,
+            jitter: spec_jitter,
+        } => BackendSpec::Synthetic {
+            latency: if args.get_str("backend-latency-us").is_some() {
+                latency
+            } else {
+                spec_latency
+            },
+            jitter: if args.get_str("jitter-us").is_some() {
+                jitter
+            } else {
+                spec_jitter
+            },
+        },
+        other => {
+            for flag in ["backend-latency-us", "jitter-us"] {
+                if args.get_str(flag).is_some() {
+                    return Err(invalid(format!(
+                        "--{flag} only applies to the synthetic backend; --backend {other} \
+                         models its own latency (drop the flag or use --backend \
+                         synthetic:<lat_us>,<jitter_us>)"
+                    )));
+                }
+            }
+            other
+        }
+    };
+
     let Workload { trace, map, .. } = workload(args)?;
     let compile = args.switch("compile");
 
@@ -322,8 +372,34 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         Some(ct) => ct.map().clone(),
         None => map,
     };
-    let backend =
-        std::sync::Arc::new(SyntheticBackend::new(serve_map.clone()).with_latency(latency, jitter));
+    // Disk stores are prepopulated (and fsynced) with exactly the blocks
+    // the trace touches, so serving measures recovered reads rather than
+    // first-touch appends. Strided maps are unbounded; enumerating the
+    // touched set is the only way to know what to persist.
+    let prepopulate: Vec<BlockId> = match &compiled {
+        Some(ct) => (0..ct.n_blocks()).map(BlockId).collect(),
+        None => {
+            let mut seen = gc_cache::gc_types::FxHashSet::default();
+            trace
+                .requests()
+                .iter()
+                .map(|&item| serve_map.block_of(item))
+                .filter(|b| seen.insert(b.0))
+                .collect()
+        }
+    };
+    let backend = backend_spec
+        .build(&serve_map, &prepopulate)
+        .map_err(|e| match e {
+            gc_cache::gc_types::GcError::InvalidParameter(msg) => {
+                invalid(format!("--backend: {msg}"))
+            }
+            // A disk path that doesn't exist, isn't writable, or isn't a
+            // store file is a bad parameter from the caller's seat — name
+            // the flag so the fix is obvious.
+            e @ gc_cache::gc_types::GcError::Io { .. } => invalid(format!("--backend: {e}")),
+            e => e.to_string(),
+        })?;
     let runtime = GcRuntime::with_config(&kind, capacity, serve_map, config, backend)
         .map_err(|e| e.to_string())?;
     let report = match &compiled {
@@ -347,8 +423,22 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
                 )
             })
             .collect();
+        let tiers: Vec<String> = s
+            .tiers
+            .iter()
+            .map(|t| {
+                format!(
+                    "    {{\"label\": \"{}\", \"fetches\": {}, \"stores\": {}, \"fetch_p50_us\": {:.1}, \"fetch_p99_us\": {:.1}}}",
+                    t.label,
+                    t.fetches,
+                    t.stores,
+                    t.latency.quantile_nanos(0.50) as f64 / 1_000.0,
+                    t.latency.quantile_nanos(0.99) as f64 / 1_000.0
+                )
+            })
+            .collect();
         println!(
-            "{{\n  \"workload\": \"{}\",\n  \"policy\": \"{}\",\n  \"capacity\": {capacity},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"mode\": \"{mode}\",\n  \"batch\": {batch},\n  \"fetch\": \"{fetch}\",\n  \"compiled\": {compile},\n  \"backend_latency_us\": {},\n  \"requests\": {},\n  \"wall_seconds\": {:.6},\n  \"throughput_rps\": {:.0},\n  \"hit_rate\": {:.6},\n  \"temporal_hits\": {},\n  \"spatial_hits\": {},\n  \"misses\": {},\n  \"backend_fetches\": {},\n  \"coalesced_fetches\": {},\n  \"coalescing_rate\": {:.6},\n  \"fetched_items\": {},\n  \"admitted_items\": {},\n  \"admission_ratio\": {:.6},\n  \"fetch_p50_us\": {:.1},\n  \"fetch_p99_us\": {:.1},\n  \"per_shard\": [\n{}\n  ]\n}}",
+            "{{\n  \"workload\": \"{}\",\n  \"policy\": \"{}\",\n  \"capacity\": {capacity},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"mode\": \"{mode}\",\n  \"batch\": {batch},\n  \"fetch\": \"{fetch}\",\n  \"compiled\": {compile},\n  \"backend\": \"{backend_spec}\",\n  \"backend_latency_us\": {},\n  \"requests\": {},\n  \"wall_seconds\": {:.6},\n  \"throughput_rps\": {:.0},\n  \"hit_rate\": {:.6},\n  \"temporal_hits\": {},\n  \"spatial_hits\": {},\n  \"misses\": {},\n  \"backend_fetches\": {},\n  \"coalesced_fetches\": {},\n  \"coalescing_rate\": {:.6},\n  \"delayed_hits\": {},\n  \"waiter_wait_p50_us\": {:.1},\n  \"waiter_wait_p99_us\": {:.1},\n  \"fetched_items\": {},\n  \"admitted_items\": {},\n  \"admission_ratio\": {:.6},\n  \"fetch_p50_us\": {:.1},\n  \"fetch_p99_us\": {:.1},\n  \"tiers\": [\n{}\n  ],\n  \"per_shard\": [\n{}\n  ]\n}}",
             trace.name,
             kind.label(),
             latency.as_micros(),
@@ -362,11 +452,15 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             s.backend_fetches,
             s.coalesced_fetches,
             s.coalescing_rate(),
+            s.delayed_hits,
+            s.waiter_wait.quantile_nanos(0.50) as f64 / 1_000.0,
+            s.waiter_wait.quantile_nanos(0.99) as f64 / 1_000.0,
             s.fetched_items,
             s.admitted_items,
             s.admission_ratio(),
             s.fetch_latency.quantile_nanos(0.50) as f64 / 1_000.0,
             s.fetch_latency.quantile_nanos(0.99) as f64 / 1_000.0,
+            tiers.join(",\n"),
             per_shard.join(",\n"),
         );
         return Ok(());
@@ -374,10 +468,9 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
 
     println!("workload: {} ({} requests)", trace.name, trace.len());
     println!(
-        "runtime:  {} | capacity {capacity} | {shards} shard(s) | {threads} thread(s) | mode {mode} | batch {batch} | fetch {fetch}{} | backend {} µs",
+        "runtime:  {} | capacity {capacity} | {shards} shard(s) | {threads} thread(s) | mode {mode} | batch {batch} | fetch {fetch}{} | backend {backend_spec}",
         kind.label(),
         if compile { " | compiled" } else { "" },
-        latency.as_micros()
     );
     println!(
         "served {} requests in {:.3}s  ({:.0} req/s)",
@@ -393,6 +486,15 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         s.coalesced_fetches,
         s.coalescing_rate()
     );
+    if s.delayed_hits > 0 {
+        println!(
+            "delayed hits     {}  (rate {:.3}; waited p50 {:.1} µs, p99 {:.1} µs)",
+            s.delayed_hits,
+            s.delayed_hit_rate(),
+            s.waiter_wait.quantile_nanos(0.50) as f64 / 1_000.0,
+            s.waiter_wait.quantile_nanos(0.99) as f64 / 1_000.0
+        );
+    }
     println!(
         "admission        {} of {} fetched items ({:.3})",
         s.admitted_items,
@@ -407,12 +509,78 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             s.fetch_latency.max_nanos() as f64 / 1_000.0
         );
     }
+    for t in &s.tiers {
+        println!(
+            "  tier {:<5} {} fetches, {} stores, fetch p50 {:.1} µs, p99 {:.1} µs",
+            t.label,
+            t.fetches,
+            t.stores,
+            t.latency.quantile_nanos(0.50) as f64 / 1_000.0,
+            t.latency.quantile_nanos(0.99) as f64 / 1_000.0
+        );
+    }
     for (i, p) in report.per_shard.iter().enumerate() {
         println!(
             "  shard {i}: {} accesses, {} misses, {} fetches",
             p.accesses, p.misses, p.backend_fetches
         );
     }
+    Ok(())
+}
+
+/// `store`: populate (or extend) a persistent disk block store, fsyncing
+/// every `--sync-every` blocks and printing an `acked <last_block>` line
+/// per durable batch. Crash-safety harnesses kill this process mid-run
+/// and assert every acked block survives bit-identically.
+fn store_cmd(args: &Args) -> Result<(), String> {
+    use gc_cache::gc_runtime::{BlockStore, DiskBackend};
+    use std::io::Write;
+
+    let invalid = |msg: String| gc_cache::gc_types::GcError::InvalidParameter(msg).to_string();
+    let Some(path) = args.get_str("path") else {
+        return Err(invalid(
+            "--path is required (segment file to populate)".into(),
+        ));
+    };
+    let block_size: usize = args.get_or("block-size", 16usize)?;
+    let blocks: u64 = args.get_or("blocks", 1024u64)?;
+    let sync_every: u64 = args.get_or("sync-every", 64u64)?;
+    if block_size == 0 {
+        return Err(invalid("--block-size must be >= 1".into()));
+    }
+    if blocks == 0 {
+        return Err(invalid("--blocks must be >= 1".into()));
+    }
+    if sync_every == 0 {
+        return Err(invalid(
+            "--sync-every must be >= 1 (it is the fsync cadence in blocks)".into(),
+        ));
+    }
+
+    let store = DiskBackend::open(path, BlockMap::strided(block_size)).map_err(|e| match e {
+        gc_cache::gc_types::GcError::InvalidParameter(msg) => invalid(format!("--path: {msg}")),
+        e @ gc_cache::gc_types::GcError::Io { .. } => invalid(format!("--path: {e}")),
+        e => e.to_string(),
+    })?;
+    let already = store.stored_blocks();
+    let mut appended = 0usize;
+    let mut start = 0u64;
+    while start < blocks {
+        let end = (start + sync_every).min(blocks);
+        appended += store
+            .populate((start..end).map(BlockId))
+            .map_err(|e| e.to_string())?;
+        store.sync().map_err(|e| e.to_string())?;
+        // The ack line is the durability contract: by the time it is
+        // visible, every block up to `end - 1` has been fsynced.
+        println!("acked {}", end - 1);
+        std::io::stdout().flush().map_err(|e| e.to_string())?;
+        start = end;
+    }
+    println!(
+        "store {path}: {} blocks held ({already} pre-existing, {appended} appended)",
+        store.stored_blocks()
+    );
     Ok(())
 }
 

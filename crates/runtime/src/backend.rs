@@ -10,8 +10,38 @@
 //! latency-bound and lock-bound regimes without real devices.
 
 use crate::sync::atomic::{AtomicU64, Ordering};
-use gc_types::{mix64, BlockId, BlockMap, GcError, ItemId};
+use gc_types::{mix64, BlockId, BlockMap, GcError, ItemId, TierStats};
 use std::time::Duration;
+
+/// Materialize the canonical contents of `block` from a [`BlockMap`] into
+/// `out` (cleared first). Every backend that derives block contents from a
+/// map goes through this one function, so the item order — and therefore
+/// the policy-visible behaviour — is identical across backends (the
+/// differential suite's bit-identity claim rests on this).
+pub(crate) fn materialize_block(
+    map: &BlockMap,
+    block: BlockId,
+    out: &mut Vec<ItemId>,
+) -> Result<(), GcError> {
+    out.clear();
+    match map.stride() {
+        // Strided blocks are a contiguous id range; extending from the
+        // range directly (instead of the generic `items_of` iterator)
+        // lets the copy vectorize — this path runs once per cache miss.
+        Some(stride) => {
+            let start = block.0 * stride;
+            out.extend((start..start + stride).map(ItemId));
+        }
+        None => out.extend(map.items_of(block)),
+    }
+    if out.is_empty() {
+        return Err(GcError::Backend {
+            block,
+            message: "block not present in backend block map".into(),
+        });
+    }
+    Ok(())
+}
 
 /// A block-granular storage backend.
 ///
@@ -35,6 +65,14 @@ pub trait BlockBackend: Send + Sync {
         out.clear();
         out.extend_from_slice(&items);
         Ok(())
+    }
+
+    /// Per-tier fetch telemetry, for layered backends. Flat backends (the
+    /// default) report no tiers; a [`TieredBackend`](crate::store::
+    /// TieredBackend) reports one entry per layer, fastest first. The
+    /// runtime attaches this snapshot to aggregate stats.
+    fn tier_snapshot(&self) -> Vec<TierStats> {
+        Vec::new()
     }
 }
 
@@ -84,23 +122,7 @@ impl BlockBackend for SyntheticBackend {
     }
 
     fn load_block_into(&self, block: BlockId, out: &mut Vec<ItemId>) -> Result<(), GcError> {
-        out.clear();
-        match self.map.stride() {
-            // Strided blocks are a contiguous id range; extending from the
-            // range directly (instead of the generic `items_of` iterator)
-            // lets the copy vectorize — this path runs once per cache miss.
-            Some(stride) => {
-                let start = block.0 * stride;
-                out.extend((start..start + stride).map(ItemId));
-            }
-            None => out.extend(self.map.items_of(block)),
-        }
-        if out.is_empty() {
-            return Err(GcError::Backend {
-                block,
-                message: "block not present in backend block map".into(),
-            });
-        }
+        materialize_block(&self.map, block, out)?;
         if !(self.base.is_zero() && self.jitter.is_zero()) {
             let call = self.calls.fetch_add(1, Ordering::Relaxed);
             let delay = self.base
@@ -152,6 +174,10 @@ impl<B: BlockBackend> BlockBackend for CountingBackend<B> {
         self.inner.load_block_into(block, out)?;
         self.calls.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    fn tier_snapshot(&self) -> Vec<TierStats> {
+        self.inner.tier_snapshot()
     }
 }
 

@@ -27,6 +27,11 @@
 //!   [`SyntheticBackend`] emulates device latency and jitter so the
 //!   closed-loop harness ([`serve_trace`]) can explore lock-bound and
 //!   latency-bound regimes without real devices.
+//! - [`store`] — physical storage tiers behind the backend trait: a
+//!   persistent crash-safe [`DiskBackend`], a bounded in-RAM
+//!   [`MemBackend`], the [`TieredBackend`] L1/L2 combinator with per-tier
+//!   latency telemetry, and [`BackendSpec`] parsing for
+//!   `serve --backend mem|synthetic:…|disk:<path>|tiered:<l1>+<l2>`.
 //!
 //! The split the model cares about is visible in the counters:
 //! [`RuntimeStats`](gc_types::RuntimeStats) distinguishes what the backend
@@ -55,6 +60,7 @@ mod owner;
 pub mod runtime;
 pub mod session;
 pub mod singleflight;
+pub mod store;
 pub mod sync;
 
 #[cfg(all(test, feature = "loom"))]
@@ -66,3 +72,4 @@ pub use harness::{serve_trace, serve_trace_compiled, ServeReport};
 pub use runtime::{shard_capacities, GcRuntime, ServeOutcome};
 pub use session::Session;
 pub use singleflight::{FetchResult, FetchRole, SingleFlight};
+pub use store::{BackendSpec, BlockStore, DiskBackend, MemBackend, TieredBackend};

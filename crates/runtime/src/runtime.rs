@@ -90,6 +90,11 @@ pub(crate) struct FetchStats {
     pub coalesced_fetches: u64,
     pub fetched_items: u64,
     pub latency: LatencyHistogram,
+    /// Coalesced fetches that genuinely parked on the flight table —
+    /// delayed hits, with their wait-time distribution. Same-flush dedup
+    /// repeats are coalesced but *not* delayed (zero wait, same window).
+    pub delayed_hits: u64,
+    pub waiter_wait: LatencyHistogram,
 }
 
 impl FetchStats {
@@ -106,6 +111,14 @@ impl FetchStats {
         self.coalesced_fetches += 1;
     }
 
+    #[inline]
+    pub fn record_delayed(&mut self, wait: Duration) {
+        self.coalesced_fetches += 1;
+        self.delayed_hits += 1;
+        self.waiter_wait
+            .record(wait.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
     pub fn is_empty(&self) -> bool {
         self.backend_fetches == 0 && self.coalesced_fetches == 0 && self.fetched_items == 0
     }
@@ -115,6 +128,8 @@ impl FetchStats {
         self.coalesced_fetches += other.coalesced_fetches;
         self.fetched_items += other.fetched_items;
         self.latency.merge(&other.latency);
+        self.delayed_hits += other.delayed_hits;
+        self.waiter_wait.merge(&other.waiter_wait);
     }
 
     pub fn clear(&mut self) {
@@ -126,6 +141,8 @@ impl FetchStats {
         stats.coalesced_fetches += self.coalesced_fetches;
         stats.fetched_items += self.fetched_items;
         stats.fetch_latency.merge(&self.latency);
+        stats.delayed_hits += self.delayed_hits;
+        stats.waiter_wait.merge(&self.waiter_wait);
     }
 }
 
@@ -439,10 +456,12 @@ impl GcRuntime {
                     admitted_items: admitted,
                 })
             }
-            FetchRole::Coalesced => {
+            FetchRole::Coalesced { wait } => {
                 // `fetched_items` counts backend supply, so only the led
-                // fetch accounts the payload; waiters share it for free.
-                local.record_coalesced();
+                // fetch accounts the payload; waiters share it for free —
+                // but they *waited* on it, which is what the delayed-hit
+                // counter and wait histogram capture.
+                local.record_delayed(wait);
                 Ok(ServeOutcome::Miss {
                     coalesced: true,
                     fetched_items: payload.len(),
@@ -503,12 +522,16 @@ impl GcRuntime {
         stats
     }
 
-    /// Aggregate counters over all shards (one consistent cut).
+    /// Aggregate counters over all shards (one consistent cut), with the
+    /// backend's per-tier fetch telemetry attached when the backend is
+    /// tiered. Tiers are a backend-wide resource shared by every shard, so
+    /// they appear only here, never in per-shard rows.
     pub fn aggregate_stats(&self) -> RuntimeStats {
         let mut total = RuntimeStats::default();
         for s in self.per_shard_stats() {
             total.merge(&s);
         }
+        total.tiers = self.backend.tier_snapshot();
         total
     }
 

@@ -86,14 +86,19 @@ pub enum FetchRole {
         /// Wall-clock duration of the backend load.
         latency: Duration,
     },
-    /// This call coalesced onto a load already in flight.
-    Coalesced,
+    /// This call coalesced onto a load already in flight; `wait` is how
+    /// long it was parked before the leader published — the *delayed hit*
+    /// penalty this miss paid instead of a full backend load.
+    Coalesced {
+        /// Wall-clock time parked on the in-flight fetch.
+        wait: Duration,
+    },
 }
 
 impl FetchRole {
     /// Whether this call coalesced onto another call's load.
     pub fn is_coalesced(self) -> bool {
-        matches!(self, FetchRole::Coalesced)
+        matches!(self, FetchRole::Coalesced { .. })
     }
 }
 
@@ -205,6 +210,7 @@ impl SingleFlight {
             (result, FetchRole::Led { latency })
         } else {
             self.pending_waiters.fetch_add(1, Ordering::SeqCst);
+            let t0 = Instant::now();
             let result = {
                 let mut slot = flight.slot.lock();
                 loop {
@@ -217,8 +223,9 @@ impl SingleFlight {
                     flight.cv.wait(&mut slot);
                 }
             };
+            let wait = t0.elapsed();
             self.pending_waiters.fetch_sub(1, Ordering::SeqCst);
-            (result, FetchRole::Coalesced)
+            (result, FetchRole::Coalesced { wait })
         }
     }
 
@@ -366,7 +373,7 @@ mod tests {
         let (lr, lrole) = leader.join().unwrap();
         let (wr, wrole) = waiter.join().unwrap();
         assert!(matches!(lrole, FetchRole::Led { .. }));
-        assert_eq!(wrole, FetchRole::Coalesced);
+        assert!(matches!(wrole, FetchRole::Coalesced { .. }));
         // Both observe the same fetched block.
         assert_eq!(*lr.unwrap(), vec![ItemId(36)]);
         assert_eq!(*wr.unwrap(), vec![ItemId(36)]);
@@ -412,7 +419,7 @@ mod tests {
         let (lr, lrole) = leader.join().unwrap();
         let (wr, wrole) = waiter.join().unwrap();
         assert!(matches!(lrole, FetchRole::Led { .. }));
-        assert_eq!(wrole, FetchRole::Coalesced);
+        assert!(matches!(wrole, FetchRole::Coalesced { .. }));
         assert!(lr.is_err(), "leader observes its own failure");
         assert!(wr.is_err(), "parked waiter observes the leader's failure");
 

@@ -1,0 +1,515 @@
+//! A persistent, crash-safe, single-file block store.
+//!
+//! # On-disk format
+//!
+//! One append-friendly segment file:
+//!
+//! ```text
+//! [ magic: 8 bytes = "GCSTORE1" ]
+//! [ record ]*
+//!
+//! record := block_id: u64 LE
+//!           n_items:  u32 LE
+//!           checksum: u64 LE      (FNV-1a over block_id, n_items, items)
+//!           items:    n_items × u64 LE
+//! ```
+//!
+//! Records are append-only; re-storing a block appends a new record and
+//! the in-memory index keeps the **last** one (recovery replays the log in
+//! order, so last-wins survives restarts). The checksum reuses the
+//! checkpoint layer's frozen [`StableHasher`] (FNV-1a), the same
+//! fingerprint discipline PR 3 introduced for crash-safe sweep resume.
+//!
+//! # Crash safety
+//!
+//! - **Creation is atomic**: [`DiskBackend::create_with`] writes the
+//!   header and every record to a `.tmp` sibling, fsyncs, then renames
+//!   into place — a kill during bulk population can never leave a
+//!   half-built store under the real path (the checkpoint tmp+rename
+//!   discipline, applied to stores).
+//! - **Appends are checksummed**: a kill mid-append leaves a torn record
+//!   at the tail. [`DiskBackend::open`] scans the log, validates every
+//!   record's bounds and checksum, and truncates the file at the first
+//!   invalid byte — everything before the torn tail (in particular every
+//!   record acknowledged by [`sync`](DiskBackend::sync)) reads back
+//!   bit-identical.
+//! - **Durability is explicit**: appends go to the OS write cache;
+//!   [`sync`](DiskBackend::sync) is the fsync point after which records
+//!   are acknowledged. Unacknowledged records may be lost on power loss —
+//!   they are a cache's contents and re-derivable — but never *torn into*
+//!   acknowledged ones, because recovery cuts at record granularity.
+//!
+//! # Concurrency
+//!
+//! Reads are positional (`pread`) against a shared file handle and take
+//! the index lock only for the segment lookup, so concurrent leaders for
+//! different blocks read in parallel. Appends serialize on the state lock
+//! (index + tail move together).
+
+use super::BlockStore;
+use crate::backend::{materialize_block, BlockBackend};
+use crate::sync::Mutex;
+use gc_sim::checkpoint::StableHasher;
+use gc_types::{BlockId, BlockMap, FxHashMap, GcError, ItemId};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic: identifies a gc block-store segment file, version 1.
+const MAGIC: &[u8; 8] = b"GCSTORE1";
+/// Fixed-size record prologue: block id (8) + item count (4) + checksum (8).
+const RECORD_HEADER: usize = 20;
+/// Upper bound on items per record, so a corrupt length field cannot make
+/// recovery (or a read) allocate gigabytes. Far above any real block size.
+const MAX_BLOCK_ITEMS: u32 = 1 << 24;
+
+/// Where a block's payload lives in the segment file.
+#[derive(Clone, Copy, Debug)]
+struct Segment {
+    /// Byte offset of the items payload (past the record header).
+    payload: u64,
+    /// Number of items in the payload.
+    n_items: u32,
+}
+
+/// Index + append cursor; guarded together so the tail and the index
+/// never disagree.
+struct DiskState {
+    index: FxHashMap<u64, Segment>,
+    tail: u64,
+}
+
+/// A persistent disk-backed [`BlockBackend`]: see the module docs for the
+/// format and crash-safety contract.
+///
+/// Blocks absent from the store are materialized from the block map
+/// (identically to [`SyntheticBackend`](crate::SyntheticBackend)),
+/// appended, and served — so a cold store self-populates, and a
+/// prepopulated one serves pure reads.
+pub struct DiskBackend {
+    map: BlockMap,
+    file: File,
+    state: Mutex<DiskState>,
+    path: PathBuf,
+}
+
+/// FNV-1a checksum of one record's integrity-relevant bytes.
+fn record_checksum(block: u64, items: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(block);
+    h.write_usize(items.len() / 8);
+    h.write_bytes(items);
+    h.finish()
+}
+
+/// Serialize one record into `buf` (cleared first).
+fn encode_record(buf: &mut Vec<u8>, block: u64, items: &[ItemId]) {
+    buf.clear();
+    buf.reserve(RECORD_HEADER + items.len() * 8);
+    buf.extend_from_slice(&block.to_le_bytes());
+    buf.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    // Checksum goes over the payload bytes; build them once, reuse below.
+    let mut payload = Vec::with_capacity(items.len() * 8);
+    for item in items {
+        payload.extend_from_slice(&item.0.to_le_bytes());
+    }
+    buf.extend_from_slice(&record_checksum(block, &payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> GcError {
+    GcError::Io {
+        kind: e.kind(),
+        message: format!("{}: {e}", path.display()),
+    }
+}
+
+impl DiskBackend {
+    /// Open (or create) the store at `path`, recovering the index by
+    /// scanning the log and truncating any torn tail. Blocks not yet
+    /// stored will be materialized from `map` on first load.
+    ///
+    /// # Errors
+    ///
+    /// [`GcError::InvalidParameter`] when `path` exists but is not a
+    /// gc-store file (bad magic); [`GcError::Io`] for filesystem failures
+    /// (nonexistent parent directory, readonly file or directory, ...).
+    pub fn open(path: impl AsRef<Path>, map: BlockMap) -> Result<DiskBackend, GcError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        let (index, tail) = recover(&mut file, &path)?;
+        Ok(DiskBackend {
+            map,
+            file,
+            state: Mutex::new(DiskState { index, tail }),
+            path,
+        })
+    }
+
+    /// Build a fresh store at `path` holding exactly `blocks` (materialized
+    /// from `map`), atomically: the whole store is written to a `.tmp`
+    /// sibling, fsynced, and renamed into place. A kill at any point leaves
+    /// either no store or the complete one — never a partial file under
+    /// `path`.
+    pub fn create_with<I>(
+        path: impl AsRef<Path>,
+        map: BlockMap,
+        blocks: I,
+    ) -> Result<DiskBackend, GcError>
+    where
+        I: IntoIterator<Item = BlockId>,
+    {
+        let path = path.as_ref().to_path_buf();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut out = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            out.write_all(MAGIC).map_err(|e| io_err(&tmp, e))?;
+            let mut items: Vec<ItemId> = Vec::new();
+            let mut record: Vec<u8> = Vec::new();
+            for block in blocks {
+                materialize_block(&map, block, &mut items)?;
+                encode_record(&mut record, block.0, &items);
+                out.write_all(&record).map_err(|e| io_err(&tmp, e))?;
+            }
+            out.sync_all().map_err(|e| io_err(&tmp, e))?;
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        DiskBackend::open(&path, map)
+    }
+
+    /// Append every block of `blocks` that the store does not already
+    /// hold. Returns how many records were appended. Call
+    /// [`sync`](Self::sync) afterwards to make them durable.
+    pub fn populate<I>(&self, blocks: I) -> Result<usize, GcError>
+    where
+        I: IntoIterator<Item = BlockId>,
+    {
+        let mut items: Vec<ItemId> = Vec::new();
+        let mut appended = 0usize;
+        for block in blocks {
+            if self.contains_block(block) {
+                continue;
+            }
+            materialize_block(&self.map, block, &mut items)?;
+            self.store_block(block, &items)?;
+            appended += 1;
+        }
+        Ok(appended)
+    }
+
+    /// Flush every appended record to stable storage (fsync). This is the
+    /// durability acknowledgement point: records written before a `sync`
+    /// that returned `Ok` survive a crash bit-identically.
+    pub fn sync(&self) -> Result<(), GcError> {
+        self.file.sync_all().map_err(|e| io_err(&self.path, e))
+    }
+
+    /// The store's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Positional read of `buf.len()` bytes at `offset`.
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<(), GcError> {
+        #[cfg(unix)]
+        {
+            std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
+                .map_err(|e| io_err(&self.path, e))
+        }
+        #[cfg(not(unix))]
+        {
+            // No pread: serialize on the state lock and seek. Reads and
+            // appends share the cursor, so both sides must hold the lock
+            // for their whole seek+IO sequence (appends already do).
+            use std::io::{Seek, SeekFrom};
+            let _guard = self.state.lock();
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(offset))
+                .and_then(|_| f.read_exact(buf))
+                .map_err(|e| io_err(&self.path, e))
+        }
+    }
+}
+
+/// Scan the log from the header on, validating record bounds and
+/// checksums; returns the rebuilt index and the offset of the first
+/// invalid byte (the recovered tail). Truncates the file there if any
+/// torn/corrupt suffix was found, and rewrites the header of an empty or
+/// sub-header-length file.
+fn recover(file: &mut File, path: &Path) -> Result<(FxHashMap<u64, Segment>, u64), GcError> {
+    let len = file.metadata().map_err(|e| io_err(path, e))?.len();
+    if len < MAGIC.len() as u64 {
+        // Nothing durable yet (fresh file, or a kill before the header
+        // landed): initialize in place.
+        file.set_len(0).map_err(|e| io_err(path, e))?;
+        file.write_all(MAGIC).map_err(|e| io_err(path, e))?;
+        file.sync_all().map_err(|e| io_err(path, e))?;
+        return Ok((FxHashMap::default(), MAGIC.len() as u64));
+    }
+
+    let mut reader = std::io::BufReader::new(&*file);
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic).map_err(|e| io_err(path, e))?;
+    if &magic != MAGIC {
+        return Err(GcError::InvalidParameter(format!(
+            "{} is not a gc block-store file (bad magic)",
+            path.display()
+        )));
+    }
+
+    let mut index = FxHashMap::default();
+    let mut pos = MAGIC.len() as u64;
+    let mut header = [0u8; RECORD_HEADER];
+    let mut payload: Vec<u8> = Vec::new();
+    loop {
+        if pos + RECORD_HEADER as u64 > len {
+            break; // torn record header (or clean EOF when pos == len)
+        }
+        reader
+            .read_exact(&mut header)
+            .map_err(|e| io_err(path, e))?;
+        let block = u64::from_le_bytes(header[0..8].try_into().unwrap_or_default());
+        let n_items = u32::from_le_bytes(header[8..12].try_into().unwrap_or_default());
+        let checksum = u64::from_le_bytes(header[12..20].try_into().unwrap_or_default());
+        let payload_len = n_items as u64 * 8;
+        if n_items == 0
+            || n_items > MAX_BLOCK_ITEMS
+            || pos + RECORD_HEADER as u64 + payload_len > len
+        {
+            break; // implausible length or payload runs past EOF: torn
+        }
+        payload.resize(payload_len as usize, 0);
+        reader
+            .read_exact(&mut payload)
+            .map_err(|e| io_err(path, e))?;
+        if record_checksum(block, &payload) != checksum {
+            break; // bit rot or a torn overwrite: cut here
+        }
+        let payload_at = pos + RECORD_HEADER as u64;
+        index.insert(
+            block,
+            Segment {
+                payload: payload_at,
+                n_items,
+            },
+        );
+        pos = payload_at + payload_len;
+    }
+    drop(reader);
+    if pos < len {
+        // Discard the torn tail so the next append starts on a clean
+        // record boundary; fsync so the truncation itself is durable.
+        file.set_len(pos).map_err(|e| io_err(path, e))?;
+        file.sync_all().map_err(|e| io_err(path, e))?;
+    }
+    Ok((index, pos))
+}
+
+impl BlockBackend for DiskBackend {
+    fn load_block(&self, block: BlockId) -> Result<Vec<ItemId>, GcError> {
+        let mut items = Vec::new();
+        self.load_block_into(block, &mut items)?;
+        Ok(items)
+    }
+
+    fn load_block_into(&self, block: BlockId, out: &mut Vec<ItemId>) -> Result<(), GcError> {
+        if self.try_load_into(block, out)? {
+            return Ok(());
+        }
+        // Cold block: materialize from the map (same canonical contents
+        // as every other backend), persist, serve.
+        materialize_block(&self.map, block, out)?;
+        self.store_block(block, out)
+    }
+}
+
+impl BlockStore for DiskBackend {
+    fn store_block(&self, block: BlockId, items: &[ItemId]) -> Result<(), GcError> {
+        let mut record: Vec<u8> = Vec::new();
+        encode_record(&mut record, block.0, items);
+        let mut state = self.state.lock();
+        let at = state.tail;
+        #[cfg(unix)]
+        std::os::unix::fs::FileExt::write_all_at(&self.file, &record, at)
+            .map_err(|e| io_err(&self.path, e))?;
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom};
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(at))
+                .and_then(|_| f.write_all(&record))
+                .map_err(|e| io_err(&self.path, e))?;
+        }
+        state.index.insert(
+            block.0,
+            Segment {
+                payload: at + RECORD_HEADER as u64,
+                n_items: items.len() as u32,
+            },
+        );
+        state.tail = at + record.len() as u64;
+        Ok(())
+    }
+
+    fn try_load_into(&self, block: BlockId, out: &mut Vec<ItemId>) -> Result<bool, GcError> {
+        let segment = match self.state.lock().index.get(&block.0) {
+            Some(s) => *s,
+            None => return Ok(false),
+        };
+        let mut bytes = vec![0u8; segment.n_items as usize * 8];
+        self.read_exact_at(&mut bytes, segment.payload)?;
+        out.clear();
+        out.reserve(segment.n_items as usize);
+        for chunk in bytes.chunks_exact(8) {
+            out.push(ItemId(u64::from_le_bytes(
+                chunk.try_into().unwrap_or_default(),
+            )));
+        }
+        Ok(true)
+    }
+
+    fn contains_block(&self, block: BlockId) -> bool {
+        self.state.lock().index.contains_key(&block.0)
+    }
+
+    fn stored_blocks(&self) -> usize {
+        self.state.lock().index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Seek;
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gc-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("blocks.gcs")
+    }
+
+    #[test]
+    fn roundtrip_and_reopen_bit_identical() {
+        let path = temp_store("roundtrip");
+        let map = BlockMap::strided(4);
+        let store = DiskBackend::open(&path, map.clone()).unwrap();
+        assert_eq!(store.stored_blocks(), 0);
+        // Cold loads materialize, persist, and serve canonical contents.
+        for b in [0u64, 7, 3] {
+            let items = store.load_block(BlockId(b)).unwrap();
+            let expect: Vec<ItemId> = (b * 4..b * 4 + 4).map(ItemId).collect();
+            assert_eq!(items, expect);
+        }
+        assert_eq!(store.stored_blocks(), 3);
+        store.sync().unwrap();
+        drop(store);
+
+        // Reopen: the index rebuilds from the log and every block reads
+        // back bit-identical, now as a pure disk read.
+        let store = DiskBackend::open(&path, map).unwrap();
+        assert_eq!(store.stored_blocks(), 3);
+        for b in [0u64, 7, 3] {
+            assert!(store.contains_block(BlockId(b)));
+            let items = store.load_block(BlockId(b)).unwrap();
+            let expect: Vec<ItemId> = (b * 4..b * 4 + 4).map(ItemId).collect();
+            assert_eq!(items, expect);
+        }
+    }
+
+    #[test]
+    fn recovery_discards_torn_tail_but_keeps_acknowledged_records() {
+        let path = temp_store("torn");
+        let map = BlockMap::strided(8);
+        let store = DiskBackend::open(&path, map.clone()).unwrap();
+        store.populate((0..5).map(BlockId)).unwrap();
+        store.sync().unwrap();
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        drop(store);
+
+        // Simulate a kill mid-append: half a record of garbage at the tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xAB; RECORD_HEADER + 3]).unwrap();
+        }
+        let store = DiskBackend::open(&path, map.clone()).unwrap();
+        assert_eq!(store.stored_blocks(), 5, "acknowledged records survive");
+        for b in 0..5u64 {
+            let items = store.load_block(BlockId(b)).unwrap();
+            let expect: Vec<ItemId> = (b * 8..b * 8 + 8).map(ItemId).collect();
+            assert_eq!(items, expect, "bit-identical after recovery");
+        }
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            clean_len,
+            "torn tail truncated"
+        );
+
+        // A checksum-corrupted record is cut too (with everything after it).
+        drop(store);
+        {
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            // Flip one payload byte of the last record.
+            f.seek(std::io::SeekFrom::End(-1)).unwrap();
+            f.write_all(&[0xFF]).unwrap();
+        }
+        let store = DiskBackend::open(&path, map).unwrap();
+        assert_eq!(store.stored_blocks(), 4, "corrupt final record dropped");
+        assert!(std::fs::metadata(&path).unwrap().len() < clean_len);
+    }
+
+    #[test]
+    fn create_with_is_atomic_and_restore_appends_win() {
+        let path = temp_store("create");
+        let map = BlockMap::strided(2);
+        let store = DiskBackend::create_with(&path, map.clone(), (0..10).map(BlockId)).unwrap();
+        assert_eq!(store.stored_blocks(), 10);
+        assert!(!path.with_extension("tmp").exists(), "tmp renamed away");
+
+        // Re-storing a block appends a new record; reopen keeps the last.
+        let new_items = [ItemId(1_000), ItemId(1_001)];
+        store.store_block(BlockId(3), &new_items).unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let store = DiskBackend::open(&path, map).unwrap();
+        assert_eq!(store.stored_blocks(), 10);
+        assert_eq!(store.load_block(BlockId(3)).unwrap(), new_items);
+    }
+
+    #[test]
+    fn non_store_file_is_rejected() {
+        let path = temp_store("magic");
+        std::fs::write(&path, b"definitely not a block store").unwrap();
+        let err = DiskBackend::open(&path, BlockMap::strided(4))
+            .map(drop)
+            .unwrap_err();
+        assert!(matches!(err, GcError::InvalidParameter(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_parent_directory_is_an_io_error() {
+        let path = std::env::temp_dir()
+            .join(format!("gc-store-missing-{}", std::process::id()))
+            .join("no-such-dir")
+            .join("blocks.gcs");
+        let err = DiskBackend::open(&path, BlockMap::strided(4))
+            .map(drop)
+            .unwrap_err();
+        assert!(matches!(err, GcError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_block_in_explicit_map_errors() {
+        let path = temp_store("unknown");
+        let map = BlockMap::from_groups(vec![vec![ItemId(1), ItemId(2)]]).unwrap();
+        let store = DiskBackend::open(&path, map).unwrap();
+        let err = store.load_block(BlockId(9)).unwrap_err();
+        assert!(matches!(err, GcError::Backend { block, .. } if block == BlockId(9)));
+    }
+}

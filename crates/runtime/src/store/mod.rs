@@ -1,0 +1,64 @@
+//! Tiered block storage: persistent stores and layered backends.
+//!
+//! The rest of the crate treats [`BlockBackend`](crate::BlockBackend) as
+//! an opaque source of whole blocks. This module makes the storage
+//! hierarchy behind it *physical*, which is the setting the paper's
+//! granularity-change argument actually lives in — items are cheap to keep
+//! in RAM, blocks are expensive to fetch from the level below:
+//!
+//! - [`DiskBackend`] — a persistent, crash-safe, single-file block store:
+//!   ID-keyed records in one append-friendly segment file, an in-memory
+//!   index rebuilt by scanning on open, checksummed records so startup
+//!   recovery can discard torn tails, and explicit [`sync`]
+//!   (DiskBackend::sync) points as the durability acknowledgement.
+//! - [`MemBackend`] — a bounded in-RAM staging store (FIFO displacement):
+//!   the physical L1 a tiered hierarchy parks whole blocks in. Bounded
+//!   residency is a *storage* property here; item-granular admission
+//!   stays the policy's job.
+//! - [`TieredBackend`] — composes a store over any backend into an L1/L2
+//!   hierarchy with write-through population and per-tier fetch counters
+//!   and latency histograms (surfaced through
+//!   [`BlockBackend::tier_snapshot`](crate::BlockBackend::tier_snapshot)).
+//! - [`BackendSpec`] — the parsed form of `gc-cache serve --backend
+//!   mem|synthetic:…|disk:<path>|tiered:<l1>+<l2>`, with a builder that
+//!   assembles the hierarchy against a block map.
+//!
+//! Every backend here materializes unknown blocks from the same
+//! [`BlockMap`](gc_types::BlockMap) function as
+//! [`SyntheticBackend`](crate::SyntheticBackend), in the same item order,
+//! so swapping backends never changes policy-visible statistics — the
+//! backend differential suite holds all of them to bit-identity.
+
+mod disk;
+mod mem;
+mod spec;
+mod tiered;
+
+pub use disk::DiskBackend;
+pub use mem::MemBackend;
+pub use spec::BackendSpec;
+pub use tiered::TieredBackend;
+
+use crate::backend::BlockBackend;
+use gc_types::{BlockId, GcError, ItemId};
+
+/// A [`BlockBackend`] that can also *hold* blocks it is handed — the
+/// contract an L1 staging tier needs: the tiered combinator populates it
+/// write-through on L2 fetches and probes it without triggering the
+/// backend's materialize-on-miss fallback.
+pub trait BlockStore: BlockBackend {
+    /// Put a block's contents into the store (overwriting any previous
+    /// version). Bounded stores may displace another block to make room.
+    fn store_block(&self, block: BlockId, items: &[ItemId]) -> Result<(), GcError>;
+
+    /// Load `block` into `out` **only if the store holds it**: returns
+    /// `Ok(false)` (with `out` untouched) when absent, instead of falling
+    /// back to materialization like [`BlockBackend::load_block_into`].
+    fn try_load_into(&self, block: BlockId, out: &mut Vec<ItemId>) -> Result<bool, GcError>;
+
+    /// Whether the store currently holds `block`.
+    fn contains_block(&self, block: BlockId) -> bool;
+
+    /// Number of blocks currently held.
+    fn stored_blocks(&self) -> usize;
+}

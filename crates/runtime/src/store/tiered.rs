@@ -1,0 +1,180 @@
+//! A two-level backend: a fast staging store over a slower backend.
+//!
+//! This is where the paper's granularity-change setting becomes physical:
+//! the L1 holds whole blocks close by (RAM), the L2 is the expensive
+//! level below (disk), and the cache policy above still admits item
+//! subsets. The combinator measures what the flat backends cannot — how
+//! fetch latency splits across tiers, so a serve report can show disk
+//! fetches dominating p99 while the L1 absorbs the p50.
+
+use super::BlockStore;
+use crate::backend::BlockBackend;
+use crate::sync::{Arc, Mutex};
+use gc_types::{BlockId, GcError, ItemId, LatencyHistogram, TierStats};
+use std::time::Instant;
+
+/// Fetch/store counters and a latency histogram for one tier.
+#[derive(Default)]
+struct TierAccum {
+    fetches: u64,
+    stores: u64,
+    latency: LatencyHistogram,
+}
+
+impl TierAccum {
+    fn record_fetch(&mut self, started: Instant) {
+        self.fetches += 1;
+        self.latency
+            .record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+}
+
+/// A write-through L1/L2 [`BlockBackend`] hierarchy.
+///
+/// Loads probe the L1 store first; on an L1 miss the block is fetched
+/// from the L2 backend, staged into the L1 (write-through population,
+/// FIFO or whatever displacement the store implements), and served.
+/// Per-tier fetch counts, store counts, and fetch-latency histograms are
+/// surfaced through [`tier_snapshot`](BlockBackend::tier_snapshot),
+/// fastest tier first.
+///
+/// The served items are exactly the L2's (the L1 only replays verbatim
+/// copies), so layering changes *where time goes*, never *what the
+/// policy sees* — the backend differential suite pins this down.
+pub struct TieredBackend {
+    l1: Arc<dyn BlockStore>,
+    l2: Arc<dyn BlockBackend>,
+    labels: [String; 2],
+    tiers: [Mutex<TierAccum>; 2],
+}
+
+impl TieredBackend {
+    /// Compose `l1` (staging store) over `l2` (authoritative backend).
+    /// `labels` name the tiers in telemetry, fastest first — e.g.
+    /// `["mem", "disk"]`.
+    pub fn new(
+        l1: Arc<dyn BlockStore>,
+        l2: Arc<dyn BlockBackend>,
+        labels: [&str; 2],
+    ) -> TieredBackend {
+        TieredBackend {
+            l1,
+            l2,
+            labels: [labels[0].to_string(), labels[1].to_string()],
+            tiers: [
+                Mutex::new(TierAccum::default()),
+                Mutex::new(TierAccum::default()),
+            ],
+        }
+    }
+
+    /// The L1 staging store.
+    pub fn l1(&self) -> &Arc<dyn BlockStore> {
+        &self.l1
+    }
+}
+
+impl BlockBackend for TieredBackend {
+    fn load_block(&self, block: BlockId) -> Result<Vec<ItemId>, GcError> {
+        let mut items = Vec::new();
+        self.load_block_into(block, &mut items)?;
+        Ok(items)
+    }
+
+    fn load_block_into(&self, block: BlockId, out: &mut Vec<ItemId>) -> Result<(), GcError> {
+        let t0 = Instant::now();
+        if self.l1.try_load_into(block, out)? {
+            self.tiers[0].lock().record_fetch(t0);
+            return Ok(());
+        }
+        let t1 = Instant::now();
+        self.l2.load_block_into(block, out)?;
+        self.tiers[1].lock().record_fetch(t1);
+        // Write-through population: stage the block so re-fetches (and
+        // concurrent near-misses) hit the fast tier.
+        self.l1.store_block(block, out)?;
+        self.tiers[0].lock().stores += 1;
+        Ok(())
+    }
+
+    fn tier_snapshot(&self) -> Vec<TierStats> {
+        self.labels
+            .iter()
+            .zip(self.tiers.iter())
+            .map(|(label, accum)| {
+                let accum = accum.lock();
+                TierStats {
+                    label: label.clone(),
+                    fetches: accum.fetches,
+                    stores: accum.stores,
+                    latency: accum.latency.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{CountingBackend, SyntheticBackend};
+    use crate::store::MemBackend;
+    use gc_types::BlockMap;
+
+    fn tiered(capacity: usize) -> (TieredBackend, Arc<CountingBackend<SyntheticBackend>>) {
+        let map = BlockMap::strided(4);
+        let l1 = Arc::new(MemBackend::new(map.clone(), capacity).unwrap());
+        let l2 = Arc::new(CountingBackend::new(SyntheticBackend::new(map)));
+        (TieredBackend::new(l1, l2.clone(), ["mem", "disk"]), l2)
+    }
+
+    #[test]
+    fn second_fetch_hits_l1_and_skips_l2() {
+        let (t, l2) = tiered(8);
+        let first = t.load_block(BlockId(3)).unwrap();
+        let second = t.load_block(BlockId(3)).unwrap();
+        assert_eq!(first, second, "L1 replays the L2 contents verbatim");
+        assert_eq!(l2.loads(), 1, "second fetch never reached L2");
+
+        let tiers = t.tier_snapshot();
+        assert_eq!(tiers.len(), 2);
+        assert_eq!(tiers[0].label, "mem");
+        assert_eq!(tiers[1].label, "disk");
+        assert_eq!(tiers[0].fetches, 1, "one L1 hit");
+        assert_eq!(tiers[0].stores, 1, "one write-through store");
+        assert_eq!(tiers[1].fetches, 1, "one L2 fetch");
+        assert_eq!(tiers[0].latency.count(), 1);
+        assert_eq!(tiers[1].latency.count(), 1);
+    }
+
+    #[test]
+    fn displaced_block_refetches_from_l2() {
+        let (t, l2) = tiered(2);
+        for b in 0..3u64 {
+            t.load_block(BlockId(b)).unwrap();
+        }
+        assert_eq!(l2.loads(), 3);
+        // Block 0 was displaced by FIFO; loading it again costs an L2 trip.
+        t.load_block(BlockId(0)).unwrap();
+        assert_eq!(l2.loads(), 4, "displaced block re-fetched from L2");
+        let tiers = t.tier_snapshot();
+        assert_eq!(tiers[1].fetches, 4);
+        assert_eq!(tiers[0].stores, 4);
+        assert_eq!(tiers[0].fetches, 0, "no load ever hit a staged block");
+    }
+
+    #[test]
+    fn l2_failure_propagates_and_stages_nothing() {
+        let map = BlockMap::from_groups(vec![vec![ItemId(1), ItemId(2)]]).unwrap();
+        let l1 = Arc::new(MemBackend::new(map.clone(), 4).unwrap());
+        let t = TieredBackend::new(
+            l1.clone(),
+            Arc::new(SyntheticBackend::new(map)),
+            ["mem", "disk"],
+        );
+        assert!(t.load_block(BlockId(9)).is_err());
+        assert_eq!(l1.stored_blocks(), 0, "failed fetch not staged");
+        let tiers = t.tier_snapshot();
+        assert_eq!(tiers[0].fetches + tiers[1].fetches, 0, "no fetch recorded");
+    }
+}

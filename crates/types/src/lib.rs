@@ -41,5 +41,5 @@ pub use error::{GcError, ParseReason};
 pub use fxmap::{mix64, FxBuildHasher, FxHashMap, FxHashSet};
 pub use id::{BlockId, ItemId};
 pub use outcome::{AccessKind, AccessResult, AccessScratch, HitKind};
-pub use runtime_stats::{LatencyHistogram, RuntimeStats};
+pub use runtime_stats::{LatencyHistogram, RuntimeStats, TierStats};
 pub use trace::Trace;

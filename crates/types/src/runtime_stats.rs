@@ -147,6 +147,31 @@ impl LatencyHistogram {
     }
 }
 
+/// Per-tier fetch telemetry reported by layered backends (a RAM staging
+/// tier over a disk store, say). One entry per tier, in tier order
+/// (fastest first); `fetches` counts loads *served* by the tier, so a
+/// tiered backend's entries sum to its total backend loads.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierStats {
+    /// Human-readable tier label (e.g. `"mem"`, `"disk"`).
+    pub label: String,
+    /// Block loads served by this tier.
+    pub fetches: u64,
+    /// Blocks written into this tier (write-through population).
+    pub stores: u64,
+    /// Latency of the loads this tier served.
+    pub latency: LatencyHistogram,
+}
+
+impl TierStats {
+    /// Fold another snapshot of the *same* tier into this one.
+    pub fn merge(&mut self, other: &TierStats) {
+        self.fetches += other.fetches;
+        self.stores += other.stores;
+        self.latency.merge(&other.latency);
+    }
+}
+
 /// Counters accumulated by one shard (or aggregated over all shards) of
 /// the serving runtime.
 ///
@@ -183,6 +208,22 @@ pub struct RuntimeStats {
     pub fetched_items: u64,
     /// Latency of backend fetches, as observed by single-flight leaders.
     pub fetch_latency: LatencyHistogram,
+    /// Misses that parked on the single-flight table waiting for another
+    /// caller's in-flight load — *delayed hits* in the sense of Manohar &
+    /// Atre: the block was already being fetched, so the request neither
+    /// hit nor paid a full fetch, it waited. A subset of
+    /// `coalesced_fetches` (same-batch dedup rides along with zero wait
+    /// and is not delayed).
+    #[serde(default)]
+    pub delayed_hits: u64,
+    /// How long delayed hits waited on the in-flight fetch.
+    #[serde(default)]
+    pub waiter_wait: LatencyHistogram,
+    /// Per-tier fetch telemetry, present when the backend is tiered.
+    /// Attached to aggregate snapshots only (tiers are a backend-wide
+    /// resource, not a per-shard one).
+    #[serde(default)]
+    pub tiers: Vec<TierStats>,
 }
 
 impl RuntimeStats {
@@ -242,6 +283,24 @@ impl RuntimeStats {
         self.coalesced_fetches += other.coalesced_fetches;
         self.fetched_items += other.fetched_items;
         self.fetch_latency.merge(&other.fetch_latency);
+        self.delayed_hits += other.delayed_hits;
+        self.waiter_wait.merge(&other.waiter_wait);
+        for tier in &other.tiers {
+            match self.tiers.iter_mut().find(|t| t.label == tier.label) {
+                Some(mine) => mine.merge(tier),
+                None => self.tiers.push(tier.clone()),
+            }
+        }
+    }
+
+    /// Fraction of misses that were delayed hits (parked on an in-flight
+    /// fetch rather than leading their own or riding a same-batch dedup).
+    pub fn delayed_hit_rate(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.delayed_hits as f64 / self.misses as f64
+        }
     }
 }
 
@@ -312,13 +371,15 @@ mod tests {
             backend_fetches: 30,
             coalesced_fetches: 10,
             fetched_items: 480,
-            fetch_latency: LatencyHistogram::new(),
+            delayed_hits: 6,
+            ..RuntimeStats::default()
         };
         assert_eq!(s.hits(), 60);
         assert!((s.hit_rate() - 0.6).abs() < 1e-12);
         assert!((s.fault_rate() - 0.4).abs() < 1e-12);
         assert!((s.coalescing_rate() - 0.25).abs() < 1e-12);
         assert!((s.admission_ratio() - 80.0 / 480.0).abs() < 1e-12);
+        assert!((s.delayed_hit_rate() - 0.15).abs() < 1e-12);
     }
 
     #[test]
@@ -328,6 +389,45 @@ mod tests {
         assert_eq!(s.fault_rate(), 0.0);
         assert_eq!(s.coalescing_rate(), 0.0);
         assert_eq!(s.admission_ratio(), 0.0);
+        assert_eq!(s.delayed_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_delayed_hits_and_matches_tiers_by_label() {
+        let mut mem = TierStats {
+            label: "mem".into(),
+            fetches: 3,
+            stores: 5,
+            ..TierStats::default()
+        };
+        mem.latency.record(100);
+        let mut disk = TierStats {
+            label: "disk".into(),
+            fetches: 2,
+            ..TierStats::default()
+        };
+        disk.latency.record(50_000);
+
+        let mut a = RuntimeStats {
+            delayed_hits: 2,
+            tiers: vec![mem.clone()],
+            ..RuntimeStats::default()
+        };
+        a.waiter_wait.record(700);
+        let b = RuntimeStats {
+            delayed_hits: 1,
+            tiers: vec![mem.clone(), disk.clone()],
+            ..RuntimeStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.delayed_hits, 3);
+        assert_eq!(a.waiter_wait.count(), 1);
+        assert_eq!(a.tiers.len(), 2, "disk tier appended, mem tier merged");
+        assert_eq!(a.tiers[0].label, "mem");
+        assert_eq!(a.tiers[0].fetches, 6);
+        assert_eq!(a.tiers[0].stores, 10);
+        assert_eq!(a.tiers[0].latency.count(), 2);
+        assert_eq!(a.tiers[1], disk);
     }
 
     #[test]
